@@ -1,0 +1,105 @@
+//! Microbenchmarks: per-block compress/decompress throughput of every
+//! codec, plus SLC's size-only fast path (the hardware's tree adder).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use slc_compress::bdi::Bdi;
+use slc_compress::bpc::Bpc;
+use slc_compress::cpack::Cpack;
+use slc_compress::e2mc::{E2mc, E2mcConfig};
+use slc_compress::fpc::Fpc;
+use slc_compress::{Block, BlockCompressor, Mag, BLOCK_BYTES};
+use slc_core::slc::{SlcCompressor, SlcConfig, SlcVariant};
+
+fn sample_blocks() -> Vec<Block> {
+    // Mixed-compressibility float blocks, like workload traffic.
+    (0..64u32)
+        .map(|k| {
+            let mut b = [0u8; BLOCK_BYTES];
+            for (i, c) in b.chunks_exact_mut(4).enumerate() {
+                let v = 100.0 + (k * 32 + i as u32) as f32 * 0.25
+                    + if i % 7 == 0 { 0.001337 * k as f32 } else { 0.0 };
+                c.copy_from_slice(&v.to_le_bytes());
+            }
+            b
+        })
+        .collect()
+}
+
+fn bench_codecs(c: &mut Criterion) {
+    let blocks = sample_blocks();
+    let training: Vec<u8> = blocks.iter().flat_map(|b| b.to_vec()).collect();
+    let e2mc = E2mc::train_on_bytes(&training, &E2mcConfig::default());
+    let bdi = Bdi::new();
+    let fpc = Fpc::new();
+    let cpack = Cpack::new();
+    let bpc = Bpc::new();
+    let codecs: [(&str, &dyn BlockCompressor); 5] =
+        [("bdi", &bdi), ("fpc", &fpc), ("cpack", &cpack), ("bpc", &bpc), ("e2mc", &e2mc)];
+    let mut g = c.benchmark_group("compress_block");
+    for (name, codec) in codecs {
+        g.bench_function(name, |b| {
+            let mut i = 0;
+            b.iter(|| {
+                i = (i + 1) % blocks.len();
+                codec.compress(&blocks[i])
+            })
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("decompress_block");
+    let bdi2 = Bdi::new();
+    let fpc2 = Fpc::new();
+    let cpack2 = Cpack::new();
+    let bpc2 = Bpc::new();
+    let codecs: [(&str, &dyn BlockCompressor); 5] =
+        [("bdi", &bdi2), ("fpc", &fpc2), ("cpack", &cpack2), ("bpc", &bpc2), ("e2mc", &e2mc)];
+    for (name, codec) in codecs {
+        let compressed: Vec<_> = blocks.iter().map(|b| codec.compress(b)).collect();
+        g.bench_function(name, |b| {
+            let mut i = 0;
+            b.iter(|| {
+                i = (i + 1) % compressed.len();
+                codec.decompress(&compressed[i])
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_slc_paths(c: &mut Criterion) {
+    let blocks = sample_blocks();
+    let training: Vec<u8> = blocks.iter().flat_map(|b| b.to_vec()).collect();
+    let e2mc = E2mc::train_on_bytes(&training, &E2mcConfig::default());
+    let slc = SlcCompressor::new(e2mc, SlcConfig::new(Mag::GDDR5, 16, SlcVariant::TslcOpt));
+    let mut g = c.benchmark_group("slc");
+    g.bench_function("stored_bits_fast_path", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % blocks.len();
+            slc.stored_bits(&blocks[i])
+        })
+    });
+    g.bench_function("compress_full", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % blocks.len();
+            slc.compress(&blocks[i])
+        })
+    });
+    g.bench_function("roundtrip", |b| {
+        let mut i = 0;
+        b.iter_batched(
+            || {
+                i = (i + 1) % blocks.len();
+                blocks[i]
+            },
+            |block| slc.roundtrip(&block),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_codecs, bench_slc_paths);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Regenerates Fig. 1 (raw vs effective compression ratio) as a bench:
+//! the measurement prints the figure once, then times recomputation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use slc_compress::Mag;
+use slc_workloads::Scale;
+
+fn fig1(c: &mut Criterion) {
+    let fig = slc_exp::fig1::compute(Scale::Tiny, Mag::GDDR5);
+    println!("{}", fig.render());
+    let mut g = c.benchmark_group("fig1");
+    g.sample_size(10);
+    g.bench_function("compute_tiny", |b| {
+        b.iter(|| slc_exp::fig1::compute(Scale::Tiny, Mag::GDDR5))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, fig1);
+criterion_main!(benches);

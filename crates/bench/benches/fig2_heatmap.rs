@@ -1,0 +1,19 @@
+//! Regenerates Fig. 2 (distribution of compressed blocks above MAG).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use slc_compress::Mag;
+use slc_workloads::Scale;
+
+fn fig2(c: &mut Criterion) {
+    let fig = slc_exp::fig2::compute(Scale::Tiny, Mag::GDDR5);
+    println!("{}", fig.render());
+    let mut g = c.benchmark_group("fig2");
+    g.sample_size(10);
+    g.bench_function("compute_tiny", |b| {
+        b.iter(|| slc_exp::fig2::compute(Scale::Tiny, Mag::GDDR5))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, fig2);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Regenerates Figs. 7 and 8 (speedup/error and bandwidth/energy/EDP):
+//! prints both views once, then times one benchmark's full pipeline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use slc_core::slc::SlcVariant;
+use slc_workloads::{workload_by_name, Harness, Scale, Scheme};
+
+fn fig7_fig8(c: &mut Criterion) {
+    let harness = Harness::new(Scale::Tiny);
+    let eval = slc_exp::evaluate(
+        Scale::Tiny,
+        &harness,
+        16,
+        &[SlcVariant::TslcSimp, SlcVariant::TslcPred, SlcVariant::TslcOpt],
+    );
+    println!("{}", eval.render_fig7());
+    println!("{}", eval.render_fig8());
+
+    let w = workload_by_name("NN", Scale::Tiny).expect("registered");
+    let artifacts = harness.prepare(w.as_ref());
+    let mut g = c.benchmark_group("fig7_fig8");
+    g.sample_size(10);
+    g.bench_function("nn_tslc_opt_pipeline", |b| {
+        b.iter(|| {
+            let scheme = Scheme::slc(
+                artifacts.e2mc.clone(),
+                harness.config.mag(),
+                16,
+                SlcVariant::TslcOpt,
+            );
+            harness.evaluate(w.as_ref(), &artifacts, &scheme)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, fig7_fig8);
+criterion_main!(benches);

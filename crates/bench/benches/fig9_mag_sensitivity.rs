@@ -1,0 +1,16 @@
+//! Regenerates Fig. 9 + §V-C (MAG sensitivity).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use slc_workloads::Scale;
+
+fn fig9(c: &mut Criterion) {
+    let fig = slc_exp::fig9::compute(Scale::Tiny);
+    println!("{}", fig.render());
+    let mut g = c.benchmark_group("fig9");
+    g.sample_size(10);
+    g.bench_function("compute_tiny", |b| b.iter(|| slc_exp::fig9::compute(Scale::Tiny)));
+    g.finish();
+}
+
+criterion_group!(benches, fig9);
+criterion_main!(benches);

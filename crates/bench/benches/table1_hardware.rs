@@ -1,0 +1,17 @@
+//! Regenerates Table I (hardware cost model) and times the gate model.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use slc_power::TslcHardwareModel;
+
+fn table1(c: &mut Criterion) {
+    println!("{}", slc_exp::tables::table1());
+    c.bench_function("table1/gate_model", |b| {
+        b.iter(|| {
+            let m = TslcHardwareModel::new();
+            (m.compressor_cost(), m.decompressor_cost(), m.pct_of_e2mc_area())
+        })
+    });
+}
+
+criterion_group!(benches, table1);
+criterion_main!(benches);

@@ -1,0 +1,7 @@
+//! Benchmark-only crate.
+//!
+//! Hosts the Criterion benches that regenerate every table and figure of
+//! the paper (see `benches/`). The library itself only re-exports the
+//! pieces the benches share.
+
+pub use slc_exp as exp;

@@ -1,0 +1,299 @@
+//! Bit-granular stream writer/reader used by every codec in this crate.
+//!
+//! Bits are packed MSB-first within each byte, which mirrors how a hardware
+//! shifter would serialise variable-length codewords onto a bus and keeps
+//! the packed streams byte-comparable across codecs.
+
+/// Append-only bit writer.
+///
+/// ```
+/// use slc_compress::bitstream::{BitWriter, BitReader};
+///
+/// let mut w = BitWriter::new();
+/// w.write(0b101, 3);
+/// w.write(0xABCD, 16);
+/// let (bytes, len) = w.finish();
+/// assert_eq!(len, 19);
+/// let mut r = BitReader::new(&bytes, len);
+/// assert_eq!(r.read(3), 0b101);
+/// assert_eq!(r.read(16), 0xABCD);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct BitWriter {
+    bytes: Vec<u8>,
+    /// Number of valid bits already written.
+    len_bits: u32,
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of bits written so far.
+    pub fn len_bits(&self) -> u32 {
+        self.len_bits
+    }
+
+    /// Appends the `width` low-order bits of `value`, MSB first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width > 64` or if `value` has bits set above `width`.
+    pub fn write(&mut self, value: u64, width: u32) {
+        assert!(width <= 64, "width {width} exceeds 64");
+        if width < 64 {
+            assert!(value < (1u64 << width), "value {value:#x} does not fit in {width} bits");
+        }
+        // Write bit-by-bit groups; hardware would use a barrel shifter, a
+        // byte-sliced loop is plenty for a software model.
+        let mut remaining = width;
+        while remaining > 0 {
+            let bit_in_byte = (self.len_bits % 8) as u8;
+            if bit_in_byte == 0 {
+                self.bytes.push(0);
+            }
+            let room = 8 - bit_in_byte as u32;
+            let take = room.min(remaining);
+            let shift = remaining - take;
+            let chunk = ((value >> shift) & ((1u64 << take) - 1)) as u8;
+            let last = self.bytes.last_mut().expect("byte pushed above");
+            *last |= chunk << (room - take);
+            self.len_bits += take;
+            remaining -= take;
+        }
+    }
+
+    /// Appends the first `bits` bits of another packed stream.
+    pub fn append(&mut self, bytes: &[u8], bits: u32) {
+        let mut r = BitReader::new(bytes, bits);
+        let mut remaining = bits;
+        while remaining > 0 {
+            let take = remaining.min(56);
+            self.write(r.read(take), take);
+            remaining -= take;
+        }
+    }
+
+    /// Consumes the writer, returning the packed bytes and the bit length.
+    pub fn finish(self) -> (Vec<u8>, u32) {
+        (self.bytes, self.len_bits)
+    }
+}
+
+/// Sequential bit reader over a packed stream produced by [`BitWriter`].
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    bytes: &'a [u8],
+    len_bits: u32,
+    pos: u32,
+}
+
+impl<'a> BitReader<'a> {
+    /// Creates a reader over `bytes`, of which only `len_bits` bits are valid.
+    pub fn new(bytes: &'a [u8], len_bits: u32) -> Self {
+        debug_assert!(bytes.len() * 8 >= len_bits as usize);
+        Self { bytes, len_bits, pos: 0 }
+    }
+
+    /// Current read position in bits.
+    pub fn position(&self) -> u32 {
+        self.pos
+    }
+
+    /// Moves the read cursor to an absolute bit offset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos` is beyond the valid stream length.
+    pub fn seek(&mut self, pos: u32) {
+        assert!(pos <= self.len_bits, "seek to {pos} beyond stream of {} bits", self.len_bits);
+        self.pos = pos;
+    }
+
+    /// Number of unread bits.
+    pub fn remaining(&self) -> u32 {
+        self.len_bits - self.pos
+    }
+
+    /// Reads `width` bits MSB-first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than `width` bits remain.
+    pub fn read(&mut self, width: u32) -> u64 {
+        assert!(width <= 64);
+        assert!(
+            self.remaining() >= width,
+            "read of {width} bits with only {} remaining",
+            self.remaining()
+        );
+        let mut out = 0u64;
+        let mut remaining = width;
+        while remaining > 0 {
+            let byte = self.bytes[(self.pos / 8) as usize];
+            let bit_in_byte = self.pos % 8;
+            let avail = 8 - bit_in_byte;
+            let take = avail.min(remaining);
+            let chunk = (byte >> (avail - take)) & ((1u16 << take) - 1) as u8;
+            out = (out << take) | chunk as u64;
+            self.pos += take;
+            remaining -= take;
+        }
+        out
+    }
+
+    /// Reads a single bit.
+    pub fn read_bit(&mut self) -> bool {
+        self.read(1) == 1
+    }
+
+    /// Peeks up to `width` bits without advancing, zero-padding past the end.
+    ///
+    /// This is the lookup-window primitive a table-driven Huffman decoder
+    /// uses: near the end of the stream the window is padded with zeros.
+    pub fn peek_padded(&self, width: u32) -> u64 {
+        assert!(width <= 57, "peek window limited to 57 bits");
+        let mut out = 0u64;
+        for i in 0..width {
+            let p = self.pos + i;
+            let bit = if p < self.len_bits {
+                (self.bytes[(p / 8) as usize] >> (7 - p % 8)) & 1
+            } else {
+                0
+            };
+            out = (out << 1) | bit as u64;
+        }
+        out
+    }
+
+    /// Advances the cursor by `width` bits (used together with
+    /// [`peek_padded`](Self::peek_padded)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than `width` bits remain.
+    pub fn skip(&mut self, width: u32) {
+        assert!(self.remaining() >= width);
+        self.pos += width;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn roundtrip_mixed_widths() {
+        let mut w = BitWriter::new();
+        w.write(1, 1);
+        w.write(0, 2);
+        w.write(0b1011, 4);
+        w.write(0xdead_beef, 32);
+        w.write(0x3ff, 10);
+        let (bytes, len) = w.finish();
+        assert_eq!(len, 49);
+        let mut r = BitReader::new(&bytes, len);
+        assert_eq!(r.read(1), 1);
+        assert_eq!(r.read(2), 0);
+        assert_eq!(r.read(4), 0b1011);
+        assert_eq!(r.read(32), 0xdead_beef);
+        assert_eq!(r.read(10), 0x3ff);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn zero_width_writes_are_noops() {
+        let mut w = BitWriter::new();
+        w.write(0, 0);
+        w.write(0b11, 2);
+        w.write(0, 0);
+        let (bytes, len) = w.finish();
+        assert_eq!(len, 2);
+        assert_eq!(bytes, vec![0b1100_0000]);
+    }
+
+    #[test]
+    fn peek_padded_pads_with_zeros() {
+        let mut w = BitWriter::new();
+        w.write(0b1, 1);
+        let (bytes, len) = w.finish();
+        let r = BitReader::new(&bytes, len);
+        assert_eq!(r.peek_padded(4), 0b1000);
+    }
+
+    #[test]
+    fn append_concatenates_streams() {
+        let mut a = BitWriter::new();
+        a.write(0b101, 3);
+        let mut b = BitWriter::new();
+        b.write(0x1234, 16);
+        let (bb, blen) = b.finish();
+        a.append(&bb, blen);
+        let (bytes, len) = a.finish();
+        assert_eq!(len, 19);
+        let mut r = BitReader::new(&bytes, len);
+        assert_eq!(r.read(3), 0b101);
+        assert_eq!(r.read(16), 0x1234);
+    }
+
+    #[test]
+    fn seek_rewinds() {
+        let mut w = BitWriter::new();
+        w.write(0xAA, 8);
+        let (bytes, len) = w.finish();
+        let mut r = BitReader::new(&bytes, len);
+        assert_eq!(r.read(8), 0xAA);
+        r.seek(4);
+        assert_eq!(r.read(4), 0xA);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn write_rejects_oversized_value() {
+        let mut w = BitWriter::new();
+        w.write(4, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "remaining")]
+    fn read_past_end_panics() {
+        let mut w = BitWriter::new();
+        w.write(1, 1);
+        let (bytes, len) = w.finish();
+        let mut r = BitReader::new(&bytes, len);
+        let _ = r.read(2);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip(fields in proptest::collection::vec((any::<u64>(), 1u32..=64), 0..64)) {
+            let mut w = BitWriter::new();
+            let mut expect = Vec::new();
+            for &(v, width) in &fields {
+                let masked = if width == 64 { v } else { v & ((1u64 << width) - 1) };
+                w.write(masked, width);
+                expect.push((masked, width));
+            }
+            let total: u32 = fields.iter().map(|&(_, w)| w).sum();
+            let (bytes, len) = w.finish();
+            prop_assert_eq!(len, total);
+            let mut r = BitReader::new(&bytes, len);
+            for (v, width) in expect {
+                prop_assert_eq!(r.read(width), v);
+            }
+        }
+
+        #[test]
+        fn prop_peek_matches_read(data in proptest::collection::vec(any::<u8>(), 1..32), win in 1u32..32) {
+            let len = (data.len() * 8) as u32;
+            let mut r = BitReader::new(&data, len);
+            let peeked = r.peek_padded(win.min(57));
+            let take = win.min(len);
+            let read = r.read(take) << (win - take);
+            prop_assert_eq!(peeked, read);
+        }
+    }
+}

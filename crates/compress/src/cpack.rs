@@ -1,0 +1,327 @@
+//! C-PACK (Cache Packer) compression.
+//!
+//! Chen et al., "C-Pack: A High-Performance Microprocessor Cache Compression
+//! Algorithm", IEEE TVLSI 2010 — third baseline of the SLC paper's Figure 1.
+//!
+//! C-PACK combines static patterns for frequent words with a small FIFO
+//! dictionary of recently seen words. Every 32-bit word emits one of six
+//! codes; words that do not fully match the dictionary are pushed into it,
+//! and the decompressor reconstructs the same dictionary as it decodes, so
+//! no dictionary bits travel with the block.
+
+use crate::bitstream::{BitReader, BitWriter};
+use crate::symbols::{block_to_words, words_to_block, WORDS_PER_BLOCK};
+use crate::{Block, BlockCompressor, Compressed, BLOCK_BITS, BLOCK_BYTES};
+
+/// Number of dictionary entries (4-bit index as in the original design).
+pub const DICT_ENTRIES: usize = 16;
+
+/// C-PACK word codes and their total encoded sizes in bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CpackCode {
+    /// `00`: zero word (2 bits).
+    Zzzz,
+    /// `01` + 32 raw bits: no pattern matched (34 bits). Pushed to dict.
+    Xxxx,
+    /// `10` + 4-bit index: full dictionary match (6 bits).
+    Mmmm,
+    /// `1100` + 4-bit index + 16 raw bits: upper halfword matches a
+    /// dictionary entry (24 bits). Pushed to dict.
+    Mmxx,
+    /// `1101` + 8 raw bits: three zero bytes, one literal low byte (12 bits).
+    Zzzx,
+    /// `1110` + 4-bit index + 8 raw bits: upper three bytes match a
+    /// dictionary entry (16 bits). Pushed to dict.
+    Mmmx,
+}
+
+impl CpackCode {
+    /// Encoded size (prefix + index + literal bits).
+    pub fn size_bits(self) -> u32 {
+        match self {
+            CpackCode::Zzzz => 2,
+            CpackCode::Xxxx => 34,
+            CpackCode::Mmmm => 6,
+            CpackCode::Mmxx => 24,
+            CpackCode::Zzzx => 12,
+            CpackCode::Mmmx => 16,
+        }
+    }
+}
+
+/// FIFO dictionary shared (by construction) by compressor and decompressor.
+#[derive(Debug, Clone)]
+struct Dictionary {
+    entries: Vec<u32>,
+    next: usize,
+}
+
+impl Dictionary {
+    fn new() -> Self {
+        Self { entries: vec![0; DICT_ENTRIES], next: 0 }
+    }
+
+    fn push(&mut self, word: u32) {
+        self.entries[self.next] = word;
+        self.next = (self.next + 1) % DICT_ENTRIES;
+    }
+
+    fn find_full(&self, word: u32) -> Option<usize> {
+        self.entries.iter().position(|&e| e == word)
+    }
+
+    fn find_upper3(&self, word: u32) -> Option<usize> {
+        self.entries.iter().position(|&e| e >> 8 == word >> 8)
+    }
+
+    fn find_upper2(&self, word: u32) -> Option<usize> {
+        self.entries.iter().position(|&e| e >> 16 == word >> 16)
+    }
+}
+
+/// The C-PACK block compressor.
+///
+/// ```
+/// use slc_compress::{BlockCompressor, cpack::Cpack};
+///
+/// let cpack = Cpack::new();
+/// // A block repeating one word: first word is a miss, the rest are
+/// // 6-bit full dictionary matches.
+/// let mut block = [0u8; 128];
+/// for c in block.chunks_exact_mut(4) {
+///     c.copy_from_slice(&0xCAFE_F00Du32.to_le_bytes());
+/// }
+/// let c = cpack.compress(&block);
+/// assert_eq!(c.size_bits(), 34 + 31 * 6);
+/// assert_eq!(cpack.decompress(&c), block);
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Cpack {
+    _private: (),
+}
+
+impl Cpack {
+    /// Creates a C-PACK codec.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn classify(dict: &Dictionary, word: u32) -> (CpackCode, Option<usize>) {
+        if word == 0 {
+            (CpackCode::Zzzz, None)
+        } else if let Some(i) = dict.find_full(word) {
+            (CpackCode::Mmmm, Some(i))
+        } else if word & 0xffff_ff00 == 0 {
+            (CpackCode::Zzzx, None)
+        } else if let Some(i) = dict.find_upper3(word) {
+            (CpackCode::Mmmx, Some(i))
+        } else if let Some(i) = dict.find_upper2(word) {
+            (CpackCode::Mmxx, Some(i))
+        } else {
+            (CpackCode::Xxxx, None)
+        }
+    }
+}
+
+impl BlockCompressor for Cpack {
+    fn name(&self) -> &'static str {
+        "cpack"
+    }
+
+    fn compress(&self, block: &Block) -> Compressed {
+        let words = block_to_words(block);
+        let mut dict = Dictionary::new();
+        let mut w = BitWriter::new();
+        for &word in &words {
+            let (code, index) = Self::classify(&dict, word);
+            match code {
+                CpackCode::Zzzz => w.write(0b00, 2),
+                CpackCode::Xxxx => {
+                    w.write(0b01, 2);
+                    w.write(word as u64, 32);
+                    dict.push(word);
+                }
+                CpackCode::Mmmm => {
+                    w.write(0b10, 2);
+                    w.write(index.expect("full match has index") as u64, 4);
+                }
+                CpackCode::Mmxx => {
+                    w.write(0b1100, 4);
+                    w.write(index.expect("partial match has index") as u64, 4);
+                    w.write((word & 0xffff) as u64, 16);
+                    dict.push(word);
+                }
+                CpackCode::Zzzx => {
+                    w.write(0b1101, 4);
+                    w.write((word & 0xff) as u64, 8);
+                }
+                CpackCode::Mmmx => {
+                    w.write(0b1110, 4);
+                    w.write(index.expect("partial match has index") as u64, 4);
+                    w.write((word & 0xff) as u64, 8);
+                    dict.push(word);
+                }
+            }
+        }
+        let (payload, bits) = w.finish();
+        if bits >= BLOCK_BITS {
+            Compressed::uncompressed(block)
+        } else {
+            Compressed::new(bits, payload)
+        }
+    }
+
+    fn decompress(&self, c: &Compressed) -> Block {
+        if !c.is_compressed() {
+            let mut out = [0u8; BLOCK_BYTES];
+            out.copy_from_slice(&c.payload()[..BLOCK_BYTES]);
+            return out;
+        }
+        let mut r = BitReader::new(c.payload(), c.size_bits());
+        let mut dict = Dictionary::new();
+        let mut words = [0u32; WORDS_PER_BLOCK];
+        for slot in words.iter_mut() {
+            let b0 = r.read_bit();
+            let b1 = r.read_bit();
+            let word = match (b0, b1) {
+                (false, false) => 0,
+                (false, true) => {
+                    let w = r.read(32) as u32;
+                    dict.push(w);
+                    w
+                }
+                (true, false) => {
+                    let idx = r.read(4) as usize;
+                    dict.entries[idx]
+                }
+                (true, true) => {
+                    let b2 = r.read_bit();
+                    let b3 = r.read_bit();
+                    match (b2, b3) {
+                        (false, false) => {
+                            let idx = r.read(4) as usize;
+                            let low = r.read(16) as u32;
+                            let w = (dict.entries[idx] & 0xffff_0000) | low;
+                            dict.push(w);
+                            w
+                        }
+                        (false, true) => r.read(8) as u32,
+                        (true, false) => {
+                            let idx = r.read(4) as usize;
+                            let low = r.read(8) as u32;
+                            let w = (dict.entries[idx] & 0xffff_ff00) | low;
+                            dict.push(w);
+                            w
+                        }
+                        (true, true) => panic!("corrupt C-PACK stream: prefix 1111"),
+                    }
+                }
+            };
+            *slot = word;
+        }
+        words_to_block(&words)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn block_from_u32s(f: impl Fn(usize) -> u32) -> Block {
+        let mut b = [0u8; BLOCK_BYTES];
+        for i in 0..WORDS_PER_BLOCK {
+            b[i * 4..i * 4 + 4].copy_from_slice(&f(i).to_le_bytes());
+        }
+        b
+    }
+
+    #[test]
+    fn zero_block_is_two_bits_per_word() {
+        let cpack = Cpack::new();
+        let c = cpack.compress(&[0u8; BLOCK_BYTES]);
+        assert_eq!(c.size_bits(), 2 * WORDS_PER_BLOCK as u32);
+        assert_eq!(cpack.decompress(&c), [0u8; BLOCK_BYTES]);
+    }
+
+    #[test]
+    fn partial_matches_share_upper_bytes() {
+        let cpack = Cpack::new();
+        // Same upper 3 bytes, differing low byte: one miss then mmmx codes.
+        let block = block_from_u32s(|i| 0x1234_5600 | i as u32);
+        let c = cpack.compress(&block);
+        assert_eq!(c.size_bits(), 34 + 31 * 16);
+        assert_eq!(cpack.decompress(&c), block);
+    }
+
+    #[test]
+    fn small_bytes_use_zzzx() {
+        let cpack = Cpack::new();
+        let block = block_from_u32s(|i| (i as u32 % 255) + 1);
+        let c = cpack.compress(&block);
+        assert_eq!(cpack.decompress(&c), block);
+        assert_eq!(c.size_bits(), 32 * 12);
+    }
+
+    #[test]
+    fn dictionary_is_fifo() {
+        let cpack = Cpack::new();
+        // 17 distinct upper-halves fill the 16-entry FIFO and evict the
+        // first; re-encountering word 0's upper half is then a miss.
+        let block = block_from_u32s(|i| {
+            let base = (i as u32 % 17) << 16;
+            base | 0x00ff
+        });
+        let c = cpack.compress(&block);
+        assert_eq!(cpack.decompress(&c), block);
+    }
+
+    #[test]
+    fn incompressible_falls_back() {
+        let cpack = Cpack::new();
+        let mut block = [0u8; BLOCK_BYTES];
+        let mut state = 7u64;
+        for b in block.iter_mut() {
+            state = state.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            *b = (state >> 40) as u8;
+        }
+        let c = cpack.compress(&block);
+        assert_eq!(cpack.decompress(&c), block);
+        // All-miss blocks cost 34 bits/word > 32: stored raw.
+        assert_eq!(c.size_bits(), BLOCK_BITS);
+    }
+
+    #[test]
+    fn code_sizes_match_paper_table() {
+        assert_eq!(CpackCode::Zzzz.size_bits(), 2);
+        assert_eq!(CpackCode::Xxxx.size_bits(), 34);
+        assert_eq!(CpackCode::Mmmm.size_bits(), 6);
+        assert_eq!(CpackCode::Mmxx.size_bits(), 24);
+        assert_eq!(CpackCode::Zzzx.size_bits(), 12);
+        assert_eq!(CpackCode::Mmmx.size_bits(), 16);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip_random(data in proptest::collection::vec(any::<u8>(), BLOCK_BYTES)) {
+            let cpack = Cpack::new();
+            let mut block = [0u8; BLOCK_BYTES];
+            block.copy_from_slice(&data);
+            prop_assert_eq!(cpack.decompress(&cpack.compress(&block)), block);
+        }
+
+        #[test]
+        fn prop_roundtrip_clustered(bases in proptest::collection::vec(any::<u32>(), 1..4),
+                                    picks in proptest::collection::vec((0usize..4, any::<u8>()), WORDS_PER_BLOCK)) {
+            // Words drawn from a few clusters exercise every dict path.
+            let cpack = Cpack::new();
+            let mut block = [0u8; BLOCK_BYTES];
+            for (i, &(which, low)) in picks.iter().enumerate() {
+                let base = bases[which % bases.len()];
+                let w = (base & 0xffff_ff00) | low as u32;
+                block[i*4..i*4+4].copy_from_slice(&w.to_le_bytes());
+            }
+            prop_assert_eq!(cpack.decompress(&cpack.compress(&block)), block);
+        }
+    }
+}

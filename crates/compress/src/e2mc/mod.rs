@@ -1,0 +1,446 @@
+//! E2MC: entropy-encoding based memory compression for GPUs.
+//!
+//! Lal et al., "E2MC: Entropy Encoding Based Memory Compression for GPUs",
+//! IPDPS 2017 — the highest-ratio lossless baseline in the SLC paper and the
+//! substrate SLC itself extends.
+//!
+//! A 128 B block is 64 16-bit symbols. A per-application canonical Huffman
+//! table (built from sampled traffic, see [`SymbolSampler`]) covers the
+//! `top_k` most probable symbols; everything else is sent as an escape code
+//! followed by the 16 raw bits. Symbols are split into 4 **parallel
+//! decoding ways** (PDWs) of 16 symbols so hardware can decode them
+//! concurrently; the block header carries one *parallel decoding pointer*
+//! (pdp) per non-first way.
+//!
+//! The compressed size of a block is just the sum of its code lengths plus
+//! the header — the property SLC's bit-budgeting exploits (the paper's
+//! parallel tree adder computes the same sum).
+//!
+//! ```
+//! use slc_compress::{BlockCompressor, e2mc::{E2mc, E2mcConfig}};
+//!
+//! // Train on data representative of the app's traffic...
+//! let training: Vec<u8> = (0..4096u32).flat_map(|i| (i % 97).to_le_bytes()).collect();
+//! let e2mc = E2mc::train_on_bytes(&training, &E2mcConfig::default());
+//! // ...then compress blocks of the same distribution.
+//! let mut block = [0u8; 128];
+//! for (i, c) in block.chunks_exact_mut(4).enumerate() {
+//!     c.copy_from_slice(&((i as u32) % 97).to_le_bytes());
+//! }
+//! let c = e2mc.compress(&block);
+//! assert!(c.size_bits() < 512, "low-entropy data compresses > 2x");
+//! assert_eq!(e2mc.decompress(&c), block);
+//! ```
+
+mod huffman;
+mod sampler;
+
+pub use huffman::{CanonicalCode, MAX_CODE_LEN};
+pub use sampler::SymbolSampler;
+
+use crate::bitstream::{BitReader, BitWriter};
+use crate::symbols::{block_to_symbols, symbols_to_block, SYMBOLS_PER_BLOCK};
+use crate::{Block, BlockCompressor, Compressed, BLOCK_BITS, BLOCK_BYTES};
+
+/// Number of parallel decoding ways (the paper's best configuration).
+pub const WAYS: usize = 4;
+
+/// Symbols per way.
+pub const WAY_SYMBOLS: usize = SYMBOLS_PER_BLOCK / WAYS;
+
+/// Width of one parallel decoding pointer in bits.
+///
+/// A pdp addresses a bit offset inside the compressed data section, which
+/// is always shorter than the 1024-bit block, so 10 bits suffice. (The
+/// paper stores byte-addressed 7-bit pdps; we keep ways bit-packed and
+/// spend 3 extra bits per pointer instead of padding each way to a byte
+/// boundary — the totals differ by under a byte per block.)
+pub const PDP_BITS: u32 = 10;
+
+/// Header of a losslessly compressed E2MC block: mode bit + 3 pdps.
+pub const HEADER_BITS: u32 = 1 + (WAYS as u32 - 1) * PDP_BITS;
+
+/// Configuration for table training.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct E2mcConfig {
+    /// Number of most-frequent symbols granted Huffman codes.
+    pub top_k: usize,
+    /// Maximum codeword length (hardware decode-table depth).
+    pub max_code_len: u32,
+    /// Online-sampling block budget; `None` samples everything offered.
+    pub sample_blocks: Option<u64>,
+}
+
+impl Default for E2mcConfig {
+    fn default() -> Self {
+        Self { top_k: 1024, max_code_len: MAX_CODE_LEN, sample_blocks: None }
+    }
+}
+
+/// A trained symbol table: canonical codes for the top-k symbols plus an
+/// escape entry for the rest.
+#[derive(Clone)]
+pub struct SymbolTable {
+    code: CanonicalCode,
+    /// Entry index -> symbol value, for entries `0..top.len()`.
+    top: Vec<u16>,
+    /// Symbol value -> entry index (`u32::MAX` = not in table).
+    lookup: Vec<u32>,
+    escape_entry: usize,
+}
+
+impl std::fmt::Debug for SymbolTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SymbolTable")
+            .field("entries", &self.top.len())
+            .field("escape_bits", &self.escape_bits())
+            .finish()
+    }
+}
+
+impl SymbolTable {
+    /// Builds a table from sampled frequencies.
+    pub fn from_sampler(sampler: &SymbolSampler, config: &E2mcConfig) -> Self {
+        let top = sampler.top_symbols(config.top_k);
+        let covered: u64 = top.iter().map(|&(_, c)| c).sum();
+        let escape_freq = (sampler.total() - covered).max(1);
+        let mut freqs: Vec<u64> = top.iter().map(|&(_, c)| c).collect();
+        freqs.push(escape_freq);
+        let code = CanonicalCode::from_frequencies(&freqs, config.max_code_len);
+        let mut lookup = vec![u32::MAX; 1 << 16];
+        let symbols: Vec<u16> = top.iter().map(|&(s, _)| s).collect();
+        for (entry, &s) in symbols.iter().enumerate() {
+            lookup[s as usize] = entry as u32;
+        }
+        Self { code, escape_entry: symbols.len(), top: symbols, lookup }
+    }
+
+    /// Encoded length of `symbol` in bits (escape + 16 raw bits when the
+    /// symbol is not in the table).
+    pub fn symbol_bits(&self, symbol: u16) -> u32 {
+        let entry = self.lookup[symbol as usize];
+        if entry == u32::MAX {
+            self.escape_bits()
+        } else {
+            self.code.length(entry as usize)
+        }
+    }
+
+    /// Total cost of an escaped symbol.
+    pub fn escape_bits(&self) -> u32 {
+        self.code.length(self.escape_entry) + 16
+    }
+
+    /// Number of symbols holding dedicated codes.
+    pub fn coded_symbols(&self) -> usize {
+        self.top.len()
+    }
+
+    /// Appends the codeword(s) for `symbol`.
+    pub fn encode_symbol(&self, w: &mut BitWriter, symbol: u16) {
+        let entry = self.lookup[symbol as usize];
+        if entry == u32::MAX {
+            let e = self.escape_entry;
+            w.write(self.code.code(e) as u64, self.code.length(e));
+            w.write(symbol as u64, 16);
+        } else {
+            let e = entry as usize;
+            w.write(self.code.code(e) as u64, self.code.length(e));
+        }
+    }
+
+    /// Decodes one symbol.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a corrupt stream.
+    pub fn decode_symbol(&self, r: &mut BitReader<'_>) -> u16 {
+        let window = r.peek_padded(MAX_CODE_LEN) as u32;
+        let (entry, len) = self.code.decode(window);
+        r.skip(len);
+        if entry as usize == self.escape_entry {
+            r.read(16) as u16
+        } else {
+            self.top[entry as usize]
+        }
+    }
+
+    /// Encodes a run of symbols (one way).
+    pub fn encode_way(&self, w: &mut BitWriter, symbols: &[u16]) {
+        for &s in symbols {
+            self.encode_symbol(w, s);
+        }
+    }
+
+    /// Decodes `count` symbols (one way).
+    pub fn decode_way(&self, r: &mut BitReader<'_>, count: usize) -> Vec<u16> {
+        (0..count).map(|_| self.decode_symbol(r)).collect()
+    }
+}
+
+/// The E2MC block compressor with a trained [`SymbolTable`].
+#[derive(Debug, Clone)]
+pub struct E2mc {
+    table: SymbolTable,
+}
+
+impl E2mc {
+    /// Wraps a pre-trained table.
+    pub fn new(table: SymbolTable) -> Self {
+        Self { table }
+    }
+
+    /// Trains a table by sampling `bytes` (the online sampling phase).
+    pub fn train_on_bytes(bytes: &[u8], config: &E2mcConfig) -> Self {
+        let mut sampler = match config.sample_blocks {
+            Some(limit) => SymbolSampler::with_limit(limit),
+            None => SymbolSampler::new(),
+        };
+        sampler.sample_bytes(bytes);
+        Self::new(SymbolTable::from_sampler(&sampler, config))
+    }
+
+    /// Trains a table from an iterator of blocks.
+    pub fn train_on_blocks<'a>(
+        blocks: impl IntoIterator<Item = &'a Block>,
+        config: &E2mcConfig,
+    ) -> Self {
+        let mut sampler = match config.sample_blocks {
+            Some(limit) => SymbolSampler::with_limit(limit),
+            None => SymbolSampler::new(),
+        };
+        for b in blocks {
+            if !sampler.sample_block(b) {
+                break;
+            }
+        }
+        Self::new(SymbolTable::from_sampler(&sampler, config))
+    }
+
+    /// The trained symbol table (shared with the SLC layer).
+    pub fn table(&self) -> &SymbolTable {
+        &self.table
+    }
+
+    /// Per-symbol code lengths of a block — the values the paper's parallel
+    /// tree adder sums to obtain the compressed size.
+    pub fn code_lengths(&self, block: &Block) -> [u32; SYMBOLS_PER_BLOCK] {
+        let symbols = block_to_symbols(block);
+        let mut out = [0u32; SYMBOLS_PER_BLOCK];
+        for (o, s) in out.iter_mut().zip(symbols) {
+            *o = self.table.symbol_bits(s);
+        }
+        out
+    }
+
+    /// Sum of code lengths plus header: the lossless compressed size.
+    pub fn lossless_size_bits(&self, block: &Block) -> u32 {
+        let data: u32 = self.code_lengths(block).iter().sum();
+        HEADER_BITS + data
+    }
+}
+
+impl BlockCompressor for E2mc {
+    fn name(&self) -> &'static str {
+        "e2mc"
+    }
+
+    fn compress(&self, block: &Block) -> Compressed {
+        if self.lossless_size_bits(block) >= BLOCK_BITS {
+            return Compressed::uncompressed(block);
+        }
+        let symbols = block_to_symbols(block);
+        // Encode each way separately to learn the pdp offsets.
+        let mut ways: Vec<(Vec<u8>, u32)> = Vec::with_capacity(WAYS);
+        for chunk in symbols.chunks_exact(WAY_SYMBOLS) {
+            let mut w = BitWriter::new();
+            self.table.encode_way(&mut w, chunk);
+            ways.push(w.finish());
+        }
+        let mut w = BitWriter::new();
+        w.write(1, 1); // mode: compressed
+        let mut offset = 0u32;
+        for (_, bits) in ways.iter().take(WAYS - 1) {
+            offset += bits;
+            w.write(offset as u64, PDP_BITS);
+        }
+        for (bytes, bits) in &ways {
+            w.append(bytes, *bits);
+        }
+        let (payload, bits) = w.finish();
+        debug_assert_eq!(bits, self.lossless_size_bits(block));
+        Compressed::new(bits, payload)
+    }
+
+    fn decompress(&self, c: &Compressed) -> Block {
+        if !c.is_compressed() {
+            let mut out = [0u8; BLOCK_BYTES];
+            out.copy_from_slice(&c.payload()[..BLOCK_BYTES]);
+            return out;
+        }
+        let mut r = BitReader::new(c.payload(), c.size_bits());
+        assert!(r.read_bit(), "corrupt E2MC stream: mode bit clear on compressed block");
+        let mut pdps = [0u32; WAYS];
+        for p in pdps.iter_mut().skip(1) {
+            *p = r.read(PDP_BITS) as u32;
+        }
+        let data_start = HEADER_BITS;
+        let mut symbols = [0u16; SYMBOLS_PER_BLOCK];
+        for (way, pdp) in pdps.iter().enumerate() {
+            // Each way is independently addressable: seek to its pdp as the
+            // hardware's parallel decoders would.
+            r.seek(data_start + pdp);
+            let decoded = self.table.decode_way(&mut r, WAY_SYMBOLS);
+            symbols[way * WAY_SYMBOLS..(way + 1) * WAY_SYMBOLS].copy_from_slice(&decoded);
+        }
+        symbols_to_block(&symbols)
+    }
+
+    fn size_bits(&self, block: &Block) -> u32 {
+        self.lossless_size_bits(block).min(BLOCK_BITS)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn ramp_bytes(n: u32, modulo: u32) -> Vec<u8> {
+        (0..n).flat_map(|i| (i % modulo).to_le_bytes()).collect()
+    }
+
+    fn block_from_u32s(f: impl Fn(usize) -> u32) -> Block {
+        let mut b = [0u8; BLOCK_BYTES];
+        for i in 0..BLOCK_BYTES / 4 {
+            b[i * 4..i * 4 + 4].copy_from_slice(&f(i).to_le_bytes());
+        }
+        b
+    }
+
+    fn trained() -> E2mc {
+        E2mc::train_on_bytes(&ramp_bytes(8192, 97), &E2mcConfig::default())
+    }
+
+    #[test]
+    fn roundtrip_in_distribution_block() {
+        let e = trained();
+        let block = block_from_u32s(|i| (i as u32 * 7) % 97);
+        let c = e.compress(&block);
+        assert!(c.is_compressed());
+        assert_eq!(e.decompress(&c), block);
+    }
+
+    #[test]
+    fn roundtrip_with_escapes() {
+        let e = trained();
+        // Half the words are far outside the trained distribution.
+        let block = block_from_u32s(|i| if i % 2 == 0 { 13 } else { 0xdead_0000 + i as u32 });
+        let c = e.compress(&block);
+        assert_eq!(e.decompress(&c), block);
+    }
+
+    #[test]
+    fn size_bits_equals_compress_size() {
+        let e = trained();
+        for seed in 0..16u32 {
+            let block = block_from_u32s(|i| (seed.wrapping_mul(2654435761) ^ i as u32) % 200);
+            assert_eq!(e.size_bits(&block), e.compress(&block).size_bits());
+        }
+    }
+
+    #[test]
+    fn lossless_size_is_header_plus_code_lengths() {
+        let e = trained();
+        let block = block_from_u32s(|i| i as u32 % 97);
+        let lens = e.code_lengths(&block);
+        let total: u32 = lens.iter().sum();
+        assert_eq!(e.lossless_size_bits(&block), HEADER_BITS + total);
+    }
+
+    #[test]
+    fn out_of_distribution_block_stays_uncompressed() {
+        let e = trained();
+        let mut block = [0u8; BLOCK_BYTES];
+        let mut state = 0xfeedu64;
+        for b in block.iter_mut() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            *b = (state >> 33) as u8;
+        }
+        let c = e.compress(&block);
+        // 64 escapes at >16 bits each exceed the block size.
+        assert_eq!(c.size_bits(), BLOCK_BITS);
+        assert_eq!(e.decompress(&c), block);
+    }
+
+    #[test]
+    fn zero_block_compresses_to_near_header() {
+        let e = trained();
+        let c = e.compress(&[0u8; BLOCK_BYTES]);
+        // Symbol 0 dominates training (upper halves of small u32s), so the
+        // zero block should approach header + 64 * short code.
+        assert!(c.size_bits() < 200, "got {}", c.size_bits());
+        assert_eq!(e.decompress(&c), [0u8; BLOCK_BYTES]);
+    }
+
+    #[test]
+    fn ways_are_independently_seekable() {
+        // The decoder seeks each pdp; a correct roundtrip of a block whose
+        // ways have distinct content exercises all four pointers.
+        let e = trained();
+        let block = block_from_u32s(|i| (i as u32 / 16) * 31 % 97);
+        let c = e.compress(&block);
+        assert_eq!(e.decompress(&c), block);
+    }
+
+    #[test]
+    fn small_top_k_forces_more_escapes() {
+        let bytes = ramp_bytes(8192, 997);
+        let big = E2mc::train_on_bytes(&bytes, &E2mcConfig::default());
+        let small = E2mc::train_on_bytes(&bytes, &E2mcConfig { top_k: 8, ..Default::default() });
+        let block = block_from_u32s(|i| (i as u32 * 13) % 997);
+        assert!(small.size_bits(&block) >= big.size_bits(&block));
+    }
+
+    #[test]
+    fn sampling_limit_is_respected() {
+        let bytes = ramp_bytes(8192, 97);
+        let cfg = E2mcConfig { sample_blocks: Some(2), ..Default::default() };
+        let e = E2mc::train_on_bytes(&bytes, &cfg);
+        // Trained on two blocks only: still functional, just fewer codes.
+        let block = block_from_u32s(|i| i as u32 % 97);
+        assert_eq!(e.decompress(&e.compress(&block)), block);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn prop_roundtrip_random_blocks(data in proptest::collection::vec(any::<u8>(), BLOCK_BYTES)) {
+            let e = trained();
+            let mut block = [0u8; BLOCK_BYTES];
+            block.copy_from_slice(&data);
+            prop_assert_eq!(e.decompress(&e.compress(&block)), block);
+        }
+
+        #[test]
+        fn prop_roundtrip_in_distribution(words in proptest::collection::vec(0u32..97, BLOCK_BYTES / 4)) {
+            let e = trained();
+            let mut block = [0u8; BLOCK_BYTES];
+            for (i, w) in words.iter().enumerate() {
+                block[i*4..i*4+4].copy_from_slice(&w.to_le_bytes());
+            }
+            let c = e.compress(&block);
+            prop_assert!(c.is_compressed());
+            prop_assert_eq!(e.decompress(&c), block);
+        }
+
+        #[test]
+        fn prop_size_bits_bounded(data in proptest::collection::vec(any::<u8>(), BLOCK_BYTES)) {
+            let e = trained();
+            let mut block = [0u8; BLOCK_BYTES];
+            block.copy_from_slice(&data);
+            prop_assert!(e.size_bits(&block) <= BLOCK_BITS);
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! Lossless GPU memory compression substrates.
+//!
+//! This crate implements the four state-of-the-art memory compression
+//! techniques the SLC paper (Lal et al., DATE 2019) evaluates in Figure 1 —
+//! [`bdi`] (Base-Delta-Immediate), [`fpc`] (Frequent Pattern Compression),
+//! [`cpack`] (C-PACK) and [`e2mc`] (entropy-encoding based memory
+//! compression) — plus the techniques the paper discusses only
+//! qualitatively in Section II-A: [`bpc`] (Bit-Plane Compression),
+//! [`sc2`] (statistical cache compression) and [`hycomp`] (HyComp with
+//! its FP-H floating-point path), so those claims can be checked
+//! quantitatively.
+//!
+//! All compressors operate on fixed-size memory blocks (128 B in current
+//! GPUs) and implement the [`BlockCompressor`] trait. Compressed sizes are
+//! tracked in **bits**, because SLC's budgeting logic (crate `slc-core`)
+//! reasons about bit-granular code lengths.
+//!
+//! # Raw vs effective compression ratio
+//!
+//! DRAM can only transfer multiples of the memory access granularity
+//! ([`Mag`]); the *effective* size of a compressed block is its size rounded
+//! up to the next MAG multiple. [`Mag::round_up_bytes`] and
+//! [`ratio::RatioAccumulator`] implement the paper's two ratio definitions.
+//!
+//! ```
+//! use slc_compress::{BlockCompressor, bdi::Bdi, mag::Mag, BLOCK_BYTES};
+//!
+//! let block = [0u8; 128]; // an all-zero block compresses extremely well
+//! let compressed = Bdi::new().compress(&block);
+//! assert!(compressed.size_bits() < 8 * BLOCK_BYTES as u32);
+//! let eff = Mag::GDDR5.round_up_bytes(compressed.size_bytes());
+//! assert_eq!(eff % 32, 0);
+//! ```
+
+pub mod bdi;
+pub mod bitstream;
+pub mod bpc;
+pub mod cpack;
+pub mod e2mc;
+pub mod fpc;
+pub mod hycomp;
+pub mod mag;
+pub mod ratio;
+pub mod sc2;
+pub mod symbols;
+
+pub use mag::Mag;
+
+/// Size of an uncompressed memory block in bytes (typical GPU block size).
+pub const BLOCK_BYTES: usize = 128;
+
+/// Size of an uncompressed memory block in bits.
+pub const BLOCK_BITS: u32 = (BLOCK_BYTES as u32) * 8;
+
+/// A memory block, the unit of compression (one 128 B L2 line / DRAM block).
+pub type Block = [u8; BLOCK_BYTES];
+
+/// Outcome of compressing one block.
+///
+/// A `Compressed` value records the exact bit-size of the encoding and the
+/// packed payload. A compressor that cannot beat the uncompressed size
+/// reports `size_bits == BLOCK_BITS` and stores the block verbatim
+/// (`is_compressed() == false`), matching the "store uncompressed" leg of
+/// the paper's Figure 4 flow chart.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Compressed {
+    size_bits: u32,
+    payload: Vec<u8>,
+    compressed: bool,
+}
+
+impl Compressed {
+    /// Wraps a compressed payload of `size_bits` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `payload` is too short to hold `size_bits` bits.
+    pub fn new(size_bits: u32, payload: Vec<u8>) -> Self {
+        assert!(
+            payload.len() * 8 >= size_bits as usize,
+            "payload of {} bytes cannot hold {} bits",
+            payload.len(),
+            size_bits
+        );
+        Self { size_bits, payload, compressed: true }
+    }
+
+    /// Wraps a block stored verbatim because compression did not pay off.
+    pub fn uncompressed(block: &Block) -> Self {
+        Self { size_bits: BLOCK_BITS, payload: block.to_vec(), compressed: false }
+    }
+
+    /// Exact size of the encoding in bits.
+    pub fn size_bits(&self) -> u32 {
+        self.size_bits
+    }
+
+    /// Size of the encoding in whole bytes (rounded up).
+    pub fn size_bytes(&self) -> u32 {
+        self.size_bits.div_ceil(8)
+    }
+
+    /// `true` if the block is stored in compressed form, `false` if verbatim.
+    pub fn is_compressed(&self) -> bool {
+        self.compressed
+    }
+
+    /// The packed payload bytes (compressed stream, or the raw block when
+    /// [`is_compressed`](Self::is_compressed) is `false`).
+    pub fn payload(&self) -> &[u8] {
+        &self.payload
+    }
+}
+
+/// A block compressor/decompressor pair.
+///
+/// Implementations must be lossless: `decompress(compress(b)) == b` for every
+/// block `b`. This invariant is checked by property tests in every codec
+/// module and by the cross-codec integration tests.
+pub trait BlockCompressor {
+    /// Short machine-friendly identifier (e.g. `"bdi"`, `"e2mc"`).
+    fn name(&self) -> &'static str;
+
+    /// Compresses one block.
+    fn compress(&self, block: &Block) -> Compressed;
+
+    /// Reconstructs the original block.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `c` was not produced by the same
+    /// compressor (corrupt stream).
+    fn decompress(&self, c: &Compressed) -> Block;
+
+    /// Compressed size in bits without materialising the payload.
+    ///
+    /// The default delegates to [`compress`](Self::compress); codecs with a
+    /// cheap size path (e.g. E2MC's code-length adder) override it.
+    fn size_bits(&self, block: &Block) -> u32 {
+        self.compress(block).size_bits()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compressed_size_bytes_rounds_up() {
+        let c = Compressed::new(9, vec![0xff, 0x80]);
+        assert_eq!(c.size_bytes(), 2);
+        assert_eq!(c.size_bits(), 9);
+        assert!(c.is_compressed());
+    }
+
+    #[test]
+    fn uncompressed_block_is_verbatim() {
+        let block = [0xabu8; BLOCK_BYTES];
+        let c = Compressed::uncompressed(&block);
+        assert_eq!(c.size_bits(), BLOCK_BITS);
+        assert!(!c.is_compressed());
+        assert_eq!(c.payload(), &block[..]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot hold")]
+    fn new_rejects_short_payload() {
+        let _ = Compressed::new(64, vec![0u8; 4]);
+    }
+}

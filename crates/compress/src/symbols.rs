@@ -1,0 +1,128 @@
+//! Symbol views of a memory block.
+//!
+//! E2MC (and SLC on top of it) encodes a 128 B block as 64 **16-bit
+//! symbols**; FPC/C-PACK/BPC work on 32-bit words. These helpers convert
+//! between the byte view and the symbol/word views with a fixed
+//! little-endian convention (the byte order GPUs use for `f32` data).
+
+use crate::{Block, BLOCK_BYTES};
+
+/// Number of 16-bit symbols per block.
+pub const SYMBOLS_PER_BLOCK: usize = BLOCK_BYTES / 2;
+
+/// Number of 32-bit words per block.
+pub const WORDS_PER_BLOCK: usize = BLOCK_BYTES / 4;
+
+/// Splits a block into its 64 little-endian 16-bit symbols.
+///
+/// ```
+/// use slc_compress::symbols::{block_to_symbols, symbols_to_block};
+///
+/// let mut block = [0u8; 128];
+/// block[0] = 0x34;
+/// block[1] = 0x12;
+/// let syms = block_to_symbols(&block);
+/// assert_eq!(syms[0], 0x1234);
+/// assert_eq!(symbols_to_block(&syms), block);
+/// ```
+pub fn block_to_symbols(block: &Block) -> [u16; SYMBOLS_PER_BLOCK] {
+    let mut out = [0u16; SYMBOLS_PER_BLOCK];
+    for (i, chunk) in block.chunks_exact(2).enumerate() {
+        out[i] = u16::from_le_bytes([chunk[0], chunk[1]]);
+    }
+    out
+}
+
+/// Reassembles a block from its 16-bit symbols.
+pub fn symbols_to_block(symbols: &[u16; SYMBOLS_PER_BLOCK]) -> Block {
+    let mut out = [0u8; BLOCK_BYTES];
+    for (i, s) in symbols.iter().enumerate() {
+        out[2 * i..2 * i + 2].copy_from_slice(&s.to_le_bytes());
+    }
+    out
+}
+
+/// Splits a block into its 32 little-endian 32-bit words.
+pub fn block_to_words(block: &Block) -> [u32; WORDS_PER_BLOCK] {
+    let mut out = [0u32; WORDS_PER_BLOCK];
+    for (i, chunk) in block.chunks_exact(4).enumerate() {
+        out[i] = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+    }
+    out
+}
+
+/// Reassembles a block from its 32-bit words.
+pub fn words_to_block(words: &[u32; WORDS_PER_BLOCK]) -> Block {
+    let mut out = [0u8; BLOCK_BYTES];
+    for (i, w) in words.iter().enumerate() {
+        out[4 * i..4 * i + 4].copy_from_slice(&w.to_le_bytes());
+    }
+    out
+}
+
+/// Iterates over the 128 B blocks of a byte buffer, zero-padding the tail.
+///
+/// Workloads and the simulator view device arrays as sequences of blocks;
+/// a trailing partial block behaves as if the allocation were padded, which
+/// is how a real allocator would align it.
+pub fn blocks_of(bytes: &[u8]) -> impl Iterator<Item = Block> + '_ {
+    bytes.chunks(BLOCK_BYTES).map(|chunk| {
+        let mut b = [0u8; BLOCK_BYTES];
+        b[..chunk.len()].copy_from_slice(chunk);
+        b
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn symbol_layout_is_little_endian() {
+        let mut block = [0u8; BLOCK_BYTES];
+        block[126] = 0xcd;
+        block[127] = 0xab;
+        let syms = block_to_symbols(&block);
+        assert_eq!(syms[63], 0xabcd);
+    }
+
+    #[test]
+    fn word_layout_is_little_endian() {
+        let mut block = [0u8; BLOCK_BYTES];
+        block[4..8].copy_from_slice(&0xdead_beefu32.to_le_bytes());
+        let words = block_to_words(&block);
+        assert_eq!(words[1], 0xdead_beef);
+        assert_eq!(words_to_block(&words), block);
+    }
+
+    #[test]
+    fn blocks_of_pads_tail_with_zeros() {
+        let bytes = vec![0xffu8; 130];
+        let blocks: Vec<Block> = blocks_of(&bytes).collect();
+        assert_eq!(blocks.len(), 2);
+        assert_eq!(blocks[1][0], 0xff);
+        assert_eq!(blocks[1][2], 0);
+    }
+
+    #[test]
+    fn blocks_of_empty_is_empty() {
+        assert_eq!(blocks_of(&[]).count(), 0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_symbol_roundtrip(data in proptest::collection::vec(any::<u8>(), BLOCK_BYTES)) {
+            let mut block = [0u8; BLOCK_BYTES];
+            block.copy_from_slice(&data);
+            prop_assert_eq!(symbols_to_block(&block_to_symbols(&block)), block);
+        }
+
+        #[test]
+        fn prop_word_roundtrip(data in proptest::collection::vec(any::<u8>(), BLOCK_BYTES)) {
+            let mut block = [0u8; BLOCK_BYTES];
+            block.copy_from_slice(&data);
+            prop_assert_eq!(words_to_block(&block_to_words(&block)), block);
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! SLC — Memory Access Granularity aware Selective Lossy Compression.
+//!
+//! This crate is the primary contribution of Lal, Lucas & Juurlink,
+//! "SLC: Memory Access Granularity Aware Selective Lossy Compression for
+//! GPUs" (DATE 2019), reproduced as a software model faithful to the
+//! paper's hardware:
+//!
+//! * [`budget`] — the Fig. 4 decision flow: compressed size → bit budget →
+//!   extra bits → lossless/lossy mode choice.
+//! * [`tree`] — the Fig. 5 parallel tree adder whose intermediate sums pick
+//!   the sub-block of symbols to approximate (TSLC), including the extra
+//!   middle-level nodes of TSLC-OPT.
+//! * [`header`] — the Fig. 6 compressed-block header (mode bit, start
+//!   symbol, length, parallel decoding pointers), bit-exact.
+//! * [`predict`] — the value-similarity predictor used by TSLC-PRED/OPT at
+//!   decompression.
+//! * [`slc`] — the end-to-end compressor/decompressor layered on E2MC.
+//!
+//! # Quick start
+//!
+//! ```
+//! use slc_core::slc::{SlcCompressor, SlcConfig, SlcVariant};
+//! use slc_compress::{e2mc::{E2mc, E2mcConfig}, Mag};
+//!
+//! // Train the lossless baseline on representative traffic.
+//! let training: Vec<u8> = (0..1 << 14u32)
+//!     .flat_map(|i: u32| ((i / 3) as f32).to_le_bytes())
+//!     .collect();
+//! let e2mc = E2mc::train_on_bytes(&training, &E2mcConfig::default());
+//!
+//! // Wrap it with SLC: MAG 32 B, lossy threshold 16 B (the paper default).
+//! let slc = SlcCompressor::new(e2mc, SlcConfig::new(Mag::GDDR5, 16, SlcVariant::TslcOpt));
+//!
+//! let mut block = [0u8; 128];
+//! for (i, c) in block.chunks_exact_mut(4).enumerate() {
+//!     c.copy_from_slice(&(900.0f32 + i as f32).to_le_bytes());
+//! }
+//! let enc = slc.compress(&block);
+//! let out = slc.decompress(&enc);
+//! // The block either round-trips exactly (lossless mode) or differs only
+//! // in the approximated symbols.
+//! assert!(enc.bursts() <= 4);
+//! # let _ = out;
+//! ```
+
+pub mod budget;
+pub mod header;
+pub mod predict;
+pub mod slc;
+pub mod tree;
+
+pub use budget::{BudgetDecision, ModeChoice};
+pub use slc::{SlcCompressed, SlcCompressor, SlcConfig, SlcVariant, StoredKind};
+pub use tree::{CodeLengthTree, Selection};

@@ -1,0 +1,598 @@
+//! The end-to-end SLC compressor/decompressor (paper Section III).
+//!
+//! [`SlcCompressor`] wraps a trained E2MC codec. Per block it computes the
+//! lossless compressed size from the code lengths alone (no encoding
+//! needed), runs the Fig. 4 budget decision, and — in lossy mode — uses the
+//! Fig. 5 tree to pick the symbols to truncate. The decompressor rebuilds
+//! the block, filling truncated symbols via the configured predictor.
+
+use crate::budget::{BudgetDecision, ModeChoice};
+use crate::header::{SlcHeader, LOSSLESS_HEADER_BITS, LOSSY_HEADER_DELTA};
+use crate::predict::{fill_approximated, PredictorKind};
+use crate::tree::{CodeLengthTree, Selection};
+use slc_compress::bitstream::{BitReader, BitWriter};
+use slc_compress::e2mc::{E2mc, WAYS, WAY_SYMBOLS};
+use slc_compress::symbols::{block_to_symbols, symbols_to_block, SYMBOLS_PER_BLOCK};
+use slc_compress::{Block, Mag, BLOCK_BITS, BLOCK_BYTES};
+
+/// The three TSLC variants evaluated in the paper (Section V).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SlcVariant {
+    /// Truncate; decompress with zeros.
+    TslcSimp,
+    /// Truncate; decompress with value-similarity prediction.
+    TslcPred,
+    /// TSLC-PRED plus the extra middle-level tree nodes.
+    TslcOpt,
+}
+
+impl SlcVariant {
+    /// Display name matching the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            SlcVariant::TslcSimp => "TSLC-SIMP",
+            SlcVariant::TslcPred => "TSLC-PRED",
+            SlcVariant::TslcOpt => "TSLC-OPT",
+        }
+    }
+
+    fn uses_opt_nodes(self) -> bool {
+        matches!(self, SlcVariant::TslcOpt)
+    }
+
+    fn default_predictor(self) -> PredictorKind {
+        match self {
+            SlcVariant::TslcSimp => PredictorKind::Zero,
+            SlcVariant::TslcPred | SlcVariant::TslcOpt => PredictorKind::LaneMatched,
+        }
+    }
+}
+
+/// SLC configuration: MAG, lossy threshold and variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlcConfig {
+    mag: Mag,
+    threshold_bytes: u32,
+    variant: SlcVariant,
+    predictor: PredictorKind,
+}
+
+impl SlcConfig {
+    /// Creates a configuration with the variant's default predictor.
+    ///
+    /// `threshold_bytes` is the user-specified lossy threshold (the paper
+    /// evaluates 16 B with MAG 32 B and MAG/2 elsewhere).
+    pub fn new(mag: Mag, threshold_bytes: u32, variant: SlcVariant) -> Self {
+        Self { mag, threshold_bytes, variant, predictor: variant.default_predictor() }
+    }
+
+    /// Overrides the decompression-side predictor (ablation hook).
+    pub fn with_predictor(mut self, predictor: PredictorKind) -> Self {
+        self.predictor = predictor;
+        self
+    }
+
+    /// The memory access granularity.
+    pub fn mag(&self) -> Mag {
+        self.mag
+    }
+
+    /// The lossy threshold in bytes.
+    pub fn threshold_bytes(&self) -> u32 {
+        self.threshold_bytes
+    }
+
+    /// The lossy threshold in bits.
+    pub fn threshold_bits(&self) -> u32 {
+        self.threshold_bytes * 8
+    }
+
+    /// The TSLC variant.
+    pub fn variant(&self) -> SlcVariant {
+        self.variant
+    }
+
+    /// The active predictor.
+    pub fn predictor(&self) -> PredictorKind {
+        self.predictor
+    }
+}
+
+/// How a block was stored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoredKind {
+    /// Verbatim, no header.
+    Uncompressed,
+    /// Losslessly compressed (E2MC framing with SLC's header).
+    Lossless,
+    /// Lossy: `selection` describes the truncated symbols.
+    Lossy {
+        /// The sub-block the tree selected.
+        selection: Selection,
+    },
+}
+
+/// A block as SLC stores it in DRAM.
+#[derive(Debug, Clone)]
+pub struct SlcCompressed {
+    payload: Vec<u8>,
+    size_bits: u32,
+    kind: StoredKind,
+    bursts: u32,
+    decision: BudgetDecision,
+}
+
+impl SlcCompressed {
+    /// Exact stored size in bits (header + data; 1024 when verbatim).
+    pub fn size_bits(&self) -> u32 {
+        self.size_bits
+    }
+
+    /// DRAM bursts needed to fetch the block under the configured MAG —
+    /// the 2-bit value the metadata cache stores.
+    pub fn bursts(&self) -> u32 {
+        self.bursts
+    }
+
+    /// Storage mode.
+    pub fn kind(&self) -> StoredKind {
+        self.kind
+    }
+
+    /// The budget arithmetic that led to this mode (paper Fig. 4 inputs).
+    pub fn decision(&self) -> BudgetDecision {
+        self.decision
+    }
+
+    /// Raw payload bytes.
+    pub fn payload(&self) -> &[u8] {
+        &self.payload
+    }
+
+    /// `true` when decompression will not reproduce the original exactly.
+    pub fn is_lossy(&self) -> bool {
+        matches!(self.kind, StoredKind::Lossy { .. })
+    }
+}
+
+/// The SLC compressor: a trained E2MC baseline plus the SLC budget/tree.
+#[derive(Debug, Clone)]
+pub struct SlcCompressor {
+    e2mc: E2mc,
+    config: SlcConfig,
+}
+
+impl SlcCompressor {
+    /// Wraps a trained E2MC codec.
+    pub fn new(e2mc: E2mc, config: SlcConfig) -> Self {
+        Self { e2mc, config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SlcConfig {
+        &self.config
+    }
+
+    /// The underlying lossless codec.
+    pub fn e2mc(&self) -> &E2mc {
+        &self.e2mc
+    }
+
+    /// Computes the Fig. 4 decision and (for lossy mode) the Fig. 5
+    /// selection for `block`, without encoding anything.
+    ///
+    /// Exposed so experiments can study the decision distribution (the
+    /// Fig. 2 heat map) without paying for encoding.
+    pub fn analyze(&self, block: &Block) -> (BudgetDecision, Option<Selection>) {
+        let lengths = self.e2mc.code_lengths(block);
+        let tree = CodeLengthTree::new(&lengths);
+        let comp_size = LOSSLESS_HEADER_BITS + tree.total_bits();
+        let decision =
+            BudgetDecision::evaluate(comp_size, self.config.mag, self.config.threshold_bits());
+        let selection = if decision.mode == ModeChoice::Lossy {
+            // The lossy header costs LOSSY_HEADER_DELTA more bits than the
+            // lossless one; the freed codewords must cover both the extra
+            // bits and that delta or the block would overshoot its budget.
+            tree.select(
+                decision.extra_bits + LOSSY_HEADER_DELTA,
+                self.config.variant.uses_opt_nodes(),
+            )
+        } else {
+            None
+        };
+        (decision, selection)
+    }
+
+    /// Stored size in bits and whether the block goes lossy, without
+    /// encoding anything — the fast path for burst accounting (hardware
+    /// likewise derives the burst count from the code-length sum alone).
+    pub fn stored_bits(&self, block: &Block) -> (u32, bool) {
+        let (decision, selection) = self.analyze(block);
+        match (decision.mode, selection) {
+            (ModeChoice::Uncompressed, _) => (BLOCK_BITS, false),
+            (ModeChoice::Lossless, _) | (ModeChoice::Lossy, None) => {
+                if self.lossless_saves_nothing(decision.comp_size_bits) {
+                    (BLOCK_BITS, false)
+                } else {
+                    (decision.comp_size_bits, false)
+                }
+            }
+            (ModeChoice::Lossy, Some(sel)) => (
+                decision.comp_size_bits - sel.freed_bits
+                    + crate::header::LOSSY_HEADER_DELTA,
+                true,
+            ),
+        }
+    }
+
+    /// Bursts the stored block costs under the configured MAG.
+    pub fn stored_bursts(&self, block: &Block) -> u32 {
+        let (bits, _) = self.stored_bits(block);
+        self.config.mag.bursts_for_bits(bits, BLOCK_BYTES as u32)
+    }
+
+    /// `true` when storing `bits` losslessly saves no bursts over the
+    /// verbatim block — then the block is stored raw and decompression is
+    /// skipped entirely (the MDC's max burst count identifies it).
+    fn lossless_saves_nothing(&self, bits: u32) -> bool {
+        self.config.mag.round_up_bits(bits) >= BLOCK_BITS
+    }
+
+    /// Compresses one block.
+    pub fn compress(&self, block: &Block) -> SlcCompressed {
+        let (decision, selection) = self.analyze(block);
+        match (decision.mode, selection) {
+            (ModeChoice::Uncompressed, _) => self.store_uncompressed(block, decision),
+            (ModeChoice::Lossless, _) | (ModeChoice::Lossy, None) => {
+                if self.lossless_saves_nothing(decision.comp_size_bits) {
+                    self.store_uncompressed(block, decision)
+                } else {
+                    self.store_lossless(block, decision)
+                }
+            }
+            (ModeChoice::Lossy, Some(sel)) => self.store_lossy(block, decision, sel),
+        }
+    }
+
+    fn store_uncompressed(&self, block: &Block, decision: BudgetDecision) -> SlcCompressed {
+        SlcCompressed {
+            payload: block.to_vec(),
+            size_bits: BLOCK_BITS,
+            kind: StoredKind::Uncompressed,
+            bursts: self.config.mag.bursts_for_bits(BLOCK_BITS, BLOCK_BYTES as u32),
+            decision,
+        }
+    }
+
+    fn encode_ways(&self, symbols: &[u16; SYMBOLS_PER_BLOCK], skip: Option<(usize, usize)>) -> (Vec<(Vec<u8>, u32)>, [u32; WAYS - 1]) {
+        let table = self.e2mc.table();
+        let mut ways = Vec::with_capacity(WAYS);
+        for way in 0..WAYS {
+            let mut w = BitWriter::new();
+            for i in way * WAY_SYMBOLS..(way + 1) * WAY_SYMBOLS {
+                let skipped =
+                    skip.is_some_and(|(ss, len)| (ss..ss + len).contains(&i));
+                if !skipped {
+                    table.encode_symbol(&mut w, symbols[i]);
+                }
+            }
+            ways.push(w.finish());
+        }
+        let mut pdps = [0u32; WAYS - 1];
+        let mut offset = 0u32;
+        for (i, (_, bits)) in ways.iter().take(WAYS - 1).enumerate() {
+            offset += bits;
+            pdps[i] = offset;
+        }
+        (ways, pdps)
+    }
+
+    fn assemble(
+        &self,
+        header: SlcHeader,
+        ways: Vec<(Vec<u8>, u32)>,
+        kind: StoredKind,
+        decision: BudgetDecision,
+    ) -> SlcCompressed {
+        let mut w = BitWriter::new();
+        header.write(&mut w);
+        for (bytes, bits) in &ways {
+            w.append(bytes, *bits);
+        }
+        let (payload, size_bits) = w.finish();
+        SlcCompressed {
+            payload,
+            size_bits,
+            kind,
+            bursts: self.config.mag.bursts_for_bits(size_bits, BLOCK_BYTES as u32),
+            decision,
+        }
+    }
+
+    fn store_lossless(&self, block: &Block, decision: BudgetDecision) -> SlcCompressed {
+        let symbols = block_to_symbols(block);
+        let (ways, pdps) = self.encode_ways(&symbols, None);
+        let out = self.assemble(SlcHeader::Lossless { pdps }, ways, StoredKind::Lossless, decision);
+        debug_assert_eq!(out.size_bits, decision.comp_size_bits);
+        out
+    }
+
+    fn store_lossy(
+        &self,
+        block: &Block,
+        decision: BudgetDecision,
+        sel: Selection,
+    ) -> SlcCompressed {
+        let symbols = block_to_symbols(block);
+        let (ways, pdps) = self.encode_ways(&symbols, Some((sel.start, sel.symbols)));
+        let header =
+            SlcHeader::Lossy { ss: sel.start as u8, len: sel.symbols as u8, pdps };
+        let out = self.assemble(header, ways, StoredKind::Lossy { selection: sel }, decision);
+        debug_assert!(
+            out.size_bits <= decision.bit_budget,
+            "lossy block {} bits overshoots budget {}",
+            out.size_bits,
+            decision.bit_budget
+        );
+        out
+    }
+
+    /// Decompresses a stored block.
+    ///
+    /// For lossy blocks the result approximates the original: the
+    /// truncated symbols are filled by the configured predictor.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a corrupt payload.
+    pub fn decompress(&self, c: &SlcCompressed) -> Block {
+        match c.kind {
+            StoredKind::Uncompressed => {
+                let mut out = [0u8; BLOCK_BYTES];
+                out.copy_from_slice(&c.payload[..BLOCK_BYTES]);
+                out
+            }
+            StoredKind::Lossless | StoredKind::Lossy { .. } => self.decode_stream(c),
+        }
+    }
+
+    fn decode_stream(&self, c: &SlcCompressed) -> Block {
+        let table = self.e2mc.table();
+        let mut r = BitReader::new(&c.payload, c.size_bits);
+        let header = SlcHeader::read(&mut r);
+        let (hole, pdps) = match header {
+            SlcHeader::Lossless { pdps } => (None, pdps),
+            SlcHeader::Lossy { ss, len, pdps } => (Some((ss as usize, len as usize)), pdps),
+        };
+        let data_start = header.size_bits();
+        let mut symbols = [0u16; SYMBOLS_PER_BLOCK];
+        for way in 0..WAYS {
+            let offset = if way == 0 { 0 } else { pdps[way - 1] };
+            r.seek(data_start + offset);
+            for i in way * WAY_SYMBOLS..(way + 1) * WAY_SYMBOLS {
+                let skipped = hole.is_some_and(|(ss, len)| (ss..ss + len).contains(&i));
+                if !skipped {
+                    symbols[i] = table.decode_symbol(&mut r);
+                }
+            }
+        }
+        if let Some((ss, len)) = hole {
+            fill_approximated(&mut symbols, ss, len, self.config.predictor);
+        }
+        symbols_to_block(&symbols)
+    }
+
+    /// Compress-then-decompress convenience: what a load returns after the
+    /// block has travelled through DRAM, plus the stored form.
+    pub fn roundtrip(&self, block: &Block) -> (Block, SlcCompressed) {
+        let c = self.compress(block);
+        (self.decompress(&c), c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slc_compress::e2mc::E2mcConfig;
+    use slc_compress::BlockCompressor;
+
+    /// Training data resembling a smooth f32 field: symbol stream has
+    /// low-entropy exponent lanes and higher-entropy mantissa lanes.
+    fn training_bytes() -> Vec<u8> {
+        (0..1u32 << 15)
+            .flat_map(|i| (1000.0f32 + (i % 4096) as f32 * 0.25).to_le_bytes())
+            .collect()
+    }
+
+    fn e2mc() -> E2mc {
+        E2mc::train_on_bytes(&training_bytes(), &E2mcConfig::default())
+    }
+
+    fn slc(variant: SlcVariant) -> SlcCompressor {
+        SlcCompressor::new(e2mc(), SlcConfig::new(Mag::GDDR5, 16, variant))
+    }
+
+    fn float_block(offset: f32, step: f32) -> Block {
+        let mut b = [0u8; BLOCK_BYTES];
+        for i in 0..32 {
+            let v = 1000.0f32 + offset + i as f32 * step;
+            b[i * 4..i * 4 + 4].copy_from_slice(&v.to_le_bytes());
+        }
+        b
+    }
+
+    #[test]
+    fn lossless_blocks_roundtrip_exactly() {
+        let s = slc(SlcVariant::TslcOpt);
+        // Scan for a block the budget keeps lossless and verify identity.
+        let mut found = false;
+        for k in 0..64 {
+            let block = float_block(k as f32 * 3.0, 0.25);
+            let c = s.compress(&block);
+            if !c.is_lossy() {
+                assert_eq!(s.decompress(&c), block);
+                found = true;
+            }
+        }
+        assert!(found, "no lossless block in scan");
+    }
+
+    #[test]
+    fn lossy_blocks_fit_their_budget() {
+        let s = slc(SlcVariant::TslcOpt);
+        let mut lossy_seen = 0;
+        for k in 0..256 {
+            let block = float_block(k as f32 * 1.7, 0.125 + (k % 7) as f32 * 0.05);
+            let c = s.compress(&block);
+            if let StoredKind::Lossy { selection } = c.kind() {
+                lossy_seen += 1;
+                assert!(c.size_bits() <= c.decision().bit_budget);
+                assert!(c.bursts() < c.decision().lossless_bursts(Mag::GDDR5));
+                assert!(selection.symbols <= 16);
+            }
+        }
+        assert!(lossy_seen > 0, "threshold of 16B never triggered in 256 blocks");
+    }
+
+    #[test]
+    fn lossy_error_is_confined_to_hole_lanes() {
+        let s = slc(SlcVariant::TslcOpt);
+        for k in 0..256 {
+            let block = float_block(k as f32 * 1.7, 0.125);
+            let c = s.compress(&block);
+            if let StoredKind::Lossy { selection } = c.kind() {
+                let out = s.decompress(&c);
+                let in_syms = block_to_symbols(&block);
+                let out_syms = block_to_symbols(&out);
+                for i in 0..SYMBOLS_PER_BLOCK {
+                    let in_hole =
+                        (selection.start..selection.start + selection.symbols).contains(&i);
+                    if !in_hole {
+                        assert_eq!(in_syms[i], out_syms[i], "symbol {i} corrupted outside hole");
+                    }
+                }
+                return;
+            }
+        }
+        panic!("no lossy block found");
+    }
+
+    #[test]
+    fn simp_fills_zeros_pred_fills_neighbours() {
+        let simp = slc(SlcVariant::TslcSimp);
+        let pred = slc(SlcVariant::TslcPred);
+        for k in 0..256 {
+            let block = float_block(k as f32 * 1.7, 0.125);
+            let c = simp.compress(&block);
+            if let StoredKind::Lossy { selection } = c.kind() {
+                let zeroed = simp.decompress(&c);
+                let z = block_to_symbols(&zeroed);
+                assert!((selection.start..selection.start + selection.symbols)
+                    .all(|i| z[i] == 0));
+                // Same stored bits, different reconstruction.
+                let cp = pred.compress(&block);
+                let predicted = pred.decompress(&cp);
+                let p = block_to_symbols(&predicted);
+                assert!((selection.start..selection.start + selection.symbols)
+                    .any(|i| p[i] != 0));
+                // Prediction must be closer to the original for smooth data.
+                let err = |out: &Block| -> f64 {
+                    (0..32)
+                        .map(|i| {
+                            let a = f32::from_le_bytes(block[i * 4..i * 4 + 4].try_into().unwrap());
+                            let b = f32::from_le_bytes(out[i * 4..i * 4 + 4].try_into().unwrap());
+                            ((a - b) as f64).powi(2)
+                        })
+                        .sum()
+                };
+                assert!(err(&predicted) <= err(&zeroed));
+                return;
+            }
+        }
+        panic!("no lossy block found");
+    }
+
+    #[test]
+    fn zero_threshold_never_goes_lossy() {
+        let e = e2mc();
+        let s = SlcCompressor::new(e.clone(), SlcConfig::new(Mag::GDDR5, 0, SlcVariant::TslcOpt));
+        for k in 0..64 {
+            let block = float_block(k as f32, 0.3);
+            let c = s.compress(&block);
+            assert!(!c.is_lossy());
+            // And the stored form round-trips exactly.
+            assert_eq!(s.decompress(&c), block);
+            // When stored losslessly the size agrees with the raw E2MC
+            // size model; blocks in the last MAG bucket go verbatim
+            // instead (4 bursts either way, so skip decompression).
+            match c.kind() {
+                StoredKind::Lossless => assert_eq!(c.size_bits(), e.size_bits(&block)),
+                StoredKind::Uncompressed => {
+                    assert!(Mag::GDDR5.round_up_bits(e.size_bits(&block)) >= BLOCK_BITS)
+                }
+                StoredKind::Lossy { .. } => unreachable!("threshold 0"),
+            }
+        }
+    }
+
+    #[test]
+    fn incompressible_blocks_stay_verbatim() {
+        let s = slc(SlcVariant::TslcOpt);
+        let mut block = [0u8; BLOCK_BYTES];
+        let mut state = 1u64;
+        for b in block.iter_mut() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            *b = (state >> 40) as u8;
+        }
+        let c = s.compress(&block);
+        assert_eq!(c.kind(), StoredKind::Uncompressed);
+        assert_eq!(c.bursts(), 4);
+        assert_eq!(s.decompress(&c), block);
+    }
+
+    #[test]
+    fn bursts_reflect_mag() {
+        let e = e2mc();
+        for mag in [Mag::NARROW_16, Mag::GDDR5, Mag::WIDE_64] {
+            let s = SlcCompressor::new(e.clone(), SlcConfig::new(mag, mag.bytes() / 2, SlcVariant::TslcOpt));
+            let block = float_block(5.0, 0.25);
+            let c = s.compress(&block);
+            assert_eq!(c.bursts(), mag.bursts_for_bits(c.size_bits(), BLOCK_BYTES as u32));
+        }
+    }
+
+    #[test]
+    fn stored_bits_matches_compress() {
+        let s = slc(SlcVariant::TslcOpt);
+        for k in 0..128 {
+            let block = float_block(k as f32 * 2.3, 0.2);
+            let (bits, lossy) = s.stored_bits(&block);
+            let c = s.compress(&block);
+            assert_eq!(bits, c.size_bits(), "block {k}");
+            assert_eq!(lossy, c.is_lossy(), "block {k}");
+            assert_eq!(s.stored_bursts(&block), c.bursts(), "block {k}");
+        }
+    }
+
+    #[test]
+    fn analyze_matches_compress() {
+        let s = slc(SlcVariant::TslcOpt);
+        for k in 0..128 {
+            let block = float_block(k as f32 * 2.3, 0.2);
+            let (decision, selection) = s.analyze(&block);
+            let c = s.compress(&block);
+            assert_eq!(c.decision(), decision);
+            match c.kind() {
+                StoredKind::Lossy { selection: stored } => {
+                    assert_eq!(Some(stored), selection);
+                }
+                StoredKind::Uncompressed => assert!(
+                    decision.mode == ModeChoice::Uncompressed
+                        || Mag::GDDR5.round_up_bits(decision.comp_size_bits) >= BLOCK_BITS,
+                    "verbatim storage must mean no burst savings"
+                ),
+                StoredKind::Lossless => {}
+            }
+        }
+    }
+}

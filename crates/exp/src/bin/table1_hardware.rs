@@ -1,0 +1,5 @@
+//! Regenerates Table I: SLC hardware cost at 32 nm.
+
+fn main() {
+    println!("{}", slc_exp::tables::table1());
+}

@@ -1,0 +1,5 @@
+//! Regenerates Table II: baseline simulator configuration.
+
+fn main() {
+    println!("{}", slc_exp::tables::table2());
+}

@@ -1,0 +1,7 @@
+//! Regenerates Table III: the benchmark inventory.
+
+use slc_workloads::Scale;
+
+fn main() {
+    println!("{}", slc_exp::tables::table3(Scale::from_env()));
+}

@@ -1,0 +1,164 @@
+//! Figure 2: heat map of the distribution of compressed blocks above
+//! multiples of MAG (E2MC).
+//!
+//! "0B on the x-axis means a compressed block size is a multiple of MAG
+//! ... all blocks with a compressed size < 32B are also included in the 0B
+//! origin. 32B on the x-axis represents the percentage of uncompressed
+//! blocks."
+
+use crate::report::shade;
+use slc_compress::{BlockCompressor, Mag, BLOCK_BITS, BLOCK_BYTES};
+use slc_workloads::{all_workloads, Harness, Scale};
+
+/// One benchmark's distribution over bytes-above-MAG.
+#[derive(Debug, Clone)]
+pub struct Fig2Row {
+    /// Benchmark name.
+    pub name: String,
+    /// `pct[b]` = percentage of blocks compressed to `b` bytes above a
+    /// MAG multiple, for `b` in `0..mag`; the last entry (index `mag`)
+    /// holds the uncompressed percentage.
+    pub pct: Vec<f64>,
+}
+
+/// The whole heat map.
+#[derive(Debug, Clone)]
+pub struct Fig2 {
+    /// Per-benchmark rows.
+    pub rows: Vec<Fig2Row>,
+    /// The MAG used (bucket count = mag + 1).
+    pub mag: Mag,
+}
+
+/// Computes the Fig. 2 distribution at `scale` under `mag`.
+pub fn compute(scale: Scale, mag: Mag) -> Fig2 {
+    let harness = Harness::new(scale);
+    let buckets = mag.bytes() as usize + 1;
+    let mut rows = Vec::new();
+    for w in all_workloads(scale) {
+        let artifacts = harness.prepare(w.as_ref());
+        let mut counts = vec![0u64; buckets];
+        let mut total = 0u64;
+        for (_, block) in artifacts.exact_memory.all_blocks() {
+            let bits = artifacts.e2mc.size_bits(&block);
+            total += 1;
+            if bits >= BLOCK_BITS || mag.round_up_bits(bits) >= BLOCK_BITS {
+                counts[mag.bytes() as usize] += 1; // uncompressed bucket
+            } else {
+                let bytes = bits.div_ceil(8);
+                let above = if bytes <= mag.bytes() {
+                    0 // "< 32B are also included in the 0B origin"
+                } else {
+                    mag.bytes_above_multiple(bytes)
+                };
+                counts[above as usize] += 1;
+            }
+        }
+        rows.push(Fig2Row {
+            name: artifacts.name.clone(),
+            pct: counts.iter().map(|&c| c as f64 / total.max(1) as f64 * 100.0).collect(),
+        });
+    }
+    Fig2 { rows, mag }
+}
+
+impl Fig2 {
+    /// Percentage of blocks within `threshold_bytes` above a MAG multiple
+    /// (excluding exact multiples) — SLC's opportunity mass.
+    pub fn opportunity_pct(&self, row: &Fig2Row, threshold_bytes: u32) -> f64 {
+        row.pct[1..=threshold_bytes as usize].iter().sum()
+    }
+
+    /// The "number of samples" histogram of the paper's right y-axis:
+    /// how many (benchmark, bucket) cells fall into each percentage band.
+    pub fn sample_histogram(&self, band_pct: f64) -> Vec<u32> {
+        let bands = (100.0 / band_pct).ceil() as usize;
+        let mut hist = vec![0u32; bands];
+        for row in &self.rows {
+            for &p in &row.pct {
+                let idx = ((p / band_pct).floor() as usize).min(bands - 1);
+                hist[idx] += 1;
+            }
+        }
+        hist
+    }
+
+    /// Renders the heat map with one shaded cell per 2-byte bucket.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "Fig. 2: distribution of compressed blocks above MAG multiples (E2MC, MAG {}, block {} B)\n",
+            self.mag,
+            BLOCK_BYTES
+        );
+        out.push_str("        0B ");
+        let cells = self.mag.bytes() as usize / 2;
+        out.push_str(&" ".repeat(cells.saturating_sub(6)));
+        out.push_str(&format!("{}B  uncomp\n", self.mag.bytes()));
+        let max = self
+            .rows
+            .iter()
+            .flat_map(|r| r.pct[..self.mag.bytes() as usize].iter())
+            .fold(0.0f64, |a, &b| a.max(b));
+        for row in &self.rows {
+            let mut line = format!("{:>6}  ", row.name);
+            for pair in row.pct[..self.mag.bytes() as usize].chunks(2) {
+                let v: f64 = pair.iter().sum::<f64>() / pair.len() as f64;
+                line.push(shade(v / max.max(1e-9)));
+            }
+            line.push_str(&format!("  {:5.1}%\n", row.pct[self.mag.bytes() as usize]));
+            out.push_str(&line);
+        }
+        out.push_str("(cell shade = % of blocks at that bytes-above-MAG offset; rightmost column = uncompressed)\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distribution_sums_to_hundred() {
+        let fig = compute(Scale::Tiny, Mag::GDDR5);
+        assert_eq!(fig.rows.len(), 9);
+        for row in &fig.rows {
+            assert_eq!(row.pct.len(), 33);
+            let total: f64 = row.pct.iter().sum();
+            assert!((total - 100.0).abs() < 1e-6, "{}: {total}", row.name);
+        }
+    }
+
+    #[test]
+    fn significant_mass_sits_just_above_mag() {
+        // The paper's core observation: a significant percentage of blocks
+        // land a few bytes above a multiple of MAG.
+        let fig = compute(Scale::Tiny, Mag::GDDR5);
+        let avg_opportunity: f64 = fig
+            .rows
+            .iter()
+            .map(|r| fig.opportunity_pct(r, 16))
+            .sum::<f64>()
+            / fig.rows.len() as f64;
+        assert!(
+            avg_opportunity > 10.0,
+            "average opportunity {avg_opportunity:.1}% too small to motivate SLC"
+        );
+    }
+
+    #[test]
+    fn histogram_counts_all_cells() {
+        let fig = compute(Scale::Tiny, Mag::GDDR5);
+        let hist = fig.sample_histogram(5.0);
+        let total: u32 = hist.iter().sum();
+        assert_eq!(total as usize, 9 * 33);
+    }
+
+    #[test]
+    fn render_mentions_every_benchmark() {
+        let fig = compute(Scale::Tiny, Mag::GDDR5);
+        let s = fig.render();
+        for name in ["JM", "BS", "DCT", "SRAD2"] {
+            assert!(s.contains(name), "missing {name}");
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! Figure 9 + §V-C: SLC sensitivity to the memory access granularity.
+//!
+//! TSLC-OPT under MAG 16 B / 32 B / 64 B with the lossy threshold set to
+//! MAG/2 ("one threshold across different MAGs is not suitable"), plus
+//! the §V-C effective-compression-ratio study (paper: E2MC GM 1.41 / 1.31
+//! / 1.16 at MAG 16/32/64 B, raw GM 1.54 independent of MAG).
+
+use crate::eval::{evaluate, Eval};
+use crate::report::{err_pct, f3, TextTable};
+use slc_compress::ratio::{geometric_mean, RatioAccumulator};
+use slc_compress::{BlockCompressor, Mag, BLOCK_BYTES};
+use slc_core::slc::SlcVariant;
+use slc_workloads::{all_workloads, Harness, Scale};
+
+/// One MAG's column of Fig. 9.
+#[derive(Debug, Clone)]
+pub struct MagStudy {
+    /// The MAG.
+    pub mag: Mag,
+    /// Threshold used (MAG/2).
+    pub threshold_bytes: u32,
+    /// The TSLC-OPT evaluation at this MAG.
+    pub eval: Eval,
+    /// §V-C: E2MC effective-ratio GM at this MAG.
+    pub e2mc_effective_gm: f64,
+    /// §V-C: E2MC raw-ratio GM (MAG-independent).
+    pub e2mc_raw_gm: f64,
+}
+
+/// The whole sensitivity study.
+#[derive(Debug, Clone)]
+pub struct Fig9 {
+    /// One study per MAG, in 16/32/64 order.
+    pub studies: Vec<MagStudy>,
+}
+
+/// Runs Fig. 9 at `scale`.
+pub fn compute(scale: Scale) -> Fig9 {
+    let mut studies = Vec::new();
+    for mag in [Mag::NARROW_16, Mag::GDDR5, Mag::WIDE_64] {
+        let base = Harness::new(scale);
+        let config = base.config.with_mag(mag);
+        let harness = Harness::new(scale).with_config(config);
+        let threshold = mag.bytes() / 2;
+        let eval = evaluate(scale, &harness, threshold, &[SlcVariant::TslcOpt]);
+        // §V-C ratio study over the same memory images.
+        let mut raw = Vec::new();
+        let mut eff = Vec::new();
+        for w in all_workloads(scale) {
+            let artifacts = harness.prepare(w.as_ref());
+            let mut acc = RatioAccumulator::new(mag, BLOCK_BYTES as u32);
+            for (_, block) in artifacts.exact_memory.all_blocks() {
+                acc.record_bits(artifacts.e2mc.size_bits(&block));
+            }
+            raw.push(acc.raw_ratio());
+            eff.push(acc.effective_ratio());
+        }
+        studies.push(MagStudy {
+            mag,
+            threshold_bytes: threshold,
+            eval,
+            e2mc_effective_gm: geometric_mean(&eff),
+            e2mc_raw_gm: geometric_mean(&raw),
+        });
+    }
+    Fig9 { studies }
+}
+
+impl Fig9 {
+    /// Renders speedups, errors and the §V-C ratios.
+    pub fn render(&self) -> String {
+        let mut header = vec!["Bench".to_owned()];
+        for s in &self.studies {
+            header.push(format!("speedup@{}", s.mag));
+        }
+        for s in &self.studies {
+            header.push(format!("err@{}", s.mag));
+        }
+        let mut t = TextTable::new(header);
+        let names: Vec<String> =
+            self.studies[0].eval.rows.iter().map(|r| r.name.clone()).collect();
+        for (i, name) in names.iter().enumerate() {
+            let mut cells = vec![name.clone()];
+            for s in &self.studies {
+                cells.push(f3(s.eval.rows[i].variants[0].speedup));
+            }
+            for s in &self.studies {
+                cells.push(err_pct(s.eval.rows[i].variants[0].error_pct));
+            }
+            t.row(cells);
+        }
+        let mut cells = vec!["GM".to_owned()];
+        for s in &self.studies {
+            cells.push(f3(s.eval.gm_speedup(0)));
+        }
+        for s in &self.studies {
+            cells.push(err_pct(s.eval.gm_mre(0)));
+        }
+        t.row(cells);
+        let mut out = String::from("Fig. 9: TSLC-OPT speedup and error across MAGs (threshold = MAG/2)\n");
+        out.push_str(&t.render());
+        out.push_str("\n(paper GM speedups: 1.05 @16B, 1.097 @32B, 1.09 @64B; NN +35%, SRAD1 +27%, TP +21% @64B)\n");
+        out.push_str("\n§V-C: E2MC compression-ratio GM by MAG (paper: eff 1.41/1.31/1.16, raw 1.54):\n");
+        for s in &self.studies {
+            out.push_str(&format!(
+                "  MAG {:>3}: raw {:.2}  effective {:.2}\n",
+                s.mag.to_string(),
+                s.e2mc_raw_gm,
+                s.e2mc_effective_gm
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn effective_ratio_decreases_with_mag() {
+        let fig = compute(Scale::Tiny);
+        assert_eq!(fig.studies.len(), 3);
+        let eff: Vec<f64> = fig.studies.iter().map(|s| s.e2mc_effective_gm).collect();
+        assert!(eff[0] > eff[1] && eff[1] > eff[2], "effective GMs must fall with MAG: {eff:?}");
+        // Raw GM is MAG-independent.
+        let raw: Vec<f64> = fig.studies.iter().map(|s| s.e2mc_raw_gm).collect();
+        assert!((raw[0] - raw[2]).abs() < 1e-9, "raw GM depends on MAG: {raw:?}");
+        for s in &fig.studies {
+            assert!(s.e2mc_raw_gm >= s.e2mc_effective_gm);
+            assert_eq!(s.threshold_bytes, s.mag.bytes() / 2);
+        }
+        assert!(fig.render().contains("GM"));
+    }
+}

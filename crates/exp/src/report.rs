@@ -1,0 +1,153 @@
+//! Plain-text rendering for figures and tables.
+
+use std::fmt::Write as _;
+
+/// A simple aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        Self { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the arity differs from the header.
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let line = |cells: &[String], out: &mut String| {
+            for (i, c) in cells.iter().enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let _ = write!(out, "{c:>w$}", w = widths[i]);
+            }
+            out.push('\n');
+        };
+        line(&self.header, &mut out);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            line(row, &mut out);
+        }
+        out
+    }
+}
+
+/// Formats a ratio/speedup with 3 decimals.
+pub fn f3(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// Formats a percentage with 2 decimals.
+pub fn pct(v: f64) -> String {
+    format!("{v:.2}%")
+}
+
+/// Formats an error percentage in scientific-ish style matching the
+/// paper's log-scale error plots.
+pub fn err_pct(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_owned()
+    } else if v >= 0.01 {
+        format!("{v:.3}%")
+    } else {
+        format!("{v:.1e}%")
+    }
+}
+
+/// A one-line ASCII bar of `value` against `max` (for heat-map rows).
+pub fn bar(value: f64, max: f64, width: usize) -> String {
+    if max <= 0.0 {
+        return " ".repeat(width);
+    }
+    let filled = ((value / max) * width as f64).round() as usize;
+    let filled = filled.min(width);
+    format!("{}{}", "#".repeat(filled), " ".repeat(width - filled))
+}
+
+/// Shade characters for heat-map cells by intensity in [0, 1].
+pub fn shade(intensity: f64) -> char {
+    const RAMP: [char; 6] = [' ', '.', ':', '+', '*', '#'];
+    let idx = (intensity.clamp(0.0, 1.0) * (RAMP.len() - 1) as f64).round() as usize;
+    RAMP[idx]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = TextTable::new(vec!["name", "value"]);
+        t.row(vec!["a", "1.0"]);
+        t.row(vec!["longer", "2.25"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("name"));
+        assert!(lines[2].ends_with("1.0"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn row_arity_is_checked() {
+        let mut t = TextTable::new(vec!["a", "b"]);
+        t.row(vec!["only one"]);
+    }
+
+    #[test]
+    fn bar_scales() {
+        assert_eq!(bar(5.0, 10.0, 10), "#####     ");
+        assert_eq!(bar(0.0, 10.0, 4), "    ");
+        assert_eq!(bar(20.0, 10.0, 4), "####", "clamped at full");
+    }
+
+    #[test]
+    fn shade_ramps() {
+        assert_eq!(shade(0.0), ' ');
+        assert_eq!(shade(1.0), '#');
+        assert!(shade(0.5) != ' ' && shade(0.5) != '#');
+    }
+
+    #[test]
+    fn err_formatting() {
+        assert_eq!(err_pct(0.0), "0");
+        assert_eq!(err_pct(1.234), "1.234%");
+        assert!(err_pct(0.0001).contains('e'));
+    }
+}

@@ -1,0 +1,16 @@
+//! Energy/EDP model and 32 nm RTL cost model.
+//!
+//! Substitutes for GPUSimPow (Lucas et al., ISPASS 2013), which the paper
+//! modified with RTL-based power models of E2MC and TSLC:
+//!
+//! * [`energy`] — an event-based energy model over the timing simulator's
+//!   counters, reproducing the structure of Fig. 8b (energy and
+//!   energy-delay-product normalised to E2MC).
+//! * [`hw`] — a gate-count model of the TSLC compressor/decompressor
+//!   additions at 32 nm, regenerating Table I.
+
+pub mod energy;
+pub mod hw;
+
+pub use energy::{EnergyBreakdown, EnergyModel};
+pub use hw::{HwCost, TslcHardwareModel};

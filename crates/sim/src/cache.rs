@@ -1,0 +1,217 @@
+//! Set-associative write-back cache model (L1 per SM, shared L2).
+
+use crate::BlockAddr;
+
+/// Outcome of a cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// The block was present.
+    Hit,
+    /// The block was absent; `writeback` is the dirty victim to flush, if
+    /// any. The block has been installed.
+    Miss {
+        /// Dirty victim evicted to make room.
+        writeback: Option<BlockAddr>,
+    },
+}
+
+impl CacheOutcome {
+    /// `true` for a hit.
+    pub fn is_hit(&self) -> bool {
+        matches!(self, CacheOutcome::Hit)
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Line {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    /// LRU stamp: higher = more recent.
+    lru: u64,
+}
+
+const INVALID: Line = Line { tag: 0, valid: false, dirty: false, lru: 0 };
+
+/// A set-associative LRU cache of 128 B lines.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    sets: usize,
+    assoc: usize,
+    lines: Vec<Line>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl Cache {
+    /// Creates a cache of `size_kb` KB with `assoc` ways and 128 B lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the geometry yields a power-of-two, non-zero set count.
+    pub fn new(size_kb: u32, assoc: usize) -> Self {
+        let lines = (size_kb as usize * 1024) / 128;
+        assert!(assoc > 0 && lines >= assoc, "degenerate cache geometry");
+        let sets = lines / assoc;
+        assert!(sets > 0, "cache must have at least one set");
+        Self { sets, assoc, lines: vec![INVALID; sets * assoc], tick: 0, hits: 0, misses: 0 }
+    }
+
+    // Modulo indexing: GPU L2 slices are not power-of-two sized (768 KB).
+    fn set_of(&self, block: BlockAddr) -> usize {
+        (block % self.sets as u64) as usize
+    }
+
+    /// Accesses `block`; on a miss the block is installed (allocate on
+    /// read and on write: GPU L2 lines are written back in full, and
+    /// stores are assumed fully coalesced).
+    pub fn access(&mut self, block: BlockAddr, write: bool) -> CacheOutcome {
+        self.tick += 1;
+        let set = self.set_of(block);
+        let base = set * self.assoc;
+        let ways = &mut self.lines[base..base + self.assoc];
+        if let Some(line) = ways.iter_mut().find(|l| l.valid && l.tag == block) {
+            line.lru = self.tick;
+            line.dirty |= write;
+            self.hits += 1;
+            return CacheOutcome::Hit;
+        }
+        self.misses += 1;
+        // Victim: invalid way first, else LRU.
+        let victim = match ways.iter().position(|l| !l.valid) {
+            Some(i) => i,
+            None => {
+                let (i, _) =
+                    ways.iter().enumerate().min_by_key(|(_, l)| l.lru).expect("assoc > 0");
+                i
+            }
+        };
+        let evicted = ways[victim];
+        ways[victim] = Line { tag: block, valid: true, dirty: write, lru: self.tick };
+        let writeback = (evicted.valid && evicted.dirty).then_some(evicted.tag);
+        CacheOutcome::Miss { writeback }
+    }
+
+    /// Probes without installing or updating LRU (for tests/telemetry).
+    pub fn probe(&self, block: BlockAddr) -> bool {
+        let set = self.set_of(block);
+        let base = set * self.assoc;
+        self.lines[base..base + self.assoc].iter().any(|l| l.valid && l.tag == block)
+    }
+
+    /// Drains every dirty line (end-of-kernel flush), returning them.
+    pub fn flush_dirty(&mut self) -> Vec<BlockAddr> {
+        let mut out = Vec::new();
+        for l in &mut self.lines {
+            if l.valid && l.dirty {
+                out.push(l.tag);
+                l.dirty = false;
+            }
+        }
+        out
+    }
+
+    /// Hits recorded so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Misses recorded so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn repeated_access_hits() {
+        let mut c = Cache::new(16, 4);
+        assert!(!c.access(42, false).is_hit());
+        assert!(c.access(42, false).is_hit());
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 1);
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        // 4 sets (2 KB / 128 / 4 ways) — pick 5 blocks mapping to set 0.
+        let mut c = Cache::new(2, 4);
+        let set0 = |i: u64| i * 4; // 4 sets: block % 4 == 0
+        for i in 0..4 {
+            c.access(set0(i), false);
+        }
+        // Touch block 0 to refresh it, then insert a 5th block.
+        c.access(set0(0), false);
+        c.access(set0(4), false);
+        assert!(c.probe(set0(0)), "refreshed line survives");
+        assert!(!c.probe(set0(1)), "LRU line evicted");
+    }
+
+    #[test]
+    fn dirty_eviction_reports_writeback() {
+        let mut c = Cache::new(2, 1); // direct-mapped, 16 sets
+        assert_eq!(c.access(0, true), CacheOutcome::Miss { writeback: None });
+        match c.access(16, false) {
+            CacheOutcome::Miss { writeback } => assert_eq!(writeback, Some(0)),
+            CacheOutcome::Hit => panic!("expected conflict miss"),
+        }
+    }
+
+    #[test]
+    fn clean_eviction_has_no_writeback() {
+        let mut c = Cache::new(2, 1);
+        c.access(0, false);
+        assert_eq!(c.access(16, false), CacheOutcome::Miss { writeback: None });
+    }
+
+    #[test]
+    fn write_hit_marks_dirty() {
+        let mut c = Cache::new(2, 1);
+        c.access(0, false);
+        c.access(0, true);
+        assert_eq!(c.flush_dirty(), vec![0]);
+        assert!(c.flush_dirty().is_empty(), "flush clears dirty bits");
+    }
+
+    #[test]
+    fn flush_returns_all_dirty_lines() {
+        let mut c = Cache::new(16, 4);
+        for b in [3, 77, 200] {
+            c.access(b, true);
+        }
+        c.access(500, false);
+        let mut dirty = c.flush_dirty();
+        dirty.sort_unstable();
+        assert_eq!(dirty, vec![3, 77, 200]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_hits_plus_misses_equals_accesses(blocks in proptest::collection::vec(0u64..256, 1..500)) {
+            let mut c = Cache::new(16, 8);
+            for &b in &blocks {
+                c.access(b, b % 3 == 0);
+            }
+            prop_assert_eq!(c.hits() + c.misses(), blocks.len() as u64);
+        }
+
+        #[test]
+        fn prop_working_set_within_capacity_always_hits_second_pass(
+            start in 0u64..1000) {
+            // 16 KB / 128 = 128 lines; touch 64 distinct blocks twice.
+            let mut c = Cache::new(16, 8);
+            let blocks: Vec<u64> = (start..start + 64).collect();
+            for &b in &blocks {
+                c.access(b, false);
+            }
+            for &b in &blocks {
+                prop_assert!(c.access(b, false).is_hit());
+            }
+        }
+    }
+}

@@ -1,0 +1,270 @@
+//! The simulation engine: advances SMs in global time order.
+//!
+//! SMs interact only through the shared memory system, so correctness
+//! requires memory requests to arrive in global time order. The engine
+//! keeps all SMs in a min-heap keyed by their local clock and always steps
+//! the laggard, which bounds reordering to one op.
+
+use crate::config::GpuConfig;
+use crate::mc::{BurstsSource, MemorySystem};
+use crate::sm::SmState;
+use crate::stats::SimStats;
+use crate::trace::Trace;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// The timing simulator.
+///
+/// ```
+/// use slc_sim::{Engine, GpuConfig, Trace, Op, mc::UniformBursts};
+///
+/// let cfg = GpuConfig::default();
+/// let mut trace = Trace::new(cfg.sms);
+/// for sm in 0..cfg.sms {
+///     for i in 0..64u64 {
+///         trace.push(sm, Op::Load(sm as u64 * 1000 + i));
+///     }
+///     trace.push(sm, Op::Sync);
+/// }
+/// let stats = Engine::new(cfg).run(&trace, &UniformBursts(4));
+/// assert!(stats.cycles > 0);
+/// assert_eq!(stats.loads, 16 * 64);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Engine {
+    cfg: GpuConfig,
+}
+
+impl Engine {
+    /// Creates an engine for the given configuration.
+    pub fn new(cfg: GpuConfig) -> Self {
+        Self { cfg }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &GpuConfig {
+        &self.cfg
+    }
+
+    /// Runs `trace` to completion and returns the statistics.
+    ///
+    /// `bursts` supplies the per-block burst counts (compression state);
+    /// use [`crate::mc::UniformBursts`] with the MAG's maximum for the
+    /// no-compression baseline.
+    pub fn run(&self, trace: &Trace, bursts: &dyn BurstsSource) -> SimStats {
+        let mut mem = MemorySystem::new(&self.cfg, bursts);
+        let mut sms: Vec<SmState> = (0..trace.sms()).map(|_| SmState::new(&self.cfg)).collect();
+        // Min-heap over (local time, sm index): always step the laggard.
+        let mut heap: BinaryHeap<Reverse<(u64, usize)>> = (0..trace.sms())
+            .filter(|&i| !trace.stream(i).is_empty())
+            .map(|i| Reverse((0u64, i)))
+            .collect();
+        while let Some(Reverse((_, i))) = heap.pop() {
+            let sm = &mut sms[i];
+            if sm.step(trace.stream(i), &mut mem) && !sm.done(trace.stream(i)) {
+                heap.push(Reverse((sm.time(), i)));
+            }
+        }
+        let mut stats = SimStats::new();
+        for sm in &sms {
+            sm.accumulate(&mut stats);
+        }
+        // End-of-kernel: drain dirty L2 lines; execution ends when the
+        // last SM retires *and* the last write-back leaves the pins.
+        let horizon = mem.flush(stats.cycles);
+        stats.cycles = stats.cycles.max(horizon);
+        let mem_stats = mem.into_stats();
+        stats.l2_hits = mem_stats.l2_hits;
+        stats.l2_misses = mem_stats.l2_misses;
+        stats.dram_reads = mem_stats.dram_reads;
+        stats.dram_writes = mem_stats.dram_writes;
+        stats.read_bursts = mem_stats.read_bursts;
+        stats.write_bursts = mem_stats.write_bursts;
+        stats.metadata_bursts = mem_stats.metadata_bursts;
+        stats.mdc_hits = mem_stats.mdc_hits;
+        stats.mdc_misses = mem_stats.mdc_misses;
+        stats.decompressed_blocks = mem_stats.decompressed_blocks;
+        stats.compressed_blocks = mem_stats.compressed_blocks;
+        stats.row_hits = mem_stats.row_hits;
+        stats.row_misses = mem_stats.row_misses;
+        stats.read_latency_sum = mem_stats.read_latency_sum;
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mc::{BurstsMap, UniformBursts};
+    use crate::trace::{Op, TraceBuilder};
+
+    /// A memory-bound streaming trace over `blocks` blocks.
+    fn streaming_trace(cfg: &GpuConfig, blocks: u64, compute_per_block: u32) -> Trace {
+        let mut b = TraceBuilder::new(cfg.sms);
+        b.stream_sweep(0, blocks, 8, compute_per_block, None);
+        b.build()
+    }
+
+    #[test]
+    fn empty_trace_finishes_at_zero() {
+        let cfg = GpuConfig::default();
+        let stats = Engine::new(cfg.clone()).run(&Trace::new(cfg.sms), &UniformBursts(4));
+        assert_eq!(stats.cycles, 0);
+        assert_eq!(stats.ops, 0);
+    }
+
+    #[test]
+    fn fewer_bursts_means_fewer_cycles_when_memory_bound() {
+        let cfg = GpuConfig::default();
+        let trace = streaming_trace(&cfg, 6000, 2);
+        let base = Engine::new(cfg.clone()).run(&trace, &UniformBursts(4));
+        let half = Engine::new(cfg.clone()).run(&trace, &UniformBursts(2));
+        assert!(
+            half.cycles < base.cycles,
+            "2-burst blocks must beat 4-burst: {} vs {}",
+            half.cycles,
+            base.cycles
+        );
+        assert_eq!(half.read_bursts * 2, base.read_bursts);
+        // Memory-bound: halving traffic buys a sizeable speedup.
+        let speedup = base.cycles as f64 / half.cycles as f64;
+        assert!(speedup > 1.3, "speedup only {speedup:.3}");
+    }
+
+    #[test]
+    fn compute_bound_traces_are_insensitive_to_compression() {
+        let cfg = GpuConfig::default();
+        let trace = streaming_trace(&cfg, 800, 2000);
+        let base = Engine::new(cfg.clone()).run(&trace, &UniformBursts(4));
+        let half = Engine::new(cfg.clone()).run(&trace, &UniformBursts(2));
+        let speedup = base.cycles as f64 / half.cycles as f64;
+        assert!(speedup < 1.02, "compute-bound speedup should vanish, got {speedup:.3}");
+    }
+
+    #[test]
+    fn decompression_latency_is_charged() {
+        let cfg = GpuConfig::default().with_codec_latency(46, 20);
+        let trace = streaming_trace(&cfg, 2000, 2);
+        let stats = Engine::new(cfg).run(&trace, &UniformBursts(2));
+        assert_eq!(stats.decompressed_blocks, stats.dram_reads);
+    }
+
+    #[test]
+    fn stores_generate_writeback_traffic() {
+        let cfg = GpuConfig::default();
+        let mut b = TraceBuilder::new(cfg.sms);
+        // Load one array, store another, bigger than L2 (768 KB = 6144
+        // blocks) so write-backs flow during the run.
+        b.stream_sweep(0, 10_000, 8, 2, Some(10_000 * 128));
+        let stats = Engine::new(cfg).run(&b.build(), &UniformBursts(4));
+        assert_eq!(stats.stores, 10_000);
+        assert_eq!(stats.dram_writes, 10_000, "every stored block is eventually written back");
+        assert_eq!(stats.write_bursts, 4 * 10_000);
+    }
+
+    #[test]
+    fn burst_map_reduces_only_mapped_traffic() {
+        let cfg = GpuConfig::default();
+        let trace = streaming_trace(&cfg, 4000, 2);
+        let mut map = BurstsMap::new(4);
+        for b in 0..2000 {
+            map.insert(b, 1);
+        }
+        let stats = Engine::new(cfg).run(&trace, &map);
+        assert_eq!(stats.read_bursts, 2000 + 4 * 2000);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let cfg = GpuConfig::default();
+        let trace = streaming_trace(&cfg, 3000, 3);
+        let a = Engine::new(cfg.clone()).run(&trace, &UniformBursts(3));
+        let b = Engine::new(cfg).run(&trace, &UniformBursts(3));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn l2_captures_reuse() {
+        let cfg = GpuConfig::default();
+        let mut t = Trace::new(cfg.sms);
+        // Same 64 blocks touched by every SM: first SM misses, rest hit L2.
+        for sm in 0..cfg.sms {
+            for i in 0..64 {
+                t.push(sm, Op::Load(i));
+            }
+            t.push(sm, Op::Sync);
+        }
+        let stats = Engine::new(cfg).run(&t, &UniformBursts(4));
+        assert_eq!(stats.dram_reads, 64);
+        assert!(stats.l2_hits > 0);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn random_trace(ops: &[(u8, u64, u8)]) -> Trace {
+            let cfg = GpuConfig::default();
+            let mut t = Trace::new(cfg.sms);
+            for &(sm, addr, kind) in ops {
+                let sm = sm as usize % cfg.sms;
+                match kind % 4 {
+                    0 | 1 => t.push(sm, Op::Load(addr % 4096)),
+                    2 => t.push(sm, Op::Store(addr % 4096)),
+                    _ => t.push(sm, Op::Compute((addr % 64) as u32 + 1)),
+                }
+            }
+            for sm in 0..cfg.sms {
+                t.push(sm, Op::Sync);
+            }
+            t
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(16))]
+
+            /// Fewer bursts per block can never make a run slower: the
+            /// relation SLC's whole value proposition rests on.
+            #[test]
+            fn prop_cycles_monotone_in_bursts(
+                ops in proptest::collection::vec((any::<u8>(), any::<u64>(), any::<u8>()), 50..400)
+            ) {
+                let cfg = GpuConfig::default();
+                let trace = random_trace(&ops);
+                let mut last = u64::MAX;
+                for bursts in [4u32, 3, 2, 1] {
+                    let stats = Engine::new(cfg.clone()).run(&trace, &UniformBursts(bursts));
+                    prop_assert!(stats.cycles <= last,
+                        "bursts {bursts} took {} > previous {}", stats.cycles, last);
+                    last = stats.cycles;
+                }
+            }
+
+            /// Conservation: every issued load is either an L1 hit, an L2
+            /// hit or a DRAM read; every store eventually writes back.
+            #[test]
+            fn prop_request_conservation(
+                ops in proptest::collection::vec((any::<u8>(), any::<u64>(), any::<u8>()), 50..400)
+            ) {
+                let cfg = GpuConfig::default();
+                let trace = random_trace(&ops);
+                let stats = Engine::new(cfg).run(&trace, &UniformBursts(4));
+                prop_assert_eq!(stats.loads, stats.l1_hits + stats.l1_misses);
+                // L2 sees L1 misses plus stores.
+                prop_assert_eq!(stats.l1_misses + stats.stores, stats.l2_hits + stats.l2_misses);
+                prop_assert!(stats.dram_reads <= stats.l2_misses);
+                prop_assert!(stats.dram_writes <= stats.stores + stats.loads);
+            }
+        }
+    }
+
+    #[test]
+    fn achieved_bandwidth_is_below_peak() {
+        let cfg = GpuConfig::default();
+        let trace = streaming_trace(&cfg, 8000, 0);
+        let stats = Engine::new(cfg.clone()).run(&trace, &UniformBursts(4));
+        let bw = stats.achieved_bandwidth_gbps(cfg.mag().bytes(), cfg.sm_clock_mhz);
+        assert!(bw > 0.3 * cfg.bandwidth_gbps(), "streaming should use bandwidth, got {bw:.1}");
+        assert!(bw <= cfg.bandwidth_gbps() * 1.01, "cannot exceed peak, got {bw:.1}");
+    }
+}

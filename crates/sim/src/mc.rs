@@ -1,0 +1,332 @@
+//! The memory controller: L2 backside, MDC, (de)compression latency and
+//! the DRAM channels (paper Fig. 3).
+//!
+//! "The compressor, decompressor, and metadata cache (MDC) are integrated
+//! into the memory controller. The memory controller needs to fetch only
+//! the required number of bursts for every compressed block."
+
+use crate::cache::{Cache, CacheOutcome};
+use crate::config::GpuConfig;
+use crate::dram::Dram;
+use crate::mdc::{MdcOutcome, MetadataCache};
+use crate::stats::SimStats;
+use crate::BlockAddr;
+use std::collections::HashMap;
+
+/// Supplies the per-block burst count the MDC would hold.
+///
+/// The timing simulator never sees data; the workload harness derives the
+/// burst counts from the functional compression pass and hands them in
+/// through this trait.
+pub trait BurstsSource {
+    /// Bursts needed to move `block` (1..=max for the MAG in use).
+    fn bursts(&self, block: BlockAddr) -> u32;
+}
+
+/// Every block costs the same burst count (the uncompressed baseline).
+#[derive(Debug, Clone, Copy)]
+pub struct UniformBursts(pub u32);
+
+impl BurstsSource for UniformBursts {
+    fn bursts(&self, _block: BlockAddr) -> u32 {
+        self.0
+    }
+}
+
+/// Burst counts from a map, with a default for unmapped blocks.
+#[derive(Debug, Clone, Default)]
+pub struct BurstsMap {
+    default: u32,
+    map: HashMap<BlockAddr, u32>,
+}
+
+impl BurstsMap {
+    /// Creates a map whose unmapped blocks cost `default` bursts.
+    pub fn new(default: u32) -> Self {
+        Self { default, map: HashMap::new() }
+    }
+
+    /// Sets the burst count of one block.
+    pub fn insert(&mut self, block: BlockAddr, bursts: u32) {
+        self.map.insert(block, bursts);
+    }
+
+    /// Number of explicitly mapped blocks.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether no block is mapped.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Average bursts over mapped blocks (telemetry).
+    pub fn mean_bursts(&self) -> f64 {
+        if self.map.is_empty() {
+            return f64::from(self.default);
+        }
+        self.map.values().map(|&b| f64::from(b)).sum::<f64>() / self.map.len() as f64
+    }
+}
+
+impl BurstsSource for BurstsMap {
+    fn bursts(&self, block: BlockAddr) -> u32 {
+        self.map.get(&block).copied().unwrap_or(self.default)
+    }
+}
+
+/// L2 + memory controllers + DRAM: everything behind the interconnect.
+pub struct MemorySystem<'a> {
+    l2: Cache,
+    mdc: MetadataCache,
+    dram: Dram,
+    bursts: &'a dyn BurstsSource,
+    stats: SimStats,
+    max_bursts: u32,
+    l2_hit_latency: u64,
+    icnt_latency: u64,
+    compress_latency: u64,
+    decompress_latency: u64,
+}
+
+impl std::fmt::Debug for MemorySystem<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MemorySystem").field("stats", &self.stats).finish_non_exhaustive()
+    }
+}
+
+impl<'a> MemorySystem<'a> {
+    /// Builds the memory system from the configuration.
+    pub fn new(cfg: &GpuConfig, bursts: &'a dyn BurstsSource) -> Self {
+        Self {
+            l2: Cache::new(cfg.l2_kb, cfg.l2_assoc),
+            mdc: MetadataCache::new(cfg.mdc_entries.next_power_of_two()),
+            dram: Dram::new(cfg),
+            bursts,
+            stats: SimStats::new(),
+            max_bursts: cfg.max_bursts(),
+            l2_hit_latency: cfg.l2_hit_latency,
+            icnt_latency: cfg.icnt_latency,
+            compress_latency: cfg.compress_latency,
+            decompress_latency: cfg.decompress_latency,
+        }
+    }
+
+    fn clamped_bursts(&self, block: BlockAddr) -> u32 {
+        self.bursts.bursts(block).clamp(1, self.max_bursts)
+    }
+
+    /// Fetches `block` from DRAM (L2 already missed); returns completion.
+    fn dram_fetch(&mut self, block: BlockAddr, at: u64) -> u64 {
+        let bursts = self.clamped_bursts(block);
+        let compressed = bursts < self.max_bursts;
+        // MDC tells the MC how many bursts to fetch; a miss first pulls
+        // the 32 B metadata line from the block's channel.
+        let start = match self.mdc.access(block) {
+            MdcOutcome::Hit => {
+                self.stats.mdc_hits += 1;
+                at as f64
+            }
+            MdcOutcome::Miss => {
+                self.stats.mdc_misses += 1;
+                self.stats.metadata_bursts += 1;
+                self.dram.access(block, 1, at as f64).done
+            }
+        };
+        let access = self.dram.access(block, bursts, start);
+        if access.row_hit {
+            self.stats.row_hits += 1;
+        } else {
+            self.stats.row_misses += 1;
+        }
+        self.stats.dram_reads += 1;
+        self.stats.read_bursts += u64::from(bursts);
+        let mut done = access.done.ceil() as u64;
+        if compressed {
+            self.stats.decompressed_blocks += 1;
+            done += self.decompress_latency;
+        }
+        done
+    }
+
+    /// Writes `block` back to DRAM (fire-and-forget).
+    fn dram_writeback(&mut self, block: BlockAddr, at: u64) {
+        let bursts = self.clamped_bursts(block);
+        let compressed = bursts < self.max_bursts;
+        let mut start = at;
+        if compressed {
+            self.stats.compressed_blocks += 1;
+            start += self.compress_latency;
+        }
+        // Keep the metadata line resident for the updated burst count.
+        match self.mdc.access(block) {
+            MdcOutcome::Hit => self.stats.mdc_hits += 1,
+            MdcOutcome::Miss => {
+                self.stats.mdc_misses += 1;
+                self.stats.metadata_bursts += 1;
+            }
+        }
+        let access = self.dram.access(block, bursts, start as f64);
+        if access.row_hit {
+            self.stats.row_hits += 1;
+        } else {
+            self.stats.row_misses += 1;
+        }
+        self.stats.dram_writes += 1;
+        self.stats.write_bursts += u64::from(bursts);
+    }
+
+    /// A coalesced load arriving from an SM at time `at`; returns the time
+    /// the data is back at the SM.
+    pub fn load(&mut self, block: BlockAddr, at: u64) -> u64 {
+        let t = at + self.icnt_latency;
+        match self.l2.access(block, false) {
+            CacheOutcome::Hit => {
+                self.stats.l2_hits += 1;
+                t + self.l2_hit_latency + self.icnt_latency
+            }
+            CacheOutcome::Miss { writeback } => {
+                self.stats.l2_misses += 1;
+                if let Some(victim) = writeback {
+                    self.dram_writeback(victim, t + self.l2_hit_latency);
+                }
+                let done = self.dram_fetch(block, t + self.l2_hit_latency);
+                let completion = done + self.icnt_latency;
+                self.stats.read_latency_sum += completion - at;
+                completion
+            }
+        }
+    }
+
+    /// A coalesced store arriving from an SM at time `at` (fully
+    /// coalesced full-line store: allocates in L2 without a fetch).
+    pub fn store(&mut self, block: BlockAddr, at: u64) {
+        let t = at + self.icnt_latency;
+        match self.l2.access(block, true) {
+            CacheOutcome::Hit => self.stats.l2_hits += 1,
+            CacheOutcome::Miss { writeback } => {
+                self.stats.l2_misses += 1;
+                if let Some(victim) = writeback {
+                    self.dram_writeback(victim, t + self.l2_hit_latency);
+                }
+            }
+        }
+    }
+
+    /// Flushes all dirty L2 lines at end of kernel; returns the DRAM
+    /// horizon after the flush.
+    pub fn flush(&mut self, at: u64) -> u64 {
+        for victim in self.l2.flush_dirty() {
+            self.dram_writeback(victim, at);
+        }
+        self.dram.horizon().ceil() as u64
+    }
+
+    /// Consumes the system, yielding its statistics.
+    pub fn into_stats(self) -> SimStats {
+        self.stats
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> GpuConfig {
+        GpuConfig::default()
+    }
+
+    #[test]
+    fn l2_hit_is_fast_path() {
+        let cfg = cfg();
+        let u = UniformBursts(4);
+        let mut m = MemorySystem::new(&cfg, &u);
+        let cold = m.load(7, 0);
+        let warm_start = cold + 10;
+        let warm = m.load(7, warm_start);
+        assert_eq!(warm - warm_start, 2 * cfg.icnt_latency + cfg.l2_hit_latency);
+        assert!(cold > warm - warm_start, "cold miss must be slower");
+        assert_eq!(m.stats().l2_hits, 1);
+        assert_eq!(m.stats().l2_misses, 1);
+    }
+
+    #[test]
+    fn compressed_blocks_cost_fewer_bursts_but_pay_decompression() {
+        let cfg = cfg().with_codec_latency(46, 20);
+        let one = UniformBursts(1);
+        let four = UniformBursts(4);
+        let mut m1 = MemorySystem::new(&cfg, &one);
+        let mut m4 = MemorySystem::new(&cfg, &four);
+        m1.load(0, 0);
+        m4.load(0, 0);
+        assert_eq!(m1.stats().read_bursts, 1);
+        assert_eq!(m4.stats().read_bursts, 4);
+        assert_eq!(m1.stats().decompressed_blocks, 1);
+        assert_eq!(m4.stats().decompressed_blocks, 0, "4 bursts = verbatim, no decode");
+    }
+
+    #[test]
+    fn mdc_miss_costs_a_metadata_burst() {
+        let cfg = cfg();
+        let u = UniformBursts(2);
+        let mut m = MemorySystem::new(&cfg, &u);
+        m.load(0, 0);
+        assert_eq!(m.stats().mdc_misses, 1);
+        assert_eq!(m.stats().metadata_bursts, 1);
+        // A neighbouring block shares the metadata line.
+        m.load(1, 10_000);
+        assert_eq!(m.stats().mdc_hits, 1);
+        assert_eq!(m.stats().metadata_bursts, 1);
+    }
+
+    #[test]
+    fn store_then_evict_writes_back_compressed() {
+        let cfg = cfg().with_codec_latency(60, 20);
+        let u = UniformBursts(2);
+        let mut m = MemorySystem::new(&cfg, &u);
+        m.store(3, 0);
+        assert_eq!(m.stats().dram_writes, 0, "write-back: nothing leaves yet");
+        let horizon = m.flush(100);
+        assert_eq!(m.stats().dram_writes, 1);
+        assert_eq!(m.stats().write_bursts, 2);
+        assert_eq!(m.stats().compressed_blocks, 1);
+        assert!(horizon > 100);
+    }
+
+    #[test]
+    fn burst_map_defaults_and_overrides() {
+        let mut map = BurstsMap::new(4);
+        map.insert(10, 1);
+        assert_eq!(map.bursts(10), 1);
+        assert_eq!(map.bursts(11), 4);
+        assert_eq!(map.len(), 1);
+        assert!((map.mean_bursts() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bursts_are_clamped_to_hardware_range() {
+        let cfg = cfg();
+        let silly = UniformBursts(99);
+        let mut m = MemorySystem::new(&cfg, &silly);
+        m.load(0, 0);
+        assert_eq!(m.stats().read_bursts, 4);
+    }
+
+    #[test]
+    fn read_latency_accumulates_only_on_misses() {
+        let cfg = cfg();
+        let u = UniformBursts(4);
+        let mut m = MemorySystem::new(&cfg, &u);
+        let done = m.load(5, 0);
+        m.load(5, done);
+        assert_eq!(m.stats().dram_reads, 1);
+        assert!(m.stats().read_latency_sum > 0);
+        assert!((m.stats().avg_read_latency() - m.stats().read_latency_sum as f64).abs() < 1e-9);
+    }
+}

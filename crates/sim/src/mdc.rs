@@ -1,0 +1,120 @@
+//! The metadata cache (MDC) of Fig. 3.
+//!
+//! "As the number of bursts varies from 1 to 4, we store 2 bits in MDC."
+//! Metadata lives in DRAM: one 32 B metadata line packs the 2-bit burst
+//! counts of 128 consecutive blocks (16 KB of data). The MDC caches those
+//! lines in the memory controller; a miss costs one extra metadata burst
+//! on the block's channel.
+
+use crate::BlockAddr;
+
+/// Blocks covered by one metadata line: 32 B × 8 bits / 2 bits per block.
+pub const BLOCKS_PER_META_LINE: u64 = 128;
+
+/// Result of an MDC lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MdcOutcome {
+    /// Metadata line resident: burst count known immediately.
+    Hit,
+    /// Metadata line absent: one metadata burst must be fetched.
+    Miss,
+}
+
+/// Direct-mapped metadata cache.
+#[derive(Debug, Clone)]
+pub struct MetadataCache {
+    tags: Vec<Option<u64>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl MetadataCache {
+    /// Creates an MDC with `entries` metadata lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `entries` is a power of two.
+    pub fn new(entries: usize) -> Self {
+        assert!(entries.is_power_of_two(), "MDC entries must be a power of two");
+        Self { tags: vec![None; entries], hits: 0, misses: 0 }
+    }
+
+    /// Metadata line index of a block.
+    pub fn line_of(block: BlockAddr) -> u64 {
+        block / BLOCKS_PER_META_LINE
+    }
+
+    /// Looks up the metadata line covering `block`, installing it on miss.
+    pub fn access(&mut self, block: BlockAddr) -> MdcOutcome {
+        let line = Self::line_of(block);
+        let idx = (line as usize) & (self.tags.len() - 1);
+        if self.tags[idx] == Some(line) {
+            self.hits += 1;
+            MdcOutcome::Hit
+        } else {
+            self.tags[idx] = Some(line);
+            self.misses += 1;
+            MdcOutcome::Miss
+        }
+    }
+
+    /// Hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Hit rate in [0, 1].
+    pub fn hit_rate(&self) -> f64 {
+        let t = self.hits + self.misses;
+        if t == 0 {
+            0.0
+        } else {
+            self.hits as f64 / t as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blocks_share_metadata_lines() {
+        let mut mdc = MetadataCache::new(64);
+        assert_eq!(mdc.access(0), MdcOutcome::Miss);
+        // The next 127 blocks share the same line.
+        for b in 1..BLOCKS_PER_META_LINE {
+            assert_eq!(mdc.access(b), MdcOutcome::Hit, "block {b}");
+        }
+        assert_eq!(mdc.access(BLOCKS_PER_META_LINE), MdcOutcome::Miss);
+        assert_eq!(mdc.misses(), 2);
+    }
+
+    #[test]
+    fn direct_mapped_conflicts_evict() {
+        let mut mdc = MetadataCache::new(2);
+        assert_eq!(mdc.access(0), MdcOutcome::Miss); // line 0 -> idx 0
+        assert_eq!(mdc.access(2 * BLOCKS_PER_META_LINE), MdcOutcome::Miss); // line 2 -> idx 0
+        assert_eq!(mdc.access(0), MdcOutcome::Miss, "line 0 was evicted");
+    }
+
+    #[test]
+    fn streaming_hit_rate_is_high() {
+        let mut mdc = MetadataCache::new(512);
+        for b in 0..10_000u64 {
+            mdc.access(b);
+        }
+        assert!(mdc.hit_rate() > 0.99, "got {}", mdc.hit_rate());
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two() {
+        let _ = MetadataCache::new(100);
+    }
+}

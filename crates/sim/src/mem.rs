@@ -1,0 +1,285 @@
+//! Functional device memory with safe-to-approximate regions.
+//!
+//! Models the paper's extended allocation API (Section IV-C):
+//!
+//! ```c
+//! cudaMalloc(void** devPtr, size_t size, bool safeToApprox, size_t threshold)
+//! ```
+//!
+//! "The address returned by the extended cudaMalloc() and size of the
+//! memory allocation is used to determine if a load is safe to approximate
+//! or not." Workload kernels allocate their arrays here, flagging the ones
+//! whose approximation cannot cause catastrophic failures; the harness
+//! then stages flagged regions through the SLC codec at kernel-boundary
+//! DRAM round-trips (see DESIGN.md for why kernel granularity preserves
+//! the paper's behaviour for these memory-bound apps).
+
+use crate::BlockAddr;
+use slc_compress::{Block, BLOCK_BYTES};
+
+/// An opaque device address returned by [`GpuMemory::malloc`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DevicePtr(pub u64);
+
+impl DevicePtr {
+    /// Byte address of element `i` of an `f32` array at this pointer.
+    pub fn f32_addr(self, i: usize) -> u64 {
+        self.0 + (i as u64) * 4
+    }
+}
+
+/// One allocation (the paper's "memory region").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Region {
+    /// Base byte address (128 B aligned).
+    pub base: u64,
+    /// Size in bytes (padded to 128 B internally).
+    pub size: u64,
+    /// `true` when the programmer marked the region safe to approximate.
+    pub safe_to_approx: bool,
+    /// Per-region lossy threshold in bytes (paper: programmer-specified).
+    pub threshold_bytes: u32,
+    /// Debug label.
+    pub label: String,
+}
+
+impl Region {
+    /// Whether `addr` falls inside this region.
+    pub fn contains(&self, addr: u64) -> bool {
+        addr >= self.base && addr < self.base + self.size
+    }
+
+    /// Block addresses covered by the region.
+    pub fn blocks(&self) -> impl Iterator<Item = BlockAddr> + '_ {
+        let first = self.base / BLOCK_BYTES as u64;
+        let last = (self.base + self.size).div_ceil(BLOCK_BYTES as u64);
+        first..last
+    }
+}
+
+/// Byte-addressable device memory plus the region table.
+#[derive(Debug, Clone, Default)]
+pub struct GpuMemory {
+    data: Vec<u8>,
+    regions: Vec<Region>,
+}
+
+impl GpuMemory {
+    /// Creates an empty device memory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocates `size` bytes, 128 B aligned — the extended `cudaMalloc`.
+    pub fn malloc(
+        &mut self,
+        label: &str,
+        size: usize,
+        safe_to_approx: bool,
+        threshold_bytes: u32,
+    ) -> DevicePtr {
+        let base = self.data.len() as u64;
+        let padded = size.div_ceil(BLOCK_BYTES) * BLOCK_BYTES;
+        self.data.resize(self.data.len() + padded, 0);
+        self.regions.push(Region {
+            base,
+            size: padded as u64,
+            safe_to_approx,
+            threshold_bytes,
+            label: label.to_owned(),
+        });
+        DevicePtr(base)
+    }
+
+    /// The region table.
+    pub fn regions(&self) -> &[Region] {
+        &self.regions
+    }
+
+    /// Number of regions marked safe to approximate (Table III's #AR).
+    pub fn approx_regions(&self) -> usize {
+        self.regions.iter().filter(|r| r.safe_to_approx).count()
+    }
+
+    /// The region containing `addr`, if any.
+    pub fn region_of(&self, addr: u64) -> Option<&Region> {
+        self.regions.iter().find(|r| r.contains(addr))
+    }
+
+    /// Whether a load from `addr` may be approximated.
+    pub fn is_approximable(&self, addr: u64) -> bool {
+        self.region_of(addr).is_some_and(|r| r.safe_to_approx)
+    }
+
+    /// Copies an `f32` slice to the device (`cudaMemcpy` host→device).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the write runs past the allocation.
+    pub fn write_f32(&mut self, ptr: DevicePtr, values: &[f32]) {
+        let start = ptr.0 as usize;
+        let end = start + values.len() * 4;
+        assert!(end <= self.data.len(), "device write out of bounds");
+        for (i, v) in values.iter().enumerate() {
+            self.data[start + 4 * i..start + 4 * i + 4].copy_from_slice(&v.to_le_bytes());
+        }
+    }
+
+    /// Reads an `f32` slice from the device (`cudaMemcpy` device→host).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the read runs past the allocation.
+    pub fn read_f32(&self, ptr: DevicePtr, len: usize) -> Vec<f32> {
+        let start = ptr.0 as usize;
+        let end = start + len * 4;
+        assert!(end <= self.data.len(), "device read out of bounds");
+        self.data[start..end]
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect()
+    }
+
+    /// Reads one `u32` element.
+    pub fn read_u32(&self, ptr: DevicePtr, index: usize) -> u32 {
+        let start = ptr.0 as usize + index * 4;
+        u32::from_le_bytes(self.data[start..start + 4].try_into().expect("4 bytes"))
+    }
+
+    /// Writes one `u32` element.
+    pub fn write_u32(&mut self, ptr: DevicePtr, index: usize, value: u32) {
+        let start = ptr.0 as usize + index * 4;
+        self.data[start..start + 4].copy_from_slice(&value.to_le_bytes());
+    }
+
+    /// Raw bytes of one region (for sampling / compression passes).
+    pub fn region_bytes(&self, region: &Region) -> &[u8] {
+        &self.data[region.base as usize..(region.base + region.size) as usize]
+    }
+
+    /// Applies `f` to every 128 B block of every safe-to-approximate
+    /// region, replacing the block with the function's output — the
+    /// kernel-boundary DRAM round-trip.
+    ///
+    /// Returns the number of blocks rewritten.
+    pub fn stage_approx_regions(&mut self, mut f: impl FnMut(&Region, &Block) -> Block) -> usize {
+        let mut rewritten = 0;
+        let regions: Vec<Region> = self.regions.clone();
+        for region in regions.iter().filter(|r| r.safe_to_approx) {
+            let start = region.base as usize;
+            let end = (region.base + region.size) as usize;
+            for off in (start..end).step_by(BLOCK_BYTES) {
+                let mut block = [0u8; BLOCK_BYTES];
+                block.copy_from_slice(&self.data[off..off + BLOCK_BYTES]);
+                let out = f(region, &block);
+                if out != block {
+                    self.data[off..off + BLOCK_BYTES].copy_from_slice(&out);
+                }
+                rewritten += 1;
+            }
+        }
+        rewritten
+    }
+
+    /// Iterates over the blocks of every region (for table training and
+    /// ratio studies), flagged with the owning region.
+    pub fn all_blocks(&self) -> impl Iterator<Item = (&Region, Block)> + '_ {
+        self.regions.iter().flat_map(move |region| {
+            let start = region.base as usize;
+            let end = (region.base + region.size) as usize;
+            self.data[start..end].chunks_exact(BLOCK_BYTES).map(move |chunk| {
+                let mut b = [0u8; BLOCK_BYTES];
+                b.copy_from_slice(chunk);
+                (region, b)
+            })
+        })
+    }
+
+    /// Total allocated bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether nothing has been allocated.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn malloc_aligns_and_tracks_regions() {
+        let mut m = GpuMemory::new();
+        let a = m.malloc("a", 100, true, 16);
+        let b = m.malloc("b", 256, false, 0);
+        assert_eq!(a.0, 0);
+        assert_eq!(b.0, 128, "second allocation starts on next block");
+        assert_eq!(m.regions().len(), 2);
+        assert_eq!(m.approx_regions(), 1);
+        assert!(m.is_approximable(a.0));
+        assert!(!m.is_approximable(b.0));
+        assert_eq!(m.len(), 128 + 256);
+    }
+
+    #[test]
+    fn f32_roundtrip() {
+        let mut m = GpuMemory::new();
+        let p = m.malloc("x", 16, true, 16);
+        m.write_f32(p, &[1.0, -2.5, 3.25, f32::MIN_POSITIVE]);
+        assert_eq!(m.read_f32(p, 4), vec![1.0, -2.5, 3.25, f32::MIN_POSITIVE]);
+    }
+
+    #[test]
+    fn u32_roundtrip() {
+        let mut m = GpuMemory::new();
+        let p = m.malloc("x", 16, false, 0);
+        m.write_u32(p, 2, 0xdeadbeef);
+        assert_eq!(m.read_u32(p, 2), 0xdeadbeef);
+    }
+
+    #[test]
+    fn stage_visits_only_approx_regions() {
+        let mut m = GpuMemory::new();
+        let a = m.malloc("approx", 256, true, 16);
+        let e = m.malloc("exact", 256, false, 0);
+        m.write_f32(a, &[7.0; 64]);
+        m.write_f32(e, &[9.0; 64]);
+        let visited = m.stage_approx_regions(|_, b| {
+            let mut out = *b;
+            out[0] = 0xff;
+            out
+        });
+        assert_eq!(visited, 2, "two blocks in the approx region");
+        assert_eq!(m.read_f32(e, 1)[0], 9.0, "exact region untouched");
+        let first = m.read_f32(a, 1)[0];
+        assert_ne!(first, 7.0, "approx region rewritten");
+    }
+
+    #[test]
+    fn region_blocks_cover_allocation() {
+        let mut m = GpuMemory::new();
+        let p = m.malloc("x", 300, true, 16);
+        let r = m.region_of(p.0).expect("region exists").clone();
+        let blocks: Vec<u64> = r.blocks().collect();
+        assert_eq!(blocks.len(), 3, "300 bytes pads to 384 = 3 blocks");
+    }
+
+    #[test]
+    fn all_blocks_counts_match() {
+        let mut m = GpuMemory::new();
+        m.malloc("a", 128, true, 16);
+        m.malloc("b", 384, false, 0);
+        assert_eq!(m.all_blocks().count(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn oob_write_panics() {
+        let mut m = GpuMemory::new();
+        let p = m.malloc("x", 8, false, 0);
+        m.write_f32(p, &[0.0; 64]);
+    }
+}

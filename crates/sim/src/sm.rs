@@ -1,0 +1,217 @@
+//! SM front-end: executes one trace stream with bounded MSHRs.
+//!
+//! The SM abstracts a streaming multiprocessor's latency-hiding machinery:
+//! loads are non-blocking until the MSHR file fills, `Sync` drains all
+//! outstanding loads (a data dependency or barrier), and `Compute`
+//! occupies the pipeline. Stall cycles — the quantity compression recovers
+//! — are whatever the SM spends waiting on memory.
+
+use crate::cache::Cache;
+use crate::config::GpuConfig;
+use crate::mc::MemorySystem;
+use crate::trace::Op;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Per-SM execution state.
+#[derive(Debug)]
+pub struct SmState {
+    /// SM-local clock.
+    time: u64,
+    /// Next op index in the stream.
+    pc: usize,
+    /// Completion times of outstanding loads (min-heap).
+    outstanding: BinaryHeap<Reverse<u64>>,
+    /// Latest completion among outstanding loads (for `Sync`).
+    newest_completion: u64,
+    /// Private L1 cache.
+    l1: Cache,
+    mshrs: usize,
+    /// Cycles spent stalled.
+    stall_cycles: u64,
+    l1_hits: u64,
+    l1_misses: u64,
+    loads: u64,
+    stores: u64,
+    ops: u64,
+}
+
+impl SmState {
+    /// Creates an SM with the configuration's L1 and MSHR file.
+    pub fn new(cfg: &GpuConfig) -> Self {
+        Self {
+            time: 0,
+            pc: 0,
+            outstanding: BinaryHeap::new(),
+            newest_completion: 0,
+            l1: Cache::new(cfg.l1_kb, cfg.l1_assoc),
+            mshrs: cfg.mshrs_per_sm,
+            stall_cycles: 0,
+            l1_hits: 0,
+            l1_misses: 0,
+            loads: 0,
+            stores: 0,
+            ops: 0,
+        }
+    }
+
+    /// SM-local clock.
+    pub fn time(&self) -> u64 {
+        self.time
+    }
+
+    /// Index of the next op to execute.
+    pub fn pc(&self) -> usize {
+        self.pc
+    }
+
+    /// Whether the stream is exhausted.
+    pub fn done(&self, stream: &[Op]) -> bool {
+        self.pc >= stream.len()
+    }
+
+    /// Executes exactly one op against the memory system, advancing the
+    /// SM-local clock. Returns `false` when the stream was already done.
+    pub fn step(&mut self, stream: &[Op], mem: &mut MemorySystem<'_>) -> bool {
+        let Some(&op) = stream.get(self.pc) else {
+            return false;
+        };
+        self.pc += 1;
+        self.ops += 1;
+        match op {
+            Op::Compute(n) => {
+                self.time += u64::from(n);
+            }
+            Op::Load(block) => {
+                self.loads += 1;
+                if self.l1.access(block, false).is_hit() {
+                    self.l1_hits += 1;
+                    self.time += 1;
+                    return true;
+                }
+                self.l1_misses += 1;
+                // A full MSHR file blocks issue until the oldest miss
+                // returns.
+                if self.outstanding.len() >= self.mshrs {
+                    let Reverse(earliest) =
+                        self.outstanding.pop().expect("mshrs > 0 implies non-empty");
+                    if earliest > self.time {
+                        self.stall_cycles += earliest - self.time;
+                        self.time = earliest;
+                    }
+                }
+                let completion = mem.load(block, self.time);
+                self.newest_completion = self.newest_completion.max(completion);
+                self.outstanding.push(Reverse(completion));
+                self.time += 1;
+            }
+            Op::Store(block) => {
+                self.stores += 1;
+                mem.store(block, self.time);
+                self.time += 1;
+            }
+            Op::Sync => {
+                if self.newest_completion > self.time {
+                    self.stall_cycles += self.newest_completion - self.time;
+                    self.time = self.newest_completion;
+                }
+                self.outstanding.clear();
+            }
+        }
+        true
+    }
+
+    /// Folds this SM's counters into aggregate statistics.
+    pub fn accumulate(&self, stats: &mut crate::stats::SimStats) {
+        stats.stall_cycles += self.stall_cycles;
+        stats.l1_hits += self.l1_hits;
+        stats.l1_misses += self.l1_misses;
+        stats.loads += self.loads;
+        stats.stores += self.stores;
+        stats.ops += self.ops;
+        stats.cycles = stats.cycles.max(self.time);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mc::UniformBursts;
+    use crate::trace::Op;
+
+    fn cfg() -> GpuConfig {
+        GpuConfig::default()
+    }
+
+    #[test]
+    fn compute_advances_clock() {
+        let cfg = cfg();
+        let u = UniformBursts(4);
+        let mut mem = MemorySystem::new(&cfg, &u);
+        let mut sm = SmState::new(&cfg);
+        let stream = [Op::Compute(100)];
+        assert!(sm.step(&stream, &mut mem));
+        assert_eq!(sm.time(), 100);
+        assert!(!sm.step(&stream, &mut mem), "stream exhausted");
+    }
+
+    #[test]
+    fn sync_waits_for_loads() {
+        let cfg = cfg();
+        let u = UniformBursts(4);
+        let mut mem = MemorySystem::new(&cfg, &u);
+        let mut sm = SmState::new(&cfg);
+        let stream = [Op::Load(0), Op::Sync];
+        sm.step(&stream, &mut mem);
+        assert_eq!(sm.time(), 1, "load issue takes one cycle");
+        sm.step(&stream, &mut mem);
+        assert!(sm.time() > 100, "sync waited for DRAM, time = {}", sm.time());
+    }
+
+    #[test]
+    fn l1_hits_do_not_touch_memory() {
+        let cfg = cfg();
+        let u = UniformBursts(4);
+        let mut mem = MemorySystem::new(&cfg, &u);
+        let mut sm = SmState::new(&cfg);
+        let stream = [Op::Load(9), Op::Sync, Op::Load(9), Op::Sync];
+        for _ in 0..4 {
+            sm.step(&stream, &mut mem);
+        }
+        assert_eq!(mem.stats().l2_misses, 1, "second load hits L1");
+        let mut stats = crate::stats::SimStats::new();
+        sm.accumulate(&mut stats);
+        assert_eq!(stats.l1_hits, 1);
+        assert_eq!(stats.l1_misses, 1);
+        assert_eq!(stats.loads, 2);
+    }
+
+    #[test]
+    fn full_mshr_file_stalls() {
+        let mut c = cfg();
+        c.mshrs_per_sm = 2;
+        let u = UniformBursts(4);
+        let mut mem = MemorySystem::new(&c, &u);
+        let mut sm = SmState::new(&c);
+        // Three misses with 2 MSHRs: the third must wait for the first.
+        let stream = [Op::Load(0), Op::Load(1), Op::Load(2)];
+        for _ in 0..3 {
+            sm.step(&stream, &mut mem);
+        }
+        let mut stats = crate::stats::SimStats::new();
+        sm.accumulate(&mut stats);
+        assert!(stats.stall_cycles > 0, "expected an MSHR stall");
+    }
+
+    #[test]
+    fn stores_are_fire_and_forget() {
+        let cfg = cfg();
+        let u = UniformBursts(4);
+        let mut mem = MemorySystem::new(&cfg, &u);
+        let mut sm = SmState::new(&cfg);
+        let stream = [Op::Store(4), Op::Store(5)];
+        sm.step(&stream, &mut mem);
+        sm.step(&stream, &mut mem);
+        assert_eq!(sm.time(), 2, "stores never block the SM");
+    }
+}

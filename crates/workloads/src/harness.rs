@@ -1,0 +1,272 @@
+//! Glue between benchmarks, compression schemes and the timing simulator.
+//!
+//! One benchmark evaluation follows the paper's methodology:
+//!
+//! 1. Build the inputs and run the kernels **exactly** — the reference
+//!    output and the steady-state memory image.
+//! 2. Train E2MC's symbol table on that memory image (the online
+//!    sampling phase of §IV-A, which observes real traffic).
+//! 3. For every scheme: re-run the kernels with the scheme's
+//!    kernel-boundary staging (functional error), then derive the
+//!    per-block burst map of the final memory image.
+//! 4. Feed the benchmark's trace plus the burst map to the timing
+//!    simulator with the scheme's codec latencies.
+
+use crate::metrics;
+use crate::scheme::{Scheme, SchemeKind};
+use crate::suite::{Scale, Workload};
+use slc_compress::e2mc::{E2mc, E2mcConfig};
+use slc_sim::mc::BurstsMap;
+use slc_sim::{Engine, GpuConfig, GpuMemory, SimStats, Trace};
+
+/// Per-benchmark reusable artifacts (exact run, trained table, trace).
+pub struct BenchmarkArtifacts {
+    /// Benchmark name (Table III).
+    pub name: String,
+    /// Reference output of the exact run.
+    pub exact_output: Vec<f32>,
+    /// Memory image after the exact run (inputs + outputs).
+    pub exact_memory: GpuMemory,
+    /// E2MC trained on the benchmark's traffic.
+    pub e2mc: E2mc,
+    /// The kernel pipeline's memory trace.
+    pub trace: Trace,
+}
+
+/// Result of one functional (data) pass under a scheme.
+#[derive(Debug)]
+pub struct FunctionalOutcome {
+    /// Scheme identity.
+    pub kind: SchemeKind,
+    /// Application-specific error in percent (Fig. 7b / Fig. 9b).
+    pub error_pct: f64,
+    /// Uniform mean-relative-error in percent (the paper's cross-
+    /// benchmark GM, §V-A).
+    pub mre_pct: f64,
+    /// Burst count per block for the timing pass.
+    pub bursts: BurstsMap,
+}
+
+/// Result of one timing pass.
+#[derive(Debug, Clone)]
+pub struct TimingOutcome {
+    /// Scheme identity.
+    pub kind: SchemeKind,
+    /// Raw counters.
+    pub stats: SimStats,
+}
+
+/// The experiment driver.
+#[derive(Debug, Clone)]
+pub struct Harness {
+    /// Input scale for all benchmarks.
+    pub scale: Scale,
+    /// Master seed.
+    pub seed: u64,
+    /// Simulator configuration (defines MAG, SM count, latencies).
+    pub config: GpuConfig,
+}
+
+impl Default for Harness {
+    fn default() -> Self {
+        Self { scale: Scale::Small, seed: 42, config: GpuConfig::default() }
+    }
+}
+
+impl Harness {
+    /// Creates a harness at `scale` with the Table II configuration.
+    pub fn new(scale: Scale) -> Self {
+        Self { scale, ..Self::default() }
+    }
+
+    /// Replaces the simulator configuration (e.g. a different MAG).
+    pub fn with_config(mut self, config: GpuConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Step 1 + 2: exact run and table training.
+    ///
+    /// The symbol table is trained on the initial *and* final memory
+    /// images: the paper's online sampling observes the app's early
+    /// traffic (input-dominated) and the steady state, and both matter —
+    /// training on final state alone would crowd input symbols out of the
+    /// table with transformed-output symbols the early traffic never
+    /// carries.
+    pub fn prepare(&self, w: &dyn Workload) -> BenchmarkArtifacts {
+        let initial = w.build(self.seed);
+        let mut mem = w.build(self.seed);
+        let mut noop = |_: &mut GpuMemory| {};
+        w.execute(&mut mem, &mut noop);
+        let exact_output = w.output(&mem);
+        let blocks: Vec<slc_compress::Block> = initial
+            .all_blocks()
+            .map(|(_, b)| b)
+            .chain(mem.all_blocks().map(|(_, b)| b))
+            .collect();
+        let e2mc = E2mc::train_on_blocks(blocks.iter(), &E2mcConfig::default());
+        let trace = w.trace(self.config.sms);
+        BenchmarkArtifacts {
+            name: w.name().to_owned(),
+            exact_output,
+            exact_memory: mem,
+            e2mc,
+            trace,
+        }
+    }
+
+    /// Step 3: one functional pass under `scheme`.
+    ///
+    /// The pass re-runs the kernels with the scheme's staging (lossy
+    /// mutation for SLC, identity otherwise) and snapshots per-block
+    /// burst counts at every kernel-boundary DRAM round-trip; the burst
+    /// map is the per-block mean over snapshots (see
+    /// [`crate::scheme::BurstsAccumulator`]).
+    pub fn run_functional(
+        &self,
+        w: &dyn Workload,
+        artifacts: &BenchmarkArtifacts,
+        scheme: &Scheme,
+    ) -> FunctionalOutcome {
+        let mag = self.config.mag();
+        if matches!(scheme, Scheme::Uncompressed) {
+            return FunctionalOutcome {
+                kind: scheme.kind(),
+                error_pct: 0.0,
+                mre_pct: 0.0,
+                bursts: crate::scheme::BurstsAccumulator::new(mag).into_map(),
+            };
+        }
+        let mut accumulator = crate::scheme::BurstsAccumulator::new(mag);
+        let output = {
+            let mut mem = w.build(self.seed);
+            let mut stage = |m: &mut GpuMemory| {
+                scheme.stage(m);
+                accumulator.snapshot(scheme, m);
+            };
+            w.execute(&mut mem, &mut stage);
+            w.output(&mem)
+        };
+        let error_pct = w.error(&artifacts.exact_output, &output);
+        let mre_pct = metrics::mre(&artifacts.exact_output, &output) * 100.0;
+        FunctionalOutcome {
+            kind: scheme.kind(),
+            error_pct,
+            mre_pct,
+            bursts: accumulator.into_map(),
+        }
+    }
+
+    /// Step 4: the timing pass.
+    pub fn run_timing(
+        &self,
+        artifacts: &BenchmarkArtifacts,
+        functional: &FunctionalOutcome,
+        scheme: &Scheme,
+    ) -> TimingOutcome {
+        let (compress, decompress) = scheme.codec_latency();
+        let cfg = self.config.clone().with_codec_latency(compress, decompress);
+        let stats = Engine::new(cfg).run(&artifacts.trace, &functional.bursts);
+        TimingOutcome { kind: scheme.kind(), stats }
+    }
+
+    /// Convenience: functional + timing in one call.
+    pub fn evaluate(
+        &self,
+        w: &dyn Workload,
+        artifacts: &BenchmarkArtifacts,
+        scheme: &Scheme,
+    ) -> (FunctionalOutcome, TimingOutcome) {
+        let f = self.run_functional(w, artifacts, scheme);
+        let t = self.run_timing(artifacts, &f, scheme);
+        (f, t)
+    }
+}
+
+/// Speedup of `candidate` over `baseline` (cycles ratio, >1 = faster).
+pub fn speedup(baseline: &SimStats, candidate: &SimStats) -> f64 {
+    baseline.cycles as f64 / candidate.cycles.max(1) as f64
+}
+
+/// Normalised DRAM traffic of `candidate` vs `baseline` (<1 = less).
+pub fn normalized_bandwidth(baseline: &SimStats, candidate: &SimStats) -> f64 {
+    candidate.total_bursts() as f64 / baseline.total_bursts().max(1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::benchmarks::nn::Nn;
+    use slc_core::slc::SlcVariant;
+
+    fn harness() -> Harness {
+        Harness::new(Scale::Tiny)
+    }
+
+    #[test]
+    fn exact_functional_pass_has_zero_error() {
+        let h = harness();
+        let nn = Nn::new(Scale::Tiny);
+        let artifacts = h.prepare(&nn);
+        let scheme = Scheme::E2mc(artifacts.e2mc.clone());
+        let f = h.run_functional(&nn, &artifacts, &scheme);
+        assert_eq!(f.error_pct, 0.0);
+        assert_eq!(f.mre_pct, 0.0);
+        assert!(!f.bursts.is_empty(), "trained E2MC should compress NN traffic");
+    }
+
+    #[test]
+    fn slc_introduces_small_error_and_saves_bursts() {
+        let h = harness();
+        let nn = Nn::new(Scale::Tiny);
+        let artifacts = h.prepare(&nn);
+        let lossless = Scheme::E2mc(artifacts.e2mc.clone());
+        let lossy = Scheme::slc(
+            artifacts.e2mc.clone(),
+            h.config.mag(),
+            16,
+            SlcVariant::TslcOpt,
+        );
+        let f_lossless = h.run_functional(&nn, &artifacts, &lossless);
+        let f_lossy = h.run_functional(&nn, &artifacts, &lossy);
+        assert!(f_lossy.mre_pct >= 0.0);
+        assert!(
+            f_lossy.bursts.mean_bursts() <= f_lossless.bursts.mean_bursts(),
+            "SLC must not increase traffic: {} vs {}",
+            f_lossy.bursts.mean_bursts(),
+            f_lossless.bursts.mean_bursts()
+        );
+    }
+
+    #[test]
+    fn timing_ranks_schemes_sanely() {
+        let h = harness();
+        let nn = Nn::new(Scale::Tiny);
+        let artifacts = h.prepare(&nn);
+        let none = Scheme::Uncompressed;
+        let lossless = Scheme::E2mc(artifacts.e2mc.clone());
+        let (f0, t0) = h.evaluate(&nn, &artifacts, &none);
+        let (f1, t1) = h.evaluate(&nn, &artifacts, &lossless);
+        assert_eq!(f0.error_pct, 0.0);
+        assert_eq!(f1.error_pct, 0.0);
+        assert!(
+            t1.stats.total_bursts() < t0.stats.total_bursts(),
+            "compression must cut bursts: {} vs {}",
+            t1.stats.total_bursts(),
+            t0.stats.total_bursts()
+        );
+        assert!(speedup(&t0.stats, &t1.stats) > 1.0, "E2MC should beat no compression on NN");
+    }
+
+    #[test]
+    fn speedup_and_bandwidth_helpers() {
+        let mut a = SimStats::new();
+        a.cycles = 200;
+        a.read_bursts = 100;
+        let mut b = SimStats::new();
+        b.cycles = 100;
+        b.read_bursts = 50;
+        assert!((speedup(&a, &b) - 2.0).abs() < 1e-12);
+        assert!((normalized_bandwidth(&a, &b) - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,181 @@
+//! Application-specific error metrics (paper Section IV-B).
+//!
+//! "We use mean relative error (MRE) for applications which produce
+//! numeric outputs and Normalized Root Mean Square Error (NRMSE) which
+//! process images or belong to a signal processing domain. JM ... we use
+//! miss rate to report the fraction of incorrect decisions."
+
+/// Which metric a benchmark reports (Table III).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ErrorMetric {
+    /// Mean relative error over numeric outputs.
+    Mre,
+    /// Normalised root-mean-square error (signal processing).
+    Nrmse,
+    /// NRMSE over pixel data, reported as "image diff" in the paper.
+    ImageDiff,
+    /// Fraction of boolean decisions that flipped.
+    MissRate,
+}
+
+impl ErrorMetric {
+    /// Table III's label for the metric.
+    pub fn label(self) -> &'static str {
+        match self {
+            ErrorMetric::Mre => "MRE",
+            ErrorMetric::Nrmse => "NRMSE",
+            ErrorMetric::ImageDiff => "Image diff.",
+            ErrorMetric::MissRate => "Miss rate",
+        }
+    }
+
+    /// Computes the metric between `approx` and `exact` outputs, as a
+    /// percentage in `[0, 100]`-ish range (may exceed 100 for wild MRE).
+    ///
+    /// # Panics
+    ///
+    /// Panics when lengths differ or the outputs are empty.
+    pub fn compute(self, exact: &[f32], approx: &[f32]) -> f64 {
+        match self {
+            ErrorMetric::Mre => mre(exact, approx) * 100.0,
+            ErrorMetric::Nrmse | ErrorMetric::ImageDiff => nrmse(exact, approx) * 100.0,
+            ErrorMetric::MissRate => miss_rate(exact, approx) * 100.0,
+        }
+    }
+}
+
+fn check(exact: &[f32], approx: &[f32]) {
+    assert_eq!(exact.len(), approx.len(), "output length mismatch");
+    assert!(!exact.is_empty(), "empty outputs");
+}
+
+/// Mean relative error: `mean(|a - e| / max(|e|, eps))`.
+///
+/// The epsilon guards against division blow-up on near-zero exact values,
+/// the standard practice in the approximate-computing literature.
+pub fn mre(exact: &[f32], approx: &[f32]) -> f64 {
+    check(exact, approx);
+    let eps = 1e-6_f64;
+    let sum: f64 = exact
+        .iter()
+        .zip(approx)
+        .map(|(&e, &a)| {
+            if !a.is_finite() {
+                // Approximation produced NaN/Inf (e.g. a zero-filled
+                // divisor): count as a fully wrong output.
+                return 1.0;
+            }
+            let e = f64::from(e);
+            let a = f64::from(a);
+            ((a - e).abs() / e.abs().max(eps)).min(1.0)
+        })
+        .sum();
+    sum / exact.len() as f64
+}
+
+/// NRMSE: `rms(a - e) / (max(e) - min(e))`; 0 when the output is constant
+/// and exactly reproduced, 1-scale otherwise.
+pub fn nrmse(exact: &[f32], approx: &[f32]) -> f64 {
+    check(exact, approx);
+    let n = exact.len() as f64;
+    let min = exact.iter().cloned().fold(f32::INFINITY, f32::min);
+    let max = exact.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let range = (f64::from(max) - f64::from(min)).max(0.0);
+    let mse: f64 = exact
+        .iter()
+        .zip(approx)
+        .map(|(&e, &a)| {
+            let d = if a.is_finite() {
+                f64::from(a) - f64::from(e)
+            } else {
+                // NaN/Inf outputs count as a full-range miss.
+                range.max(1.0)
+            };
+            d * d
+        })
+        .sum::<f64>()
+        / n;
+    if range <= 0.0 {
+        return if mse == 0.0 { 0.0 } else { 1.0 };
+    }
+    mse.sqrt() / range
+}
+
+/// Fraction of decisions that differ; outputs are booleans stored as
+/// 0.0 / 1.0 floats.
+pub fn miss_rate(exact: &[f32], approx: &[f32]) -> f64 {
+    check(exact, approx);
+    let misses = exact.iter().zip(approx).filter(|(&e, &a)| (e > 0.5) != (a > 0.5)).count();
+    misses as f64 / exact.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_outputs_have_zero_error() {
+        let v = vec![1.0f32, -2.0, 3.5, 100.0];
+        assert_eq!(mre(&v, &v), 0.0);
+        assert_eq!(nrmse(&v, &v), 0.0);
+        assert_eq!(miss_rate(&[1.0, 0.0], &[1.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn mre_is_relative() {
+        let exact = vec![100.0f32, 200.0];
+        let approx = vec![101.0f32, 202.0];
+        assert!((mre(&exact, &approx) - 0.01).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mre_caps_blowups_at_one() {
+        let exact = vec![1e-9f32];
+        let approx = vec![1.0f32];
+        assert!(mre(&exact, &approx) <= 1.0);
+    }
+
+    #[test]
+    fn nrmse_normalises_by_range() {
+        let exact = vec![0.0f32, 10.0];
+        let approx = vec![1.0f32, 10.0];
+        // rms = sqrt(1/2), range = 10.
+        assert!((nrmse(&exact, &approx) - (0.5f64).sqrt() / 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nrmse_constant_output() {
+        let exact = vec![5.0f32; 4];
+        assert_eq!(nrmse(&exact, &exact), 0.0);
+        assert_eq!(nrmse(&exact, &[5.0, 5.0, 5.0, 6.0]), 1.0);
+    }
+
+    #[test]
+    fn miss_rate_counts_flips() {
+        let exact = vec![1.0f32, 0.0, 1.0, 0.0];
+        let approx = vec![1.0f32, 1.0, 0.0, 0.0];
+        assert!((miss_rate(&exact, &approx) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn metric_compute_is_percent() {
+        let exact = vec![1.0f32, 1.0];
+        let approx = vec![1.01f32, 1.01];
+        let pct = ErrorMetric::Mre.compute(&exact, &approx);
+        assert!((pct - 1.0).abs() < 0.01, "got {pct}");
+    }
+
+    #[test]
+    fn labels_match_table_iii() {
+        assert_eq!(ErrorMetric::Mre.label(), "MRE");
+        assert_eq!(ErrorMetric::MissRate.label(), "Miss rate");
+        assert_eq!(ErrorMetric::ImageDiff.label(), "Image diff.");
+        assert_eq!(ErrorMetric::Nrmse.label(), "NRMSE");
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let _ = mre(&[1.0], &[1.0, 2.0]);
+    }
+}

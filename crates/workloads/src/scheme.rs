@@ -1,0 +1,256 @@
+//! Compression schemes as the memory system applies them.
+//!
+//! Lossless compression (E2MC here) applies to *all* DRAM traffic; the
+//! lossy SLC mode additionally applies to blocks inside
+//! safe-to-approximate regions. A [`Scheme`] bundles the functional
+//! staging pass (what data looks like after a DRAM round-trip), the burst
+//! accounting for the timing simulator, and the codec latencies of
+//! Section IV-A.
+
+use slc_compress::e2mc::E2mc;
+use slc_compress::{Block, BlockCompressor, Mag, BLOCK_BYTES};
+use slc_core::slc::{SlcCompressor, SlcConfig, SlcVariant};
+use slc_sim::mc::BurstsMap;
+use slc_sim::{GpuMemory, Region};
+
+/// Identifies a scheme in figures and tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SchemeKind {
+    /// No compression: every block moves at full burst count.
+    Uncompressed,
+    /// Lossless E2MC (the paper's baseline).
+    E2mc,
+    /// One of the TSLC variants.
+    Slc(SlcVariant),
+}
+
+impl SchemeKind {
+    /// Figure label.
+    pub fn label(self) -> &'static str {
+        match self {
+            SchemeKind::Uncompressed => "NOCOMP",
+            SchemeKind::E2mc => "E2MC",
+            SchemeKind::Slc(v) => v.label(),
+        }
+    }
+}
+
+/// A runnable compression scheme.
+#[derive(Debug, Clone)]
+pub enum Scheme {
+    /// No compression.
+    Uncompressed,
+    /// Lossless E2MC on all traffic.
+    E2mc(E2mc),
+    /// E2MC on all traffic; SLC lossy mode on safe-to-approximate regions.
+    Slc(SlcCompressor),
+}
+
+impl Scheme {
+    /// Builds the SLC scheme from a trained baseline.
+    pub fn slc(e2mc: E2mc, mag: Mag, threshold_bytes: u32, variant: SlcVariant) -> Self {
+        Scheme::Slc(SlcCompressor::new(e2mc, SlcConfig::new(mag, threshold_bytes, variant)))
+    }
+
+    /// The scheme's identity.
+    pub fn kind(&self) -> SchemeKind {
+        match self {
+            Scheme::Uncompressed => SchemeKind::Uncompressed,
+            Scheme::E2mc(_) => SchemeKind::E2mc,
+            Scheme::Slc(s) => SchemeKind::Slc(s.config().variant()),
+        }
+    }
+
+    /// (compress, decompress) latency in SM cycles (paper §IV-A: E2MC
+    /// 46/20, TSLC 60/20).
+    pub fn codec_latency(&self) -> (u64, u64) {
+        match self {
+            Scheme::Uncompressed => (0, 0),
+            Scheme::E2mc(_) => (46, 20),
+            Scheme::Slc(_) => (60, 20),
+        }
+    }
+
+    /// Functional kernel-boundary staging: rewrites safe-to-approximate
+    /// regions with what a DRAM round-trip returns. Lossless schemes leave
+    /// memory untouched.
+    pub fn stage(&self, mem: &mut GpuMemory) {
+        if let Scheme::Slc(slc) = self {
+            mem.stage_approx_regions(|_region, block| slc.roundtrip(block).0);
+        }
+    }
+
+    /// Bursts one block costs under `mag`, given whether it lives in a
+    /// safe-to-approximate region.
+    pub fn bursts_for_block(&self, block: &Block, mag: Mag, approximable: bool) -> u32 {
+        let max = mag.bursts_for_bytes(BLOCK_BYTES as u32, BLOCK_BYTES as u32);
+        match self {
+            Scheme::Uncompressed => max,
+            Scheme::E2mc(e) => mag.bursts_for_bits(e.size_bits(block), BLOCK_BYTES as u32),
+            Scheme::Slc(s) => {
+                if approximable {
+                    s.stored_bursts(block)
+                } else {
+                    mag.bursts_for_bits(s.e2mc().size_bits(block), BLOCK_BYTES as u32)
+                }
+            }
+        }
+    }
+
+    /// Builds the per-block burst map of one device memory snapshot.
+    pub fn bursts_map(&self, mem: &GpuMemory, mag: Mag) -> BurstsMap {
+        let mut acc = BurstsAccumulator::new(mag);
+        acc.snapshot(self, mem);
+        acc.into_map()
+    }
+}
+
+/// Averages per-block burst counts over multiple memory snapshots.
+///
+/// Block contents — and therefore compressed sizes — evolve across
+/// kernels (FWT's buffers hold the raw signal in pass 1 and fully
+/// transformed data at the end). The timing simulator takes one static
+/// burst map, so the harness snapshots memory at every kernel-boundary
+/// DRAM round-trip and uses the per-block mean, which weights each
+/// kernel's traffic equally.
+#[derive(Debug, Clone)]
+pub struct BurstsAccumulator {
+    mag: Mag,
+    max: u32,
+    sums: std::collections::HashMap<u64, (u64, u32)>,
+}
+
+impl BurstsAccumulator {
+    /// Creates an accumulator for `mag`.
+    pub fn new(mag: Mag) -> Self {
+        let max = mag.bursts_for_bytes(BLOCK_BYTES as u32, BLOCK_BYTES as u32);
+        Self { mag, max, sums: std::collections::HashMap::new() }
+    }
+
+    /// Records the burst counts of every region block in `mem` under
+    /// `scheme`.
+    pub fn snapshot(&mut self, scheme: &Scheme, mem: &GpuMemory) {
+        if matches!(scheme, Scheme::Uncompressed) {
+            return;
+        }
+        let regions: Vec<Region> = mem.regions().to_vec();
+        for region in &regions {
+            let bytes = mem.region_bytes(region);
+            for (i, chunk) in bytes.chunks_exact(BLOCK_BYTES).enumerate() {
+                let mut block = [0u8; BLOCK_BYTES];
+                block.copy_from_slice(chunk);
+                let addr = region.base / BLOCK_BYTES as u64 + i as u64;
+                let bursts = scheme.bursts_for_block(&block, self.mag, region.safe_to_approx);
+                let e = self.sums.entry(addr).or_insert((0, 0));
+                e.0 += u64::from(bursts);
+                e.1 += 1;
+            }
+        }
+    }
+
+    /// Number of snapshots folded in for the first recorded block.
+    pub fn snapshots(&self) -> u32 {
+        self.sums.values().next().map_or(0, |&(_, n)| n)
+    }
+
+    /// Finishes into a [`BurstsMap`] of per-block rounded means.
+    pub fn into_map(self) -> BurstsMap {
+        let mut map = BurstsMap::new(self.max);
+        for (addr, (sum, n)) in self.sums {
+            let mean = ((sum as f64 / f64::from(n)).round() as u32).clamp(1, self.max);
+            if mean != self.max {
+                map.insert(addr, mean);
+            }
+        }
+        map
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slc_compress::e2mc::E2mcConfig;
+
+    fn trained() -> E2mc {
+        let bytes: Vec<u8> =
+            (0..1u32 << 14).flat_map(|i| ((i % 512) as f32).to_le_bytes()).collect();
+        E2mc::train_on_bytes(&bytes, &E2mcConfig::default())
+    }
+
+    fn filled_memory() -> GpuMemory {
+        let mut m = GpuMemory::new();
+        let a = m.malloc("approx", 1024, true, 16);
+        let e = m.malloc("exact", 1024, false, 0);
+        let vals: Vec<f32> = (0..256).map(|i| (i % 512) as f32).collect();
+        m.write_f32(a, &vals);
+        m.write_f32(e, &vals);
+        m
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(SchemeKind::Uncompressed.label(), "NOCOMP");
+        assert_eq!(SchemeKind::E2mc.label(), "E2MC");
+        assert_eq!(SchemeKind::Slc(SlcVariant::TslcOpt).label(), "TSLC-OPT");
+    }
+
+    #[test]
+    fn latencies_match_paper() {
+        assert_eq!(Scheme::Uncompressed.codec_latency(), (0, 0));
+        assert_eq!(Scheme::E2mc(trained()).codec_latency(), (46, 20));
+        let s = Scheme::slc(trained(), Mag::GDDR5, 16, SlcVariant::TslcOpt);
+        assert_eq!(s.codec_latency(), (60, 20));
+    }
+
+    #[test]
+    fn lossless_schemes_never_mutate_memory() {
+        let mut mem = filled_memory();
+        let before = mem.read_f32(slc_sim::DevicePtr(0), 256);
+        Scheme::Uncompressed.stage(&mut mem);
+        Scheme::E2mc(trained()).stage(&mut mem);
+        assert_eq!(mem.read_f32(slc_sim::DevicePtr(0), 256), before);
+    }
+
+    #[test]
+    fn slc_stages_only_approx_regions() {
+        let mut mem = filled_memory();
+        let exact_before = mem.read_f32(slc_sim::DevicePtr(1024), 256);
+        let s = Scheme::slc(trained(), Mag::GDDR5, 16, SlcVariant::TslcSimp);
+        s.stage(&mut mem);
+        assert_eq!(
+            mem.read_f32(slc_sim::DevicePtr(1024), 256),
+            exact_before,
+            "exact region must be untouched"
+        );
+    }
+
+    #[test]
+    fn bursts_map_compresses_compressible_blocks() {
+        let mem = filled_memory();
+        let scheme = Scheme::E2mc(trained());
+        let map = scheme.bursts_map(&mem, Mag::GDDR5);
+        assert!(!map.is_empty(), "in-distribution data should compress below 4 bursts");
+        assert!(map.mean_bursts() < 4.0);
+    }
+
+    #[test]
+    fn uncompressed_map_is_empty() {
+        let mem = filled_memory();
+        let map = Scheme::Uncompressed.bursts_map(&mem, Mag::GDDR5);
+        assert!(map.is_empty());
+    }
+
+    #[test]
+    fn slc_bursts_never_exceed_lossless() {
+        let e = trained();
+        let slc = Scheme::slc(e.clone(), Mag::GDDR5, 16, SlcVariant::TslcOpt);
+        let lossless = Scheme::E2mc(e);
+        let mut block = [0u8; BLOCK_BYTES];
+        for (i, c) in block.chunks_exact_mut(4).enumerate() {
+            c.copy_from_slice(&(((i * 3) % 512) as f32).to_le_bytes());
+        }
+        let a = slc.bursts_for_block(&block, Mag::GDDR5, true);
+        let b = lossless.bursts_for_block(&block, Mag::GDDR5, true);
+        assert!(a <= b);
+    }
+}

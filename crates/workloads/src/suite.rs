@@ -1,0 +1,154 @@
+//! The workload abstraction and the benchmark registry (Table III).
+
+use crate::metrics::ErrorMetric;
+use slc_sim::{GpuMemory, Trace};
+
+/// Input scaling relative to the paper's inputs.
+///
+/// The paper runs 4 M options / 1024² images / 8–20 M elements on
+/// gpgpu-sim; this reproduction defaults to 4–16× smaller inputs so the
+/// full figure suite runs in minutes (DESIGN.md §7). `Full` matches the
+/// paper sizes where feasible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Scale {
+    /// Fast inputs for unit/integration tests.
+    Tiny,
+    /// Default experiment inputs (4–16× below the paper).
+    #[default]
+    Small,
+    /// Paper-sized inputs.
+    Full,
+}
+
+impl Scale {
+    /// Reads `SLC_SCALE` (`tiny` / `small` / `full`) with `Small` default.
+    pub fn from_env() -> Self {
+        match std::env::var("SLC_SCALE").as_deref() {
+            Ok("tiny") => Scale::Tiny,
+            Ok("full") => Scale::Full,
+            _ => Scale::Small,
+        }
+    }
+
+    /// A scale-dependent pick: `tiny` / `small` / `full`.
+    pub fn pick(self, tiny: usize, small: usize, full: usize) -> usize {
+        match self {
+            Scale::Tiny => tiny,
+            Scale::Small => small,
+            Scale::Full => full,
+        }
+    }
+}
+
+/// One benchmark of Table III.
+///
+/// A workload owns its sizes (fixed at construction from a [`Scale`]) and
+/// provides the functional pipeline, the memory trace, and the error
+/// metric. All methods are deterministic in the seed.
+pub trait Workload: Send + Sync {
+    /// Table III short name ("JM", "BS", ...).
+    fn name(&self) -> &'static str;
+
+    /// Table III description.
+    fn description(&self) -> &'static str;
+
+    /// Table III error metric.
+    fn metric(&self) -> ErrorMetric;
+
+    /// Table III's #AR: how many regions the annotation marks safe.
+    fn approx_regions(&self) -> usize;
+
+    /// Table III input description (at the current scale).
+    fn input_description(&self) -> String;
+
+    /// Allocates and fills device memory (the extended-`cudaMalloc`
+    /// annotations live here).
+    fn build(&self, seed: u64) -> GpuMemory;
+
+    /// Runs the kernel pipeline. `stage` is the kernel-boundary DRAM
+    /// round-trip: implementations must call it after uploading inputs and
+    /// between dependent kernels, mirroring where data crosses DRAM.
+    fn execute(&self, mem: &mut GpuMemory, stage: &mut dyn FnMut(&mut GpuMemory));
+
+    /// Extracts the output the error metric is computed over.
+    fn output(&self, mem: &GpuMemory) -> Vec<f32>;
+
+    /// The memory trace of the kernel pipeline for `sms` SMs (access
+    /// pattern is data-independent for all Table III benchmarks).
+    fn trace(&self, sms: usize) -> Trace;
+
+    /// Error between an approximated output and the exact output,
+    /// in percent.
+    fn error(&self, exact: &[f32], approx: &[f32]) -> f64 {
+        self.metric().compute(exact, approx)
+    }
+}
+
+/// All nine benchmarks at `scale`, in the paper's figure order.
+pub fn all_workloads(scale: Scale) -> Vec<Box<dyn Workload>> {
+    use crate::benchmarks::*;
+    vec![
+        Box::new(jm::Jm::new(scale)),
+        Box::new(bs::Bs::new(scale)),
+        Box::new(dct::Dct::new(scale)),
+        Box::new(fwt::Fwt::new(scale)),
+        Box::new(tp::Tp::new(scale)),
+        Box::new(bp::Bp::new(scale)),
+        Box::new(nn::Nn::new(scale)),
+        Box::new(srad::Srad::v1(scale)),
+        Box::new(srad::Srad::v2(scale)),
+    ]
+}
+
+/// Looks up one benchmark by its Table III name (case-insensitive).
+pub fn workload_by_name(name: &str, scale: Scale) -> Option<Box<dyn Workload>> {
+    all_workloads(scale).into_iter().find(|w| w.name().eq_ignore_ascii_case(name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_has_nine_benchmarks_in_paper_order() {
+        let names: Vec<&str> = all_workloads(Scale::Tiny).iter().map(|w| w.name()).collect();
+        assert_eq!(names, ["JM", "BS", "DCT", "FWT", "TP", "BP", "NN", "SRAD1", "SRAD2"]);
+    }
+
+    #[test]
+    fn approx_region_counts_match_table_iii() {
+        let expected = [6, 4, 2, 2, 2, 6, 2, 8, 6];
+        for (w, &ar) in all_workloads(Scale::Tiny).iter().zip(&expected) {
+            assert_eq!(w.approx_regions(), ar, "{}", w.name());
+            // The built memory must agree with the declared count.
+            let mem = w.build(1);
+            assert_eq!(mem.approx_regions(), ar, "{} built memory", w.name());
+        }
+    }
+
+    #[test]
+    fn lookup_is_case_insensitive() {
+        assert!(workload_by_name("srad1", Scale::Tiny).is_some());
+        assert!(workload_by_name("BS", Scale::Tiny).is_some());
+        assert!(workload_by_name("nope", Scale::Tiny).is_none());
+    }
+
+    #[test]
+    fn scale_pick() {
+        assert_eq!(Scale::Tiny.pick(1, 2, 3), 1);
+        assert_eq!(Scale::Small.pick(1, 2, 3), 2);
+        assert_eq!(Scale::Full.pick(1, 2, 3), 3);
+    }
+
+    #[test]
+    fn builds_are_deterministic() {
+        for w in all_workloads(Scale::Tiny) {
+            let a = w.build(42);
+            let b = w.build(42);
+            assert_eq!(a.regions().len(), b.regions().len());
+            let pa = w.output(&a);
+            let pb = w.output(&b);
+            assert_eq!(pa, pb, "{} build not deterministic", w.name());
+        }
+    }
+}

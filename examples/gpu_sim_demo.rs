@@ -1,0 +1,53 @@
+//! GPU simulator demo: drive the timing model directly with a synthetic
+//! streaming trace and watch bandwidth become cycles.
+//!
+//! ```sh
+//! cargo run --release --example gpu_sim_demo
+//! ```
+
+use slc::slc_sim::mc::UniformBursts;
+use slc::slc_sim::trace::TraceBuilder;
+use slc::slc_sim::{Engine, GpuConfig};
+
+fn main() {
+    let cfg = GpuConfig::default();
+    println!(
+        "GTX580-like GPU: {} SMs @ {} MHz, {} channels, {:.1} GB/s, MAG {}",
+        cfg.sms,
+        cfg.sm_clock_mhz,
+        cfg.channels(),
+        cfg.bandwidth_gbps(),
+        cfg.mag()
+    );
+
+    // A memory-bound streaming kernel: 16k blocks (2 MB), light math.
+    let mut b = TraceBuilder::new(cfg.sms);
+    b.stream_sweep(0, 16_384, 8, 2, None);
+    let trace = b.build();
+
+    println!(
+        "\n{:>22}  {:>10}  {:>10}  {:>8}  {:>9}",
+        "compression", "cycles", "bursts", "speedup", "BW util"
+    );
+    let base = Engine::new(cfg.clone()).run(&trace, &UniformBursts(4));
+    for (label, bursts, compress, decompress) in [
+        ("none (4 bursts)", 4u32, 0u64, 0u64),
+        ("2x lossless (2+dec)", 2, 46, 20),
+        ("4x lossless (1+dec)", 1, 46, 20),
+    ] {
+        let cfg_run = cfg.clone().with_codec_latency(compress, decompress);
+        let stats = Engine::new(cfg_run).run(&trace, &UniformBursts(bursts));
+        println!(
+            "{:>22}  {:>10}  {:>10}  {:>8.3}  {:>8.1}%",
+            label,
+            stats.cycles,
+            stats.total_bursts(),
+            base.cycles as f64 / stats.cycles as f64,
+            stats.achieved_bandwidth_gbps(cfg.mag().bytes(), cfg.sm_clock_mhz)
+                / cfg.bandwidth_gbps()
+                * 100.0
+        );
+    }
+    println!("\nFor a bandwidth-bound kernel, halving bursts approaches a 2x speedup —");
+    println!("the headroom SLC captures by rounding compressed blocks down to MAG multiples.");
+}

@@ -1,0 +1,68 @@
+//! Quickstart: compress one block with SLC and inspect every decision.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use slc::slc_compress::e2mc::{E2mc, E2mcConfig};
+use slc::slc_compress::{BlockCompressor, Mag, BLOCK_BYTES};
+use slc::slc_core::budget::ModeChoice;
+use slc::slc_core::slc::{SlcCompressor, SlcConfig, SlcVariant, StoredKind};
+
+fn main() {
+    // 1. Train the lossless E2MC baseline on traffic representative of
+    //    the application (here: a smooth f32 field at sensor precision).
+    let training: Vec<u8> = (0..1u32 << 16)
+        .flat_map(|i| {
+            let v = 1000.0 + ((i % 512) as f32) * 0.25;
+            v.to_le_bytes()
+        })
+        .collect();
+    let e2mc = E2mc::train_on_bytes(&training, &E2mcConfig::default());
+
+    // 2. Wrap it with SLC: GDDR5 MAG (32 B), 16 B lossy threshold,
+    //    TSLC-OPT (prediction + extra tree nodes).
+    let config = SlcConfig::new(Mag::GDDR5, 16, SlcVariant::TslcOpt);
+    let slc = SlcCompressor::new(e2mc.clone(), config);
+
+    // 3. Compress a few blocks and show the Fig. 4 decision flow.
+    println!("{:>5}  {:>9}  {:>9}  {:>6}  {:>8}  {:>6}", "block", "lossless", "stored", "extra", "mode", "bursts");
+    for k in 0..8 {
+        let mut block = [0u8; BLOCK_BYTES];
+        for (i, c) in block.chunks_exact_mut(4).enumerate() {
+            // On-grid sensor samples with occasional full-precision
+            // outliers: the mix that lands blocks a few bytes above MAG.
+            let mut v = 1000.0 + ((k * 37 + i) % 512) as f32 * 0.25;
+            if i % (5 + k) == 0 {
+                v += 0.001 * (i + 1) as f32;
+            }
+            c.copy_from_slice(&v.to_le_bytes());
+        }
+        let lossless_bits = e2mc.size_bits(&block);
+        let enc = slc.compress(&block);
+        let mode = match enc.kind() {
+            StoredKind::Uncompressed => "verbat".to_owned(),
+            StoredKind::Lossless => "lossls".to_owned(),
+            StoredKind::Lossy { selection } => format!("lossy({})", selection.symbols),
+        };
+        println!(
+            "{:>5}  {:>8}b  {:>8}b  {:>5}b  {:>8}  {:>6}",
+            k,
+            lossless_bits,
+            enc.size_bits(),
+            enc.decision().extra_bits,
+            mode,
+            enc.bursts()
+        );
+        // Round-trip: lossless blocks reproduce exactly, lossy blocks
+        // differ only in the approximated symbols.
+        let out = slc.decompress(&enc);
+        match enc.decision().mode {
+            ModeChoice::Lossy if enc.is_lossy() => {
+                let diff = block.iter().zip(&out).filter(|(a, b)| a != b).count();
+                println!("       -> {diff} of 128 bytes approximated");
+            }
+            _ => assert_eq!(out, block, "lossless round-trip must be exact"),
+        }
+    }
+}
