@@ -22,25 +22,19 @@ fn artifacts() -> (Harness, slc_workloads::BenchmarkArtifacts, Vec<Block>) {
     let h = Harness::new(Scale::Tiny);
     let w = workload_by_name("NN", Scale::Tiny).expect("registered");
     let a = h.prepare(w.as_ref());
-    let blocks: Vec<Block> = a
-        .exact_memory
-        .all_blocks()
-        .filter(|(r, _)| r.safe_to_approx)
-        .map(|(_, b)| b)
-        .collect();
+    let blocks: Vec<Block> =
+        a.exact_memory.all_blocks().filter(|(r, _)| r.safe_to_approx).map(|(_, b)| b).collect();
     (h, a, blocks)
 }
 
 fn ablate_opt_nodes(c: &mut Criterion) {
     let (_, a, blocks) = artifacts();
     println!("\n=== Ablation: TSLC-OPT extra tree nodes (over-approximation) ===");
-    for (label, variant) in
-        [("plain tree (TSLC-PRED)", SlcVariant::TslcPred), ("extra nodes (TSLC-OPT)", SlcVariant::TslcOpt)]
-    {
-        let slc = SlcCompressor::new(
-            a.e2mc.clone(),
-            SlcConfig::new(Mag::GDDR5, 16, variant),
-        );
+    for (label, variant) in [
+        ("plain tree (TSLC-PRED)", SlcVariant::TslcPred),
+        ("extra nodes (TSLC-OPT)", SlcVariant::TslcOpt),
+    ] {
+        let slc = SlcCompressor::new(a.e2mc.clone(), SlcConfig::new(Mag::GDDR5, 16, variant));
         let mut lossy = 0u64;
         let mut symbols = 0u64;
         let mut over_bits = 0u64;
@@ -97,12 +91,13 @@ fn ablate_predictor(c: &mut Criterion) {
                 sq += d * d;
             }
         }
-        println!("{label:>30}: rms symbol error {:.1} over {lossy} lossy blocks", (sq / lossy.max(1) as f64).sqrt());
+        println!(
+            "{label:>30}: rms symbol error {:.1} over {lossy} lossy blocks",
+            (sq / lossy.max(1) as f64).sqrt()
+        );
     }
-    let slc = SlcCompressor::new(
-        a.e2mc.clone(),
-        SlcConfig::new(Mag::GDDR5, 16, SlcVariant::TslcPred),
-    );
+    let slc =
+        SlcCompressor::new(a.e2mc.clone(), SlcConfig::new(Mag::GDDR5, 16, SlcVariant::TslcPred));
     let lossy: Vec<_> = blocks.iter().map(|b| slc.compress(b)).filter(|e| e.is_lossy()).collect();
     c.bench_function("ablation/decompress_lossy", |b| {
         let mut i = 0;

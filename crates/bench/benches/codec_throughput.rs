@@ -1,7 +1,18 @@
 //! Microbenchmarks: per-block compress/decompress throughput of every
 //! codec, plus SLC's size-only fast path (the hardware's tree adder).
+//!
+//! The sample set mixes the block archetypes GPU traffic exhibits — zero
+//! blocks, repeated values, integer ramps, small integers, smooth float
+//! fields, pointer-like clustered words and incompressible noise — so
+//! every codec exercises its real encode *and* decode paths (an
+//! all-float-ramp set would let BDI/FPC fall back to verbatim storage and
+//! "benchmark" a memcpy).
+//!
+//! Besides printing results, the bench writes a `BENCH_codec.json`
+//! baseline to the repo root (override the path with `BENCH_CODEC_JSON`)
+//! so future changes can be compared against the recorded trajectory.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use criterion::{BatchSize, Criterion};
 use slc_compress::bdi::Bdi;
 use slc_compress::bpc::Bpc;
 use slc_compress::cpack::Cpack;
@@ -10,25 +21,68 @@ use slc_compress::fpc::Fpc;
 use slc_compress::{Block, BlockCompressor, Mag, BLOCK_BYTES};
 use slc_core::slc::{SlcCompressor, SlcConfig, SlcVariant};
 
+/// Deterministic per-block PRNG (SplitMix64) for the noise archetype.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn block_from_u32s(f: impl Fn(usize) -> u32) -> Block {
+    let mut b = [0u8; BLOCK_BYTES];
+    for (i, c) in b.chunks_exact_mut(4).enumerate() {
+        c.copy_from_slice(&f(i).to_le_bytes());
+    }
+    b
+}
+
 fn sample_blocks() -> Vec<Block> {
-    // Mixed-compressibility float blocks, like workload traffic.
-    (0..64u32)
-        .map(|k| {
-            let mut b = [0u8; BLOCK_BYTES];
-            for (i, c) in b.chunks_exact_mut(4).enumerate() {
-                let v = 100.0 + (k * 32 + i as u32) as f32 * 0.25
-                    + if i % 7 == 0 { 0.001337 * k as f32 } else { 0.0 };
-                c.copy_from_slice(&v.to_le_bytes());
+    (0..64u64)
+        .map(|k| match k % 8 {
+            // All zero: best case everywhere.
+            0 => [0u8; BLOCK_BYTES],
+            // One repeated 8-byte value.
+            1 => block_from_u32s(|i| if i % 2 == 0 { 0xCAFE_F00D } else { 0x1234_5678 }),
+            // Dense u32 ramp: BDI base+delta material.
+            2 => block_from_u32s(|i| 0x4000_0000 + (k as u32) * 977 + 3 * i as u32),
+            // Small integers: FPC sign-extension patterns.
+            3 => block_from_u32s(|i| ((i as u32 * 7 + k as u32) % 256).wrapping_sub(128)),
+            // Smooth float field: E2MC/SLC traffic.
+            4 => block_from_u32s(|i| {
+                (100.0f32
+                    + (k * 32 + i as u64) as f32 * 0.25
+                    + if i % 7 == 0 { 0.001337 * k as f32 } else { 0.0 })
+                .to_bits()
+            }),
+            // Clustered words sharing upper bytes: C-PACK dictionary hits.
+            5 => block_from_u32s(|i| {
+                let cluster = [0x8000_1200u32, 0x8000_3400, 0x9000_5600][i % 3];
+                cluster | (mix(k * 64 + i as u64) & 0xff) as u32
+            }),
+            // Linear ramp with constant stride: BPC's DBX collapses.
+            6 => block_from_u32s(|i| 1_000_000 + 17 * (k as u32 * 32 + i as u32)),
+            // Incompressible noise: worst case / verbatim fallback.
+            _ => {
+                let mut b = [0u8; BLOCK_BYTES];
+                for (i, byte) in b.iter_mut().enumerate() {
+                    *byte = (mix(k * 128 + i as u64) >> 33) as u8;
+                }
+                b
             }
-            b
         })
         .collect()
 }
 
+fn trained_e2mc(blocks: &[Block]) -> E2mc {
+    let training: Vec<u8> = blocks.iter().flat_map(|b| b.to_vec()).collect();
+    E2mc::train_on_bytes(&training, &E2mcConfig::default())
+}
+
 fn bench_codecs(c: &mut Criterion) {
     let blocks = sample_blocks();
-    let training: Vec<u8> = blocks.iter().flat_map(|b| b.to_vec()).collect();
-    let e2mc = E2mc::train_on_bytes(&training, &E2mcConfig::default());
+    let e2mc = trained_e2mc(&blocks);
     let bdi = Bdi::new();
     let fpc = Fpc::new();
     let cpack = Cpack::new();
@@ -48,12 +102,6 @@ fn bench_codecs(c: &mut Criterion) {
     g.finish();
 
     let mut g = c.benchmark_group("decompress_block");
-    let bdi2 = Bdi::new();
-    let fpc2 = Fpc::new();
-    let cpack2 = Cpack::new();
-    let bpc2 = Bpc::new();
-    let codecs: [(&str, &dyn BlockCompressor); 5] =
-        [("bdi", &bdi2), ("fpc", &fpc2), ("cpack", &cpack2), ("bpc", &bpc2), ("e2mc", &e2mc)];
     for (name, codec) in codecs {
         let compressed: Vec<_> = blocks.iter().map(|b| codec.compress(b)).collect();
         g.bench_function(name, |b| {
@@ -69,8 +117,7 @@ fn bench_codecs(c: &mut Criterion) {
 
 fn bench_slc_paths(c: &mut Criterion) {
     let blocks = sample_blocks();
-    let training: Vec<u8> = blocks.iter().flat_map(|b| b.to_vec()).collect();
-    let e2mc = E2mc::train_on_bytes(&training, &E2mcConfig::default());
+    let e2mc = trained_e2mc(&blocks);
     let slc = SlcCompressor::new(e2mc, SlcConfig::new(Mag::GDDR5, 16, SlcVariant::TslcOpt));
     let mut g = c.benchmark_group("slc");
     g.bench_function("stored_bits_fast_path", |b| {
@@ -101,5 +148,30 @@ fn bench_slc_paths(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_codecs, bench_slc_paths);
-criterion_main!(benches);
+/// Serialises results as the `BENCH_codec.json` baseline.
+fn write_baseline(c: &Criterion) {
+    let path = std::env::var("BENCH_CODEC_JSON")
+        .unwrap_or_else(|_| format!("{}/../../BENCH_codec.json", env!("CARGO_MANIFEST_DIR")));
+    let mut json = String::from(
+        "{\n  \"bench\": \"codec_throughput\",\n  \"unit\": \"ns_per_iter\",\n  \"results\": [\n",
+    );
+    for (i, r) in c.results().iter().enumerate() {
+        let sep = if i + 1 == c.results().len() { "" } else { "," };
+        json.push_str(&format!(
+            "    {{\"id\": \"{}\", \"ns_per_iter\": {:.1}, \"iterations\": {}}}{}\n",
+            r.id, r.ns_per_iter, r.iterations, sep
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    match std::fs::write(&path, json) {
+        Ok(()) => println!("baseline written to {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+fn main() {
+    let mut c = Criterion::default();
+    bench_codecs(&mut c);
+    bench_slc_paths(&mut c);
+    write_baseline(&c);
+}

@@ -22,12 +22,8 @@ fn fig7_fig8(c: &mut Criterion) {
     g.sample_size(10);
     g.bench_function("nn_tslc_opt_pipeline", |b| {
         b.iter(|| {
-            let scheme = Scheme::slc(
-                artifacts.e2mc.clone(),
-                harness.config.mag(),
-                16,
-                SlcVariant::TslcOpt,
-            );
+            let scheme =
+                Scheme::slc(artifacts.e2mc.clone(), harness.config.mag(), 16, SlcVariant::TslcOpt);
             harness.evaluate(w.as_ref(), &artifacts, &scheme)
         })
     });

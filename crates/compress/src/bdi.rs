@@ -12,7 +12,7 @@
 //! repeats a single 8-byte value.
 
 use crate::bitstream::{BitReader, BitWriter};
-use crate::{Block, BlockCompressor, Compressed, BLOCK_BYTES, BLOCK_BITS};
+use crate::{Block, BlockCompressor, Compressed, BLOCK_BITS, BLOCK_BYTES};
 
 /// The BDI encoding chosen for a block, ordered by decreasing specificity.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -132,6 +132,9 @@ impl Bdi {
     }
 
     /// Determines the best encoding for `block` without materialising it.
+    ///
+    /// Same planner as [`compress`](BlockCompressor::compress), so the two
+    /// can never disagree on the winning variant.
     pub fn choose_encoding(&self, block: &Block) -> BdiEncoding {
         if block.iter().all(|&b| b == 0) {
             return BdiEncoding::Zeros;
@@ -139,30 +142,70 @@ impl Bdi {
         if is_repeat8(block) {
             return BdiEncoding::Repeat;
         }
-        let mut best = BdiEncoding::Uncompressed;
-        let mut best_bits = BLOCK_BITS;
-        for (enc, base, delta) in BdiEncoding::BASE_DELTA_VARIANTS {
-            if plan_base_delta(block, base, delta).is_some() {
-                let bits = enc.size_bits();
-                if bits < best_bits {
-                    best = enc;
-                    best_bits = bits;
-                }
-            }
+        match best_base_delta(block, &mut [0u64; MAX_VALUES]) {
+            Some((enc, ..)) => enc,
+            None => BdiEncoding::Uncompressed,
         }
-        best
     }
 }
 
-fn values_of(block: &Block, width: usize) -> Vec<u64> {
-    block
-        .chunks_exact(width)
-        .map(|c| {
-            let mut buf = [0u8; 8];
-            buf[..width].copy_from_slice(c);
-            u64::from_le_bytes(buf)
-        })
-        .collect()
+/// Best representable base+delta variant of `block` with its full plan
+/// `(enc, base_bytes, delta_bytes, base, mask)`, or `None` when no
+/// geometry fits. One value-extraction and one planning pass per base
+/// width; each pass evaluates every delta size of that width at once.
+/// Winner selection matches evaluating `BASE_DELTA_VARIANTS` in the
+/// hardware's listed order with a strict improvement test.
+/// On `Some`, `values` holds the winning base width's decoded values, so
+/// the encode step needs no further extraction pass.
+fn best_base_delta(
+    block: &Block,
+    values: &mut [u64; MAX_VALUES],
+) -> Option<(BdiEncoding, usize, usize, u64, u64)> {
+    let mut best: Option<(BdiEncoding, usize, usize, u64, u64)> = None;
+    let mut best_bits = BLOCK_BITS;
+    let mut best_order = usize::MAX;
+    let mut extracted = 0usize;
+    for (base_bytes, deltas) in [(8usize, &[1usize, 2, 4][..]), (4, &[1, 2]), (2, &[1])] {
+        let n = values_of(block, base_bytes, values);
+        extracted = base_bytes;
+        let plans = plan_widths(&values[..n], base_bytes, deltas);
+        for (&delta_bytes, plan) in deltas.iter().zip(plans) {
+            let Some((base, mask)) = plan else { continue };
+            let (order, (enc, ..)) = BdiEncoding::BASE_DELTA_VARIANTS
+                .iter()
+                .copied()
+                .enumerate()
+                .find(|&(_, (_, b, d))| b == base_bytes && d == delta_bytes)
+                .expect("variant listed");
+            let bits = enc.size_bits();
+            if bits < best_bits || (bits == best_bits && order < best_order) {
+                best = Some((enc, base_bytes, delta_bytes, base, mask));
+                best_bits = bits;
+                best_order = order;
+            }
+        }
+    }
+    if let Some((_, base_bytes, ..)) = best {
+        if base_bytes != extracted {
+            values_of(block, base_bytes, values);
+        }
+    }
+    best
+}
+
+/// Maximum number of values per block (base size 2 -> 64 values).
+const MAX_VALUES: usize = BLOCK_BYTES / 2;
+
+/// Decodes the block into `width`-byte little-endian values; returns the
+/// value count. Fixed-size output keeps the per-block path allocation-free.
+fn values_of(block: &Block, width: usize, out: &mut [u64; MAX_VALUES]) -> usize {
+    let n = BLOCK_BYTES / width;
+    for (slot, c) in out.iter_mut().zip(block.chunks_exact(width)) {
+        let mut buf = [0u8; 8];
+        buf[..width].copy_from_slice(c);
+        *slot = u64::from_le_bytes(buf);
+    }
+    n
 }
 
 fn is_repeat8(block: &Block) -> bool {
@@ -170,37 +213,60 @@ fn is_repeat8(block: &Block) -> bool {
     block.chunks_exact(8).all(|c| c == first)
 }
 
-fn fits_signed(delta: i64, delta_bytes: usize) -> bool {
-    let bits = delta_bytes as u32 * 8;
-    let min = -(1i64 << (bits - 1));
-    let max = (1i64 << (bits - 1)) - 1;
-    (min..=max).contains(&delta)
-}
-
-/// Per-value plan: `true` = delta against the explicit base, `false` =
-/// against the implicit zero base. Returns the base and the mask, or `None`
-/// when the block is not representable with this (base, delta) geometry.
-fn plan_base_delta(block: &Block, base_bytes: usize, delta_bytes: usize) -> Option<(u64, Vec<bool>)> {
-    let values = values_of(block, base_bytes);
-    // The base is the first value that the zero base cannot represent.
-    let base = values
-        .iter()
-        .copied()
-        .find(|&v| !fits_signed(sign_extend_sub(v, 0, base_bytes), delta_bytes))
-        .unwrap_or(0);
-    let mut mask = Vec::with_capacity(values.len());
-    for &v in &values {
-        let from_zero = sign_extend_sub(v, 0, base_bytes);
-        let from_base = sign_extend_sub(v, base, base_bytes);
-        if fits_signed(from_zero, delta_bytes) {
-            mask.push(false);
-        } else if fits_signed(from_base, delta_bytes) {
-            mask.push(true);
-        } else {
-            return None;
+/// Plans every delta size of one base width in a single pass over the
+/// values. Per delta size the result is a per-value plan: bit `i` of the
+/// mask set = value `i` deltas against the explicit base, clear = against
+/// the implicit zero base (at most 64 values, so one `u64` bitmap);
+/// `None` when the block is not representable with that geometry. The
+/// base is the first value the zero base cannot represent (which
+/// therefore deltas against itself); later values must fit one of the
+/// two bases.
+///
+/// "Delta fits `d` signed bytes" is tested branchlessly as
+/// `((v - base + 2^(8d-1)) mod 2^(8w)) < 2^(8d)` — one add, mask and
+/// compare per value instead of sign-extension arithmetic.
+fn plan_widths(values: &[u64], base_bytes: usize, deltas: &[usize]) -> [Option<(u64, u64)>; 3] {
+    #[derive(Clone, Copy, Default)]
+    struct DeltaState {
+        dead: bool,
+        base_found: bool,
+        base: u64,
+        mask: u64,
+        half: u64,
+        full: u64,
+    }
+    let wmask = mask_for(base_bytes);
+    let mut states = [DeltaState::default(); 3];
+    for (state, &d) in states.iter_mut().zip(deltas) {
+        state.half = 1u64 << (d as u32 * 8 - 1);
+        state.full = 1u64 << (d as u32 * 8);
+    }
+    for (i, &v) in values.iter().enumerate() {
+        for state in states[..deltas.len()].iter_mut() {
+            if state.dead {
+                continue;
+            }
+            if v.wrapping_add(state.half) & wmask < state.full {
+                continue; // zero base covers it
+            }
+            if !state.base_found {
+                state.base_found = true;
+                state.base = v;
+                state.mask |= 1u64 << i; // delta 0 against itself
+            } else if v.wrapping_sub(state.base).wrapping_add(state.half) & wmask < state.full {
+                state.mask |= 1u64 << i;
+            } else {
+                state.dead = true;
+            }
         }
     }
-    Some((base, mask))
+    let mut out = [None; 3];
+    for (slot, state) in out.iter_mut().zip(states).take(deltas.len()) {
+        if !state.dead {
+            *slot = Some((state.base, state.mask));
+        }
+    }
+    out
 }
 
 /// Computes `v - base` in the `width`-byte signed domain.
@@ -222,34 +288,37 @@ impl BlockCompressor for Bdi {
     }
 
     fn compress(&self, block: &Block) -> Compressed {
-        let enc = self.choose_encoding(block);
-        let mut w = BitWriter::new();
+        // Plan inline (one pass shared with the encode step) instead of
+        // calling choose_encoding and re-deriving the winning plan.
+        if block.iter().all(|&b| b == 0) {
+            let mut w = BitWriter::new();
+            w.write(BdiEncoding::Zeros.tag() as u64, 4);
+            let (payload, bits) = w.finish();
+            return Compressed::new(bits, payload);
+        }
+        if is_repeat8(block) {
+            let mut w = BitWriter::new();
+            w.write(BdiEncoding::Repeat.tag() as u64, 4);
+            w.write(u64::from_le_bytes(block[..8].try_into().expect("8 bytes")), 64);
+            let (payload, bits) = w.finish();
+            return Compressed::new(bits, payload);
+        }
+        let mut values = [0u64; MAX_VALUES];
+        let Some((enc, base_bytes, delta_bytes, base, mask)) = best_base_delta(block, &mut values)
+        else {
+            return Compressed::uncompressed(block);
+        };
+        let n = BLOCK_BYTES / base_bytes;
+        let mut w = BitWriter::with_capacity_bits(enc.size_bits());
         w.write(enc.tag() as u64, 4);
-        match enc {
-            BdiEncoding::Zeros => {}
-            BdiEncoding::Repeat => {
-                w.write(u64::from_le_bytes(block[..8].try_into().expect("8 bytes")), 64);
-            }
-            BdiEncoding::Uncompressed => return Compressed::uncompressed(block),
-            _ => {
-                let (_, base_bytes, delta_bytes) = BdiEncoding::BASE_DELTA_VARIANTS
-                    .iter()
-                    .copied()
-                    .find(|&(e, _, _)| e == enc)
-                    .expect("variant listed");
-                let (base, mask) =
-                    plan_base_delta(block, base_bytes, delta_bytes).expect("encoding was validated");
-                let values = values_of(block, base_bytes);
-                w.write(base & mask_for(base_bytes), base_bytes as u32 * 8);
-                for &m in &mask {
-                    w.write(m as u64, 1);
-                }
-                for (v, &m) in values.iter().zip(&mask) {
-                    let b = if m { base } else { 0 };
-                    let delta = sign_extend_sub(*v, b, base_bytes);
-                    w.write((delta as u64) & mask_for(delta_bytes), delta_bytes as u32 * 8);
-                }
-            }
+        w.write(base & mask_for(base_bytes), base_bytes as u32 * 8);
+        // Value 0's flag goes first on the wire (MSB of the field):
+        // reverse the LSB-indexed bitmap once and write it whole.
+        w.write(mask.reverse_bits() >> (64 - n), n as u32);
+        for (i, &v) in values[..n].iter().enumerate() {
+            let b = if (mask >> i) & 1 == 1 { base } else { 0 };
+            let delta = sign_extend_sub(v, b, base_bytes);
+            w.write((delta as u64) & mask_for(delta_bytes), delta_bytes as u32 * 8);
         }
         let (payload, bits) = w.finish();
         debug_assert_eq!(bits, enc.size_bits());
@@ -273,7 +342,9 @@ impl BlockCompressor for Bdi {
                     chunk.copy_from_slice(&v);
                 }
             }
-            BdiEncoding::Uncompressed => unreachable!("verbatim blocks use Compressed::uncompressed"),
+            BdiEncoding::Uncompressed => {
+                unreachable!("verbatim blocks use Compressed::uncompressed")
+            }
             _ => {
                 let (_, base_bytes, delta_bytes) = BdiEncoding::BASE_DELTA_VARIANTS
                     .iter()
@@ -282,14 +353,27 @@ impl BlockCompressor for Bdi {
                     .expect("variant listed");
                 let n = BLOCK_BYTES / base_bytes;
                 let base = r.read(base_bytes as u32 * 8);
-                let mask: Vec<bool> = (0..n).map(|_| r.read_bit()).collect();
-                for (i, &m) in mask.iter().enumerate() {
-                    let raw = r.read(delta_bytes as u32 * 8);
-                    let delta = sign_extend(raw, delta_bytes);
-                    let b = if m { base } else { 0 };
-                    let v = b.wrapping_add(delta as u64) & mask_for(base_bytes);
-                    out[i * base_bytes..(i + 1) * base_bytes]
-                        .copy_from_slice(&v.to_le_bytes()[..base_bytes]);
+                // n <= 64, so the whole mask is one bitmap read.
+                let mask = r.read(n as u32);
+                // Deltas are fetched up to 64 bits at a time and split in
+                // registers instead of one reader call per value.
+                let dbits = delta_bytes as u32 * 8;
+                let per_read = (64 / dbits) as usize;
+                let dmask = mask_for(delta_bytes);
+                let mut i = 0;
+                while i < n {
+                    let take = (n - i).min(per_read);
+                    let raw = r.read(take as u32 * dbits);
+                    for t in 0..take {
+                        let v_raw = (raw >> ((take - 1 - t) as u32 * dbits)) & dmask;
+                        let delta = sign_extend(v_raw, delta_bytes);
+                        let idx = i + t;
+                        let b = if (mask >> (n - 1 - idx)) & 1 == 1 { base } else { 0 };
+                        let v = b.wrapping_add(delta as u64) & mask_for(base_bytes);
+                        out[idx * base_bytes..(idx + 1) * base_bytes]
+                            .copy_from_slice(&v.to_le_bytes()[..base_bytes]);
+                    }
+                    i += take;
                 }
             }
         }

@@ -3,6 +3,24 @@
 //! Bits are packed MSB-first within each byte, which mirrors how a hardware
 //! shifter would serialise variable-length codewords onto a bus and keeps
 //! the packed streams byte-comparable across codecs.
+//!
+//! # Performance
+//!
+//! Both halves work a machine word at a time instead of bit-by-bit:
+//!
+//! * [`BitWriter`] stages bits in a 64-bit accumulator and flushes whole
+//!   bytes in one `extend_from_slice` per write — no per-bit loop, no
+//!   read-modify-write of previously written bytes.
+//! * [`BitReader`] services any `read`/`peek` from a single 16-byte
+//!   big-endian window load, so a 64-bit field costs one shift and mask
+//!   regardless of alignment.
+//! * [`BitWriter::append`] byte-copies the source stream when the writer
+//!   is byte-aligned and falls back to 57-bit word chunks otherwise.
+//!
+//! The hot-path argument checks in [`BitWriter::write`] are
+//! `debug_assert!`s: release builds trust the codecs (every call site
+//! masks its value to `width` bits), debug builds and the test suite keep
+//! the guard rails.
 
 /// Append-only bit writer.
 ///
@@ -21,6 +39,11 @@
 #[derive(Debug, Clone, Default)]
 pub struct BitWriter {
     bytes: Vec<u8>,
+    /// Staging word: the low `acc_bits` bits are pending output, MSB-first
+    /// (the oldest pending bit is the highest of the `acc_bits`).
+    acc: u64,
+    /// Number of valid bits in `acc` (always `< 8` between calls).
+    acc_bits: u32,
     /// Number of valid bits already written.
     len_bits: u32,
 }
@@ -31,6 +54,11 @@ impl BitWriter {
         Self::default()
     }
 
+    /// Creates an empty writer with capacity for `bits` bits.
+    pub fn with_capacity_bits(bits: u32) -> Self {
+        Self { bytes: Vec::with_capacity(bits.div_ceil(8) as usize), ..Self::default() }
+    }
+
     /// Number of bits written so far.
     pub fn len_bits(&self) -> u32 {
         self.len_bits
@@ -38,46 +66,91 @@ impl BitWriter {
 
     /// Appends the `width` low-order bits of `value`, MSB first.
     ///
-    /// # Panics
+    /// # Invariants
     ///
-    /// Panics if `width > 64` or if `value` has bits set above `width`.
+    /// `width` must be `<= 64` and `value` must fit in `width` bits; both
+    /// are checked with `debug_assert!` only, since every codec call site
+    /// masks its values. Note that for `width == 64` every `u64` fits, so
+    /// the value check applies only to `width < 64` (`(1u64 << 64)` would
+    /// overflow — the guard must never be written as a single shift).
+    /// Release builds additionally mask in [`push`](Self::push), so a
+    /// contract violation corrupts at most its own field, never the
+    /// already-staged bits.
     pub fn write(&mut self, value: u64, width: u32) {
-        assert!(width <= 64, "width {width} exceeds 64");
-        if width < 64 {
-            assert!(value < (1u64 << width), "value {value:#x} does not fit in {width} bits");
+        debug_assert!(width <= 64, "width {width} exceeds 64");
+        debug_assert!(
+            width == 64 || value < (1u64 << width),
+            "value {value:#x} does not fit in {width} bits"
+        );
+        if width == 0 {
+            return;
         }
-        // Write bit-by-bit groups; hardware would use a barrel shifter, a
-        // byte-sliced loop is plenty for a software model.
-        let mut remaining = width;
-        while remaining > 0 {
-            let bit_in_byte = (self.len_bits % 8) as u8;
-            if bit_in_byte == 0 {
-                self.bytes.push(0);
-            }
-            let room = 8 - bit_in_byte as u32;
-            let take = room.min(remaining);
-            let shift = remaining - take;
-            let chunk = ((value >> shift) & ((1u64 << take) - 1)) as u8;
-            let last = self.bytes.last_mut().expect("byte pushed above");
-            *last |= chunk << (room - take);
-            self.len_bits += take;
-            remaining -= take;
+        self.len_bits += width;
+        if width > 57 {
+            // The staging word can hold at most 7 carried bits + 57 new
+            // ones; split wide fields once instead of checking per byte.
+            let low = width - 32;
+            self.push(value >> low, 32);
+            self.push(value, low);
+        } else {
+            self.push(value, width);
         }
+    }
+
+    /// Stages `width <= 57` bits and flushes every complete byte.
+    #[inline]
+    fn push(&mut self, value: u64, width: u32) {
+        // One cheap mask keeps an out-of-contract value from clobbering
+        // the staged bits of earlier writes.
+        let value = value & (u64::MAX >> (64 - width));
+        let total = self.acc_bits + width; // <= 7 + 57 = 64
+        let acc = (self.acc << width) | value;
+        let keep = total % 8;
+        let flush_bytes = (total / 8) as usize;
+        if flush_bytes > 0 {
+            // Left-align the pending bits and emit the complete bytes in
+            // one copy.
+            let aligned = acc << (64 - total);
+            self.bytes.extend_from_slice(&aligned.to_be_bytes()[..flush_bytes]);
+        }
+        self.acc = if keep == 0 { 0 } else { acc & ((1u64 << keep) - 1) };
+        self.acc_bits = keep;
     }
 
     /// Appends the first `bits` bits of another packed stream.
     pub fn append(&mut self, bytes: &[u8], bits: u32) {
-        let mut r = BitReader::new(bytes, bits);
-        let mut remaining = bits;
-        while remaining > 0 {
-            let take = remaining.min(56);
-            self.write(r.read(take), take);
-            remaining -= take;
+        debug_assert!(bytes.len() * 8 >= bits as usize);
+        if bits == 0 {
+            return;
+        }
+        if self.acc_bits == 0 {
+            // Byte-aligned: whole bytes copy verbatim, the tail is staged.
+            let whole = (bits / 8) as usize;
+            self.bytes.extend_from_slice(&bytes[..whole]);
+            let tail = bits % 8;
+            if tail > 0 {
+                self.acc = (bytes[whole] >> (8 - tail)) as u64;
+                self.acc_bits = tail;
+            }
+            self.len_bits += bits;
+        } else {
+            // Misaligned: copy in 56-bit chunks through the normal
+            // write path.
+            let mut r = BitReader::new(bytes, bits);
+            let mut remaining = bits;
+            while remaining > 0 {
+                let take = remaining.min(56);
+                self.write(r.read(take), take);
+                remaining -= take;
+            }
         }
     }
 
     /// Consumes the writer, returning the packed bytes and the bit length.
-    pub fn finish(self) -> (Vec<u8>, u32) {
+    pub fn finish(mut self) -> (Vec<u8>, u32) {
+        if self.acc_bits > 0 {
+            self.bytes.push((self.acc << (8 - self.acc_bits)) as u8);
+        }
         (self.bytes, self.len_bits)
     }
 }
@@ -117,11 +190,54 @@ impl<'a> BitReader<'a> {
         self.len_bits - self.pos
     }
 
+    /// Loads `width <= 64` bits starting at bit `pos`; bytes past the end
+    /// of the slice read as zero.
+    ///
+    /// Fast path: `offset + width <= 64` (always true for `width <= 57`)
+    /// is one 8-byte big-endian load plus a shift; only wider misaligned
+    /// reads pay for a 16-byte window.
+    #[inline]
+    fn window(&self, pos: u32, width: u32) -> u64 {
+        let start = (pos / 8) as usize;
+        let offset = pos % 8;
+        let span = offset + width;
+        if span <= 64 {
+            let word = if start + 8 <= self.bytes.len() {
+                u64::from_be_bytes(self.bytes[start..start + 8].try_into().expect("8 bytes"))
+            } else {
+                let mut buf = [0u8; 8];
+                let avail = self.bytes.len() - start;
+                buf[..avail].copy_from_slice(&self.bytes[start..]);
+                u64::from_be_bytes(buf)
+            };
+            let shifted = word >> (64 - span);
+            if width == 64 {
+                shifted
+            } else {
+                shifted & ((1u64 << width) - 1)
+            }
+        } else {
+            let mut buf = [0u8; 16];
+            let end = self.bytes.len().min(start + 16);
+            buf[..end - start].copy_from_slice(&self.bytes[start..end]);
+            let window = u128::from_be_bytes(buf);
+            // offset <= 7 and width <= 64, so the shift is >= 57 and the
+            // result fits in 64 bits after masking.
+            let shifted = (window >> (128 - span)) as u64;
+            if width == 64 {
+                shifted
+            } else {
+                shifted & ((1u64 << width) - 1)
+            }
+        }
+    }
+
     /// Reads `width` bits MSB-first.
     ///
     /// # Panics
     ///
-    /// Panics if fewer than `width` bits remain.
+    /// Panics if fewer than `width` bits remain (corrupt-stream guard, kept
+    /// in release builds).
     pub fn read(&mut self, width: u32) -> u64 {
         assert!(width <= 64);
         assert!(
@@ -129,18 +245,11 @@ impl<'a> BitReader<'a> {
             "read of {width} bits with only {} remaining",
             self.remaining()
         );
-        let mut out = 0u64;
-        let mut remaining = width;
-        while remaining > 0 {
-            let byte = self.bytes[(self.pos / 8) as usize];
-            let bit_in_byte = self.pos % 8;
-            let avail = 8 - bit_in_byte;
-            let take = avail.min(remaining);
-            let chunk = (byte >> (avail - take)) & ((1u16 << take) - 1) as u8;
-            out = (out << take) | chunk as u64;
-            self.pos += take;
-            remaining -= take;
+        if width == 0 {
+            return 0;
         }
+        let out = self.window(self.pos, width);
+        self.pos += width;
         out
     }
 
@@ -155,17 +264,16 @@ impl<'a> BitReader<'a> {
     /// uses: near the end of the stream the window is padded with zeros.
     pub fn peek_padded(&self, width: u32) -> u64 {
         assert!(width <= 57, "peek window limited to 57 bits");
-        let mut out = 0u64;
-        for i in 0..width {
-            let p = self.pos + i;
-            let bit = if p < self.len_bits {
-                (self.bytes[(p / 8) as usize] >> (7 - p % 8)) & 1
-            } else {
-                0
-            };
-            out = (out << 1) | bit as u64;
+        if width == 0 {
+            return 0;
         }
-        out
+        // Bits past `len_bits` must read as zero even when the backing
+        // slice carries data there, so load only the valid span and pad.
+        let take = width.min(self.remaining());
+        if take == 0 {
+            return 0;
+        }
+        self.window(self.pos, take) << (width - take)
     }
 
     /// Advances the cursor by `width` bits (used together with
@@ -216,12 +324,37 @@ mod tests {
     }
 
     #[test]
+    fn full_width_64_bit_writes_roundtrip() {
+        let mut w = BitWriter::new();
+        w.write(1, 1);
+        w.write(u64::MAX, 64);
+        w.write(0, 64);
+        w.write(0x0123_4567_89ab_cdef, 64);
+        let (bytes, len) = w.finish();
+        assert_eq!(len, 193);
+        let mut r = BitReader::new(&bytes, len);
+        assert_eq!(r.read(1), 1);
+        assert_eq!(r.read(64), u64::MAX);
+        assert_eq!(r.read(64), 0);
+        assert_eq!(r.read(64), 0x0123_4567_89ab_cdef);
+    }
+
+    #[test]
     fn peek_padded_pads_with_zeros() {
         let mut w = BitWriter::new();
         w.write(0b1, 1);
         let (bytes, len) = w.finish();
         let r = BitReader::new(&bytes, len);
         assert_eq!(r.peek_padded(4), 0b1000);
+    }
+
+    #[test]
+    fn peek_padded_ignores_slack_bytes_past_len() {
+        // The backing slice carries set bits beyond len_bits; the padded
+        // window must still read them as zero.
+        let bytes = [0xffu8, 0xff];
+        let r = BitReader::new(&bytes, 3);
+        assert_eq!(r.peek_padded(8), 0b1110_0000);
     }
 
     #[test]
@@ -240,6 +373,21 @@ mod tests {
     }
 
     #[test]
+    fn append_aligned_takes_byte_copy_path() {
+        let mut a = BitWriter::new();
+        a.write(0xAB, 8);
+        let mut b = BitWriter::new();
+        b.write(0x12345, 20);
+        let (bb, blen) = b.finish();
+        a.append(&bb, blen);
+        let (bytes, len) = a.finish();
+        assert_eq!(len, 28);
+        let mut r = BitReader::new(&bytes, len);
+        assert_eq!(r.read(8), 0xAB);
+        assert_eq!(r.read(20), 0x12345);
+    }
+
+    #[test]
     fn seek_rewinds() {
         let mut w = BitWriter::new();
         w.write(0xAA, 8);
@@ -251,6 +399,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg(debug_assertions)]
     #[should_panic(expected = "does not fit")]
     fn write_rejects_oversized_value() {
         let mut w = BitWriter::new();
@@ -294,6 +443,32 @@ mod tests {
             let take = win.min(len);
             let read = r.read(take) << (win - take);
             prop_assert_eq!(peeked, read);
+        }
+
+        #[test]
+        fn prop_append_matches_inline_writes(head in proptest::collection::vec((any::<u64>(), 1u32..=64), 0..8),
+                                             tail in proptest::collection::vec((any::<u64>(), 1u32..=64), 0..8)) {
+            let mask = |v: u64, w: u32| if w == 64 { v } else { v & ((1u64 << w) - 1) };
+            // Reference: everything written inline.
+            let mut inline = BitWriter::new();
+            for &(v, w) in head.iter().chain(&tail) {
+                inline.write(mask(v, w), w);
+            }
+            let (expect_bytes, expect_len) = inline.finish();
+            // Candidate: tail serialised separately and appended.
+            let mut a = BitWriter::new();
+            for &(v, w) in &head {
+                a.write(mask(v, w), w);
+            }
+            let mut b = BitWriter::new();
+            for &(v, w) in &tail {
+                b.write(mask(v, w), w);
+            }
+            let (bb, blen) = b.finish();
+            a.append(&bb, blen);
+            let (bytes, len) = a.finish();
+            prop_assert_eq!(len, expect_len);
+            prop_assert_eq!(bytes, expect_bytes);
         }
     }
 }

@@ -50,22 +50,50 @@ impl Bpc {
     }
 }
 
+/// In-place 32×32 bit-matrix transpose (Hacker's Delight §7-3): 5 swap
+/// rounds of 32-bit ops instead of the naive 32×32 single-bit walk.
+fn transpose32(a: &mut [u32; 32]) {
+    let mut j = 16u32;
+    let mut m = 0x0000_ffffu32;
+    while j != 0 {
+        let mut k = 0usize;
+        while k < 32 {
+            let t = (a[k] ^ (a[k + j as usize] >> j)) & m;
+            a[k] ^= t;
+            a[k + j as usize] ^= t << j;
+            k = (k + j as usize + 1) & !(j as usize);
+        }
+        j >>= 1;
+        m ^= m << j;
+    }
+}
+
 /// Computes the 31-bit DBP planes (bit `j` of plane `k` = bit `k` of
 /// delta `j`) followed by the DBX transform.
+///
+/// The bit-plane rotation is a bit-matrix transpose: planes 0..32 come
+/// from one [`transpose32`] over the deltas' low words (the row/bit
+/// reversals below adapt the transpose's MSB-first orientation), and the
+/// 33rd plane gathers the sign bits directly.
 fn dbx_planes(words: &[u32; WORDS_PER_BLOCK]) -> [u32; PLANES] {
     let mut deltas = [0i64; DELTAS];
     for i in 0..DELTAS {
         deltas[i] = words[i + 1] as i64 - words[i] as i64;
     }
-    let mut dbp = [0u32; PLANES];
-    for (k, plane) in dbp.iter_mut().enumerate() {
-        let mut p = 0u32;
-        for (j, &d) in deltas.iter().enumerate() {
-            let bit = ((d >> k) & 1) as u32;
-            p |= bit << j;
-        }
-        *plane = p;
+    let mut m = [0u32; 32];
+    for (j, &d) in deltas.iter().enumerate() {
+        m[31 - j] = d as u32;
     }
+    transpose32(&mut m);
+    let mut dbp = [0u32; PLANES];
+    for k in 0..32 {
+        dbp[k] = m[31 - k];
+    }
+    let mut top = 0u32;
+    for (j, &d) in deltas.iter().enumerate() {
+        top |= (((d >> 32) & 1) as u32) << j;
+    }
+    dbp[PLANES - 1] = top;
     let mut dbx = [0u32; PLANES];
     dbx[PLANES - 1] = dbp[PLANES - 1];
     for k in 0..PLANES - 1 {
@@ -81,13 +109,19 @@ fn undo_dbx(base: u32, dbx: &[u32; PLANES]) -> [u32; WORDS_PER_BLOCK] {
     for k in (0..PLANES - 1).rev() {
         dbp[k] = dbx[k] ^ dbp[k + 1];
     }
+    // Transpose the 32 low planes back into the deltas' low words; bit 32
+    // comes from the top plane and sign-extends the rest.
+    let mut m = [0u32; 32];
+    for (k, &plane) in dbp[..32].iter().enumerate() {
+        m[31 - k] = plane;
+    }
+    transpose32(&mut m);
     let mut words = [0u32; WORDS_PER_BLOCK];
     words[0] = base;
     for j in 0..DELTAS {
-        let mut d = 0i64;
-        for (k, &plane) in dbp.iter().enumerate() {
-            d |= (((plane >> j) & 1) as i64) << k;
-        }
+        let low = m[31 - j] as u64;
+        let bit32 = ((dbp[PLANES - 1] >> j) & 1) as u64;
+        let d = ((bit32 << 32) | low) as i64;
         // Sign-extend from bit 32.
         let d = (d << (64 - PLANES)) >> (64 - PLANES);
         words[j + 1] = (words[j] as i64 + d) as u32;
@@ -101,8 +135,8 @@ fn write_plane_run(w: &mut BitWriter, run: u32) {
     if run == 1 {
         w.write(0b01, 2); // single all-zero plane
     } else {
-        w.write(0b001, 3); // zero-run of 2..=33 planes
-        w.write(u64::from(run - 2), 5);
+        // Zero-run of 2..=33 planes: '001' + 5-bit length, one write.
+        w.write(u64::from((0b001 << 5) | (run - 2)), 8);
     }
 }
 
@@ -120,11 +154,9 @@ impl BlockCompressor for Bpc {
         if base == 0 {
             w.write(0b00, 2);
         } else if base <= 0xffff {
-            w.write(0b01, 2);
-            w.write(base as u64, 16);
+            w.write((0b01 << 16) | base as u64, 18);
         } else {
-            w.write(0b1, 1);
-            w.write(base as u64, 32);
+            w.write((1 << 32) | base as u64, 33);
         }
         let mut k = 0;
         while k < PLANES {
@@ -141,14 +173,11 @@ impl BlockCompressor for Bpc {
             if plane == PLANE_MASK {
                 w.write(0b0001, 4);
             } else if plane.count_ones() == 1 {
-                w.write(0b00001, 5);
-                w.write(u64::from(plane.trailing_zeros()), 5);
+                w.write(u64::from((0b00001 << 5) | plane.trailing_zeros()), 10);
             } else if plane.count_ones() == 2 && (plane >> plane.trailing_zeros()) == 0b11 {
-                w.write(0b000001, 6);
-                w.write(u64::from(plane.trailing_zeros()), 5);
+                w.write(u64::from((0b000001 << 5) | plane.trailing_zeros()), 11);
             } else {
-                w.write(0b1, 1);
-                w.write(u64::from(plane), DELTAS as u32);
+                w.write((1 << DELTAS) | u64::from(plane), 1 + DELTAS as u32);
             }
             k += 1;
         }
@@ -177,33 +206,38 @@ impl BlockCompressor for Bpc {
         let mut dbx = [0u32; PLANES];
         let mut k = 0;
         while k < PLANES {
-            if r.read_bit() {
+            // One 6-bit peek resolves any prefix; one read then fetches
+            // prefix + payload together.
+            let p = r.peek_padded(6) as u32;
+            if p & 0b100000 != 0 {
                 // '1' + raw plane
-                dbx[k] = r.read(DELTAS as u32) as u32;
+                dbx[k] = r.read(1 + DELTAS as u32) as u32 & PLANE_MASK;
                 k += 1;
-            } else if r.read_bit() {
+            } else if p & 0b010000 != 0 {
                 // '01': single zero plane
+                r.skip(2);
                 k += 1;
-            } else if r.read_bit() {
+            } else if p & 0b001000 != 0 {
                 // '001' + 5: zero run
-                let run = r.read(5) as usize + 2;
+                let run = (r.read(8) as usize & 0x1f) + 2;
                 k += run;
-            } else if r.read_bit() {
+            } else if p & 0b000100 != 0 {
                 // '0001': all ones
+                r.skip(4);
                 dbx[k] = PLANE_MASK;
                 k += 1;
-            } else if r.read_bit() {
+            } else if p & 0b000010 != 0 {
                 // '00001' + 5: single one
-                let pos = r.read(5) as u32;
+                let pos = r.read(10) as u32 & 0x1f;
                 dbx[k] = 1 << pos;
                 k += 1;
-            } else {
-                // '000001' + 5: two consecutive ones — consume the
-                // terminating '1' of the prefix before the position.
-                assert!(r.read_bit(), "corrupt BPC stream: prefix 000000");
-                let pos = r.read(5) as u32;
+            } else if p & 0b000001 != 0 {
+                // '000001' + 5: two consecutive ones
+                let pos = r.read(11) as u32 & 0x1f;
                 dbx[k] = 0b11 << pos;
                 k += 1;
+            } else {
+                panic!("corrupt BPC stream: prefix 000000");
             }
         }
         words_to_block(&undo_dbx(base, &dbx))

@@ -50,15 +50,16 @@ impl CpackCode {
 }
 
 /// FIFO dictionary shared (by construction) by compressor and decompressor.
+/// Fixed-size storage: building one costs no allocation per block.
 #[derive(Debug, Clone)]
 struct Dictionary {
-    entries: Vec<u32>,
+    entries: [u32; DICT_ENTRIES],
     next: usize,
 }
 
 impl Dictionary {
     fn new() -> Self {
-        Self { entries: vec![0; DICT_ENTRIES], next: 0 }
+        Self { entries: [0; DICT_ENTRIES], next: 0 }
     }
 
     fn push(&mut self, word: u32) {
@@ -66,6 +67,9 @@ impl Dictionary {
         self.next = (self.next + 1) % DICT_ENTRIES;
     }
 
+    // The three scans stay separate `position` loops: they early-exit and
+    // the compiler vectorises the simple equality scans, which beats a
+    // fused single pass.
     fn find_full(&self, word: u32) -> Option<usize> {
         self.entries.iter().position(|&e| e == word)
     }
@@ -134,31 +138,29 @@ impl BlockCompressor for Cpack {
         let mut w = BitWriter::new();
         for &word in &words {
             let (code, index) = Self::classify(&dict, word);
+            // Prefix, index and literal bits fuse into one write per word
+            // (bit-identical to the field-by-field layout).
             match code {
                 CpackCode::Zzzz => w.write(0b00, 2),
                 CpackCode::Xxxx => {
-                    w.write(0b01, 2);
-                    w.write(word as u64, 32);
+                    w.write((0b01 << 32) | word as u64, 34);
                     dict.push(word);
                 }
                 CpackCode::Mmmm => {
-                    w.write(0b10, 2);
-                    w.write(index.expect("full match has index") as u64, 4);
+                    let idx = index.expect("full match has index") as u64;
+                    w.write((0b10 << 4) | idx, 6);
                 }
                 CpackCode::Mmxx => {
-                    w.write(0b1100, 4);
-                    w.write(index.expect("partial match has index") as u64, 4);
-                    w.write((word & 0xffff) as u64, 16);
+                    let idx = index.expect("partial match has index") as u64;
+                    w.write((0b1100 << 20) | (idx << 16) | (word & 0xffff) as u64, 24);
                     dict.push(word);
                 }
                 CpackCode::Zzzx => {
-                    w.write(0b1101, 4);
-                    w.write((word & 0xff) as u64, 8);
+                    w.write((0b1101 << 8) | (word & 0xff) as u64, 12);
                 }
                 CpackCode::Mmmx => {
-                    w.write(0b1110, 4);
-                    w.write(index.expect("partial match has index") as u64, 4);
-                    w.write((word & 0xff) as u64, 8);
+                    let idx = index.expect("partial match has index") as u64;
+                    w.write((0b1110 << 12) | (idx << 8) | (word & 0xff) as u64, 16);
                     dict.push(word);
                 }
             }
@@ -181,41 +183,46 @@ impl BlockCompressor for Cpack {
         let mut dict = Dictionary::new();
         let mut words = [0u32; WORDS_PER_BLOCK];
         for slot in words.iter_mut() {
-            let b0 = r.read_bit();
-            let b1 = r.read_bit();
-            let word = match (b0, b1) {
-                (false, false) => 0,
-                (false, true) => {
-                    let w = r.read(32) as u32;
+            // One 34-bit peek covers the widest token, so prefix, index and
+            // literal all come from the same window; a single skip then
+            // consumes the token.
+            let tok = r.peek_padded(34);
+            let word = match (tok >> 32) as u32 {
+                0b00 => {
+                    r.skip(2);
+                    0
+                }
+                0b01 => {
+                    r.skip(34);
+                    let w = tok as u32;
                     dict.push(w);
                     w
                 }
-                (true, false) => {
-                    let idx = r.read(4) as usize;
-                    dict.entries[idx]
+                0b10 => {
+                    r.skip(6);
+                    dict.entries[(tok >> 28) as usize & 0xf]
                 }
-                (true, true) => {
-                    let b2 = r.read_bit();
-                    let b3 = r.read_bit();
-                    match (b2, b3) {
-                        (false, false) => {
-                            let idx = r.read(4) as usize;
-                            let low = r.read(16) as u32;
-                            let w = (dict.entries[idx] & 0xffff_0000) | low;
-                            dict.push(w);
-                            w
-                        }
-                        (false, true) => r.read(8) as u32,
-                        (true, false) => {
-                            let idx = r.read(4) as usize;
-                            let low = r.read(8) as u32;
-                            let w = (dict.entries[idx] & 0xffff_ff00) | low;
-                            dict.push(w);
-                            w
-                        }
-                        (true, true) => panic!("corrupt C-PACK stream: prefix 1111"),
+                _ => match (tok >> 30) as u32 & 0b11 {
+                    0b00 => {
+                        r.skip(24);
+                        let idx = (tok >> 26) as usize & 0xf;
+                        let w = (dict.entries[idx] & 0xffff_0000) | ((tok >> 10) as u32 & 0xffff);
+                        dict.push(w);
+                        w
                     }
-                }
+                    0b01 => {
+                        r.skip(12);
+                        (tok >> 22) as u32 & 0xff
+                    }
+                    0b10 => {
+                        r.skip(16);
+                        let idx = (tok >> 26) as usize & 0xf;
+                        let w = (dict.entries[idx] & 0xffff_ff00) | ((tok >> 18) as u32 & 0xff);
+                        dict.push(w);
+                        w
+                    }
+                    _ => panic!("corrupt C-PACK stream: prefix 1111"),
+                },
             };
             *slot = word;
         }

@@ -106,14 +106,19 @@ pub struct CanonicalCode {
     lengths: Vec<u32>,
     /// Codeword per entry (low `lengths[i]` bits significant).
     codes: Vec<u16>,
-    /// Decode acceleration: per length, the first canonical code value and
-    /// the index into `sorted` of its first entry.
-    first_code: [u32; MAX_CODE_LEN as usize + 1],
-    first_index: [u32; MAX_CODE_LEN as usize + 1],
-    count: [u32; MAX_CODE_LEN as usize + 1],
-    /// Entries sorted canonically.
-    sorted: Vec<u32>,
+    /// Single-lookup decode table, indexed by the top `lut_bits` bits of a
+    /// left-aligned `MAX_CODE_LEN`-bit window. Each entry packs
+    /// `(entry_index << 8) | code_length`; [`LUT_INVALID`] marks windows no
+    /// codeword covers (corrupt stream). This is the flat
+    /// max-code-length-indexed table of Rivera et al. / cuSZ+: one load
+    /// replaces the bit-serial canonical walk.
+    lut: Vec<u32>,
+    /// Window bits the LUT is indexed by (= longest assigned code length).
+    lut_bits: u32,
 }
+
+/// Sentinel for decode windows outside every codeword's range.
+const LUT_INVALID: u32 = u32::MAX;
 
 impl CanonicalCode {
     /// Builds a length-limited canonical code from entry frequencies.
@@ -125,7 +130,7 @@ impl CanonicalCode {
     ///
     /// Panics if every frequency is zero or `max_len > MAX_CODE_LEN`.
     pub fn from_frequencies(freqs: &[u64], max_len: u32) -> Self {
-        assert!(max_len >= 1 && max_len <= MAX_CODE_LEN);
+        assert!((1..=MAX_CODE_LEN).contains(&max_len));
         let live: Vec<usize> = (0..freqs.len()).filter(|&i| freqs[i] > 0).collect();
         assert!(!live.is_empty(), "canonical code needs at least one live entry");
         let live_freqs: Vec<u64> = live.iter().map(|&i| freqs[i]).collect();
@@ -144,21 +149,29 @@ impl CanonicalCode {
             (0..lengths.len() as u32).filter(|&i| lengths[i as usize] > 0).collect();
         sorted.sort_by_key(|&i| (lengths[i as usize], i));
         let mut codes = vec![0u16; lengths.len()];
-        let mut first_code = [0u32; MAX_CODE_LEN as usize + 1];
-        let mut first_index = [0u32; MAX_CODE_LEN as usize + 1];
         let mut count = [0u32; MAX_CODE_LEN as usize + 1];
         for &i in &sorted {
             count[lengths[i as usize] as usize] += 1;
         }
+        let lut_bits =
+            (1..=MAX_CODE_LEN).rev().find(|&l| count[l as usize] > 0).unwrap_or(1).max(1);
+        let mut lut = vec![LUT_INVALID; 1usize << lut_bits];
         let mut code = 0u32;
         let mut index = 0u32;
+        #[allow(clippy::needless_range_loop)] // `len` is arithmetic, not just an index
         for len in 1..=MAX_CODE_LEN as usize {
             code <<= 1;
-            first_code[len] = code;
-            first_index[len] = index;
             for _ in 0..count[len] {
                 let entry = sorted[index as usize];
                 codes[entry as usize] = code as u16;
+                // Every window whose top `len` bits equal this codeword
+                // decodes to this entry: fill its 2^(lut_bits - len) slots.
+                let span = 1u32 << (lut_bits - len as u32);
+                let base = code << (lut_bits - len as u32);
+                let packed = (entry << 8) | len as u32;
+                for slot in base..base + span {
+                    lut[slot as usize] = packed;
+                }
                 code += 1;
                 index += 1;
             }
@@ -166,14 +179,11 @@ impl CanonicalCode {
         // Kraft completeness check: after the last length the code must have
         // consumed exactly the whole space.
         debug_assert!({
-            let kraft: u64 = lengths
-                .iter()
-                .filter(|&&l| l > 0)
-                .map(|&l| 1u64 << (MAX_CODE_LEN - l))
-                .sum();
+            let kraft: u64 =
+                lengths.iter().filter(|&&l| l > 0).map(|&l| 1u64 << (MAX_CODE_LEN - l)).sum();
             kraft <= 1u64 << MAX_CODE_LEN
         });
-        Self { lengths, codes, first_code, first_index, count, sorted }
+        Self { lengths, codes, lut, lut_bits }
     }
 
     /// Number of entries in the alphabet (including zero-length ones).
@@ -194,30 +204,36 @@ impl CanonicalCode {
     /// Decodes one entry from `peek` (left-aligned `MAX_CODE_LEN`-bit
     /// window) returning `(entry, length)`.
     ///
+    /// Single table lookup: the window's top [`max_length`](Self::max_length)
+    /// bits index a flat table precomputed at construction, replacing the
+    /// bit-serial canonical walk.
+    ///
     /// # Panics
     ///
     /// Panics on a window that matches no codeword (corrupt stream).
     pub fn decode(&self, peek: u32) -> (u32, u32) {
-        debug_assert!(peek < (1 << MAX_CODE_LEN));
-        let mut code = 0u32;
-        for len in 1..=MAX_CODE_LEN {
-            code = (code << 1) | ((peek >> (MAX_CODE_LEN - len)) & 1);
-            let c = self.count[len as usize];
-            if c > 0 {
-                let first = self.first_code[len as usize];
-                if code < first + c {
-                    debug_assert!(code >= first);
-                    let idx = self.first_index[len as usize] + (code - first);
-                    return (self.sorted[idx as usize], len);
-                }
-            }
+        match self.decode_checked(peek) {
+            Some(hit) => hit,
+            None => panic!("corrupt Huffman stream: no codeword matches window {peek:#06x}"),
         }
-        panic!("corrupt Huffman stream: no codeword matches window {peek:#06x}");
     }
 
-    /// Longest assigned code length.
+    /// Non-panicking [`decode`](Self::decode): `None` when no codeword
+    /// covers the window.
+    pub fn decode_checked(&self, peek: u32) -> Option<(u32, u32)> {
+        debug_assert!(peek < (1 << MAX_CODE_LEN));
+        let packed = self.lut[(peek >> (MAX_CODE_LEN - self.lut_bits)) as usize];
+        if packed == LUT_INVALID {
+            None
+        } else {
+            Some((packed >> 8, packed & 0xff))
+        }
+    }
+
+    /// Longest assigned code length (the decode table's window width;
+    /// construction guarantees at least one live entry, so this is >= 1).
     pub fn max_length(&self) -> u32 {
-        (1..=MAX_CODE_LEN).rev().find(|&l| self.count[l as usize] > 0).unwrap_or(0)
+        self.lut_bits
     }
 }
 

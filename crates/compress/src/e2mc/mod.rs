@@ -84,9 +84,23 @@ pub struct SymbolTable {
     code: CanonicalCode,
     /// Entry index -> symbol value, for entries `0..top.len()`.
     top: Vec<u16>,
-    /// Symbol value -> entry index (`u32::MAX` = not in table).
-    lookup: Vec<u32>,
     escape_entry: usize,
+    /// Symbol value -> packed `(bits << 8) | width`, where `bits` is the
+    /// complete wire encoding (codeword, or escape codeword followed by the
+    /// 16 raw symbol bits) and `width <= 32` its length. Precomputed so
+    /// [`encode_symbol`](Self::encode_symbol) is a single table load and
+    /// one [`BitWriter::write`].
+    enc: Vec<u64>,
+    /// Decode window (left-aligned `MAX_CODE_LEN` bits) -> packed
+    /// `(symbol << 16) | (escape << 8) | code_length`. Fuses the canonical
+    /// decode and the entry-to-symbol lookup into one load per symbol;
+    /// length 0 marks windows no codeword covers (corrupt stream).
+    dec: Vec<u32>,
+    /// Symbol value -> encoded width in bits. Duplicates the width byte of
+    /// `enc` at 1/8th the footprint (64 KB vs 512 KB): the size-only paths
+    /// (code-length sums, SLC's tree adder) touch symbols randomly, so the
+    /// denser table keeps them in cache.
+    bits: Vec<u8>,
 }
 
 impl std::fmt::Debug for SymbolTable {
@@ -112,18 +126,42 @@ impl SymbolTable {
         for (entry, &s) in symbols.iter().enumerate() {
             lookup[s as usize] = entry as u32;
         }
-        Self { code, escape_entry: symbols.len(), top: symbols, lookup }
+        let escape_entry = symbols.len();
+        let esc_code = code.code(escape_entry) as u64;
+        let esc_len = code.length(escape_entry);
+        let enc: Vec<u64> = (0..1usize << 16)
+            .map(|symbol| {
+                let entry = lookup[symbol];
+                if entry == u32::MAX {
+                    // Escape codeword immediately followed by the 16 raw
+                    // bits, fused into one write.
+                    let bits = (esc_code << 16) | symbol as u64;
+                    (bits << 8) | (esc_len + 16) as u64
+                } else {
+                    let e = entry as usize;
+                    ((code.code(e) as u64) << 8) | code.length(e) as u64
+                }
+            })
+            .collect();
+        let dec = (0..1usize << MAX_CODE_LEN)
+            .map(|window| {
+                let (entry, len) = code.decode_checked(window as u32)?;
+                Some(if entry as usize == escape_entry {
+                    (1 << 8) | len
+                } else {
+                    ((symbols[entry as usize] as u32) << 16) | len
+                })
+            })
+            .map(|packed| packed.unwrap_or(0))
+            .collect();
+        let bits = enc.iter().map(|&p| (p & 0xff) as u8).collect();
+        Self { code, escape_entry, top: symbols, enc, dec, bits }
     }
 
     /// Encoded length of `symbol` in bits (escape + 16 raw bits when the
     /// symbol is not in the table).
     pub fn symbol_bits(&self, symbol: u16) -> u32 {
-        let entry = self.lookup[symbol as usize];
-        if entry == u32::MAX {
-            self.escape_bits()
-        } else {
-            self.code.length(entry as usize)
-        }
+        self.bits[symbol as usize] as u32
     }
 
     /// Total cost of an escaped symbol.
@@ -136,16 +174,45 @@ impl SymbolTable {
         self.top.len()
     }
 
-    /// Appends the codeword(s) for `symbol`.
+    /// Appends the codeword(s) for `symbol` — one precomputed write, even
+    /// for escapes (escape codeword and raw bits are fused at training).
     pub fn encode_symbol(&self, w: &mut BitWriter, symbol: u16) {
-        let entry = self.lookup[symbol as usize];
-        if entry == u32::MAX {
-            let e = self.escape_entry;
-            w.write(self.code.code(e) as u64, self.code.length(e));
-            w.write(symbol as u64, 16);
-        } else {
-            let e = entry as usize;
-            w.write(self.code.code(e) as u64, self.code.length(e));
+        let packed = self.enc[symbol as usize];
+        w.write(packed >> 8, (packed & 0xff) as u32);
+    }
+
+    /// Stashes every symbol's packed wire encoding in one table pass, for
+    /// the size-then-write pipeline shared by E2MC and SLC: size the ways
+    /// from the stash, derive the pdps, then serialise the stash without
+    /// touching the table again. A zero entry has width 0 and writes
+    /// nothing (SLC zeroes its truncated hole this way).
+    pub fn stash_encodings(&self, symbols: &[u16; SYMBOLS_PER_BLOCK]) -> [u64; SYMBOLS_PER_BLOCK] {
+        let mut out = [0u64; SYMBOLS_PER_BLOCK];
+        for (e, &s) in out.iter_mut().zip(symbols) {
+            *e = self.enc[s as usize];
+        }
+        out
+    }
+
+    /// Encoded bit count of each parallel decoding way of a stash.
+    ///
+    /// The pdp offsets are prefix sums of these, which is what lets both
+    /// framings write their header before a single codeword: ways lie back
+    /// to back, so sequentially writing the stash afterwards produces
+    /// exactly the concatenated per-way streams.
+    pub fn way_bits(encodings: &[u64; SYMBOLS_PER_BLOCK]) -> [u32; WAYS] {
+        let mut way_bits = [0u32; WAYS];
+        for (bits, chunk) in way_bits.iter_mut().zip(encodings.chunks_exact(WAY_SYMBOLS)) {
+            *bits = chunk.iter().map(|&e| (e & 0xff) as u32).sum();
+        }
+        way_bits
+    }
+
+    /// Serialises a stash produced by
+    /// [`stash_encodings`](Self::stash_encodings).
+    pub fn write_encodings(w: &mut BitWriter, encodings: &[u64; SYMBOLS_PER_BLOCK]) {
+        for &e in encodings {
+            w.write(e >> 8, (e & 0xff) as u32);
         }
     }
 
@@ -156,25 +223,63 @@ impl SymbolTable {
     /// Panics on a corrupt stream.
     pub fn decode_symbol(&self, r: &mut BitReader<'_>) -> u16 {
         let window = r.peek_padded(MAX_CODE_LEN) as u32;
-        let (entry, len) = self.code.decode(window);
+        let packed = self.dec[window as usize];
+        let len = packed & 0xff;
+        if len == 0 {
+            panic!("corrupt E2MC stream: no codeword matches window {window:#06x}");
+        }
         r.skip(len);
-        if entry as usize == self.escape_entry {
+        if packed & 0x100 != 0 {
             r.read(16) as u16
         } else {
-            self.top[entry as usize]
+            (packed >> 16) as u16
         }
     }
 
-    /// Encodes a run of symbols (one way).
-    pub fn encode_way(&self, w: &mut BitWriter, symbols: &[u16]) {
-        for &s in symbols {
-            self.encode_symbol(w, s);
+    /// Decodes one symbol per slot of `out` (the allocation-free way path).
+    ///
+    /// Runs a register-buffered loop: a left-aligned 64-bit window is
+    /// refilled from the reader only when fewer than 32 valid bits remain
+    /// (the worst case consumption per symbol is escape code + 16 raw
+    /// bits), so most symbols cost one table load and one shift instead of
+    /// a reader round-trip.
+    pub fn decode_way_into(&self, r: &mut BitReader<'_>, out: &mut [u16]) {
+        let mut pos = r.position();
+        let mut buf = 0u64; // decoded bits, left-aligned
+        let mut avail = 0u32;
+        for slot in out {
+            if avail < 32 {
+                r.seek(pos);
+                // peek_padded returns the low 57 bits; left-align them.
+                buf = r.peek_padded(57) << 7;
+                avail = 57;
+            }
+            let window = (buf >> (64 - MAX_CODE_LEN)) as u32;
+            let packed = self.dec[window as usize];
+            let len = packed & 0xff;
+            if len == 0 {
+                panic!("corrupt E2MC stream: no codeword matches window {window:#06x}");
+            }
+            let consumed;
+            if packed & 0x100 != 0 {
+                // Escape: the 16 raw bits follow the codeword, still
+                // inside the 32-bit guarantee.
+                *slot = ((buf >> (64 - len - 16)) & 0xffff) as u16;
+                consumed = len + 16;
+            } else {
+                *slot = (packed >> 16) as u16;
+                consumed = len;
+            }
+            buf <<= consumed;
+            avail -= consumed;
+            pos += consumed;
         }
+        r.seek(pos);
     }
 
-    /// Decodes `count` symbols (one way).
-    pub fn decode_way(&self, r: &mut BitReader<'_>, count: usize) -> Vec<u16> {
-        (0..count).map(|_| self.decode_symbol(r)).collect()
+    /// The underlying canonical code (decode tables, per-entry lengths).
+    pub fn canonical_code(&self) -> &CanonicalCode {
+        &self.code
     }
 }
 
@@ -246,28 +351,26 @@ impl BlockCompressor for E2mc {
     }
 
     fn compress(&self, block: &Block) -> Compressed {
-        if self.lossless_size_bits(block) >= BLOCK_BITS {
+        let symbols = block_to_symbols(block);
+        // Size-then-write over one stashed table pass (shared with SLC's
+        // framing; see SymbolTable::stash_encodings) — replaces the seed's
+        // four scratch writers + append.
+        let encodings = self.table.stash_encodings(&symbols);
+        let way_bits = SymbolTable::way_bits(&encodings);
+        let total = HEADER_BITS + way_bits.iter().sum::<u32>();
+        if total >= BLOCK_BITS {
             return Compressed::uncompressed(block);
         }
-        let symbols = block_to_symbols(block);
-        // Encode each way separately to learn the pdp offsets.
-        let mut ways: Vec<(Vec<u8>, u32)> = Vec::with_capacity(WAYS);
-        for chunk in symbols.chunks_exact(WAY_SYMBOLS) {
-            let mut w = BitWriter::new();
-            self.table.encode_way(&mut w, chunk);
-            ways.push(w.finish());
-        }
-        let mut w = BitWriter::new();
+        let mut w = BitWriter::with_capacity_bits(total);
         w.write(1, 1); // mode: compressed
         let mut offset = 0u32;
-        for (_, bits) in ways.iter().take(WAYS - 1) {
+        for &bits in way_bits.iter().take(WAYS - 1) {
             offset += bits;
             w.write(offset as u64, PDP_BITS);
         }
-        for (bytes, bits) in &ways {
-            w.append(bytes, *bits);
-        }
+        SymbolTable::write_encodings(&mut w, &encodings);
         let (payload, bits) = w.finish();
+        debug_assert_eq!(bits, total);
         debug_assert_eq!(bits, self.lossless_size_bits(block));
         Compressed::new(bits, payload)
     }
@@ -290,8 +393,8 @@ impl BlockCompressor for E2mc {
             // Each way is independently addressable: seek to its pdp as the
             // hardware's parallel decoders would.
             r.seek(data_start + pdp);
-            let decoded = self.table.decode_way(&mut r, WAY_SYMBOLS);
-            symbols[way * WAY_SYMBOLS..(way + 1) * WAY_SYMBOLS].copy_from_slice(&decoded);
+            self.table
+                .decode_way_into(&mut r, &mut symbols[way * WAY_SYMBOLS..(way + 1) * WAY_SYMBOLS]);
         }
         symbols_to_block(&symbols)
     }

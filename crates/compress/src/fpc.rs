@@ -142,25 +142,25 @@ impl BlockCompressor for Fpc {
                 while i + run < WORDS_PER_BLOCK && words[i + run] == 0 && run < 8 {
                     run += 1;
                 }
-                w.write(FpcPattern::ZeroRun.prefix() as u64, 3);
-                w.write(run as u64 - 1, 3);
+                // Prefix and run length fused into one 6-bit write.
+                w.write(((FpcPattern::ZeroRun.prefix() as u64) << 3) | (run as u64 - 1), 6);
                 i += run;
                 continue;
             }
             let p = classify_word(word);
-            w.write(p.prefix() as u64, 3);
             let data = match p {
                 FpcPattern::Se4 => (word & 0xf) as u64,
                 FpcPattern::Se8 | FpcPattern::RepeatedBytes => (word & 0xff) as u64,
                 FpcPattern::Se16 => (word & 0xffff) as u64,
                 FpcPattern::PaddedHalf => (word >> 16) as u64,
-                FpcPattern::TwoSeBytes => {
-                    (((word >> 16) & 0xff) << 8 | (word & 0xff)) as u64
-                }
+                FpcPattern::TwoSeBytes => (((word >> 16) & 0xff) << 8 | (word & 0xff)) as u64,
                 FpcPattern::Raw => word as u64,
                 FpcPattern::ZeroRun => unreachable!("zero runs handled above"),
             };
-            w.write(data, p.data_bits());
+            // One write per token: 3-bit prefix immediately followed by the
+            // payload (bit-identical to writing them separately).
+            let bits = p.data_bits();
+            w.write(((p.prefix() as u64) << bits) | data, 3 + bits);
             i += 1;
         }
         let (payload, bits) = w.finish();
@@ -181,46 +181,53 @@ impl BlockCompressor for Fpc {
         let mut words = [0u32; WORDS_PER_BLOCK];
         let mut i = 0;
         while i < WORDS_PER_BLOCK {
-            let prefix = r.read(3) as u8;
+            // One 35-bit peek covers the widest token (prefix + 32 raw
+            // bits): prefix and payload come from the same window, then a
+            // single skip consumes the token.
+            let tok = r.peek_padded(35);
+            let prefix = (tok >> 32) as u8;
+            let payload = |bits: u32| ((tok >> (32 - bits)) & ((1u64 << bits) - 1)) as u32;
             match prefix {
                 0b000 => {
-                    let run = r.read(3) as usize + 1;
+                    let run = payload(3) as usize + 1;
+                    r.skip(6);
                     i += run; // words are pre-zeroed
+                    continue;
                 }
                 0b001 => {
-                    words[i] = sign_extend32(r.read(4) as u32, 4);
-                    i += 1;
+                    words[i] = sign_extend32(payload(4), 4);
+                    r.skip(7);
                 }
                 0b010 => {
-                    words[i] = sign_extend32(r.read(8) as u32, 8);
-                    i += 1;
+                    words[i] = sign_extend32(payload(8), 8);
+                    r.skip(11);
                 }
                 0b011 => {
-                    words[i] = sign_extend32(r.read(16) as u32, 16);
-                    i += 1;
+                    words[i] = sign_extend32(payload(16), 16);
+                    r.skip(19);
                 }
                 0b100 => {
-                    words[i] = (r.read(16) as u32) << 16;
-                    i += 1;
+                    words[i] = payload(16) << 16;
+                    r.skip(19);
                 }
                 0b101 => {
-                    let data = r.read(16) as u32;
-                    let hi = sign_extend32(data >> 8, 8) as u32 & 0xffff;
-                    let lo = sign_extend32(data & 0xff, 8) as u32 & 0xffff;
+                    let data = payload(16);
+                    let hi = sign_extend32(data >> 8, 8) & 0xffff;
+                    let lo = sign_extend32(data & 0xff, 8) & 0xffff;
                     words[i] = (hi << 16) | lo;
-                    i += 1;
+                    r.skip(19);
                 }
                 0b110 => {
-                    let b = r.read(8) as u32;
-                    words[i] = b * 0x0101_0101;
-                    i += 1;
+                    words[i] = payload(8) * 0x0101_0101;
+                    r.skip(11);
                 }
                 0b111 => {
-                    words[i] = r.read(32) as u32;
-                    i += 1;
+                    words[i] = payload(32);
+                    r.skip(35);
                 }
                 _ => unreachable!("3-bit prefix"),
             }
+            i += 1;
         }
         words_to_block(&words)
     }

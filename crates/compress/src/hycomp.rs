@@ -250,9 +250,7 @@ mod tests {
     use proptest::prelude::*;
 
     fn float_training() -> Vec<u8> {
-        (0..1u32 << 14)
-            .flat_map(|i| (100.0f32 + (i % 1024) as f32 * 0.25).to_le_bytes())
-            .collect()
+        (0..1u32 << 14).flat_map(|i| (100.0f32 + (i % 1024) as f32 * 0.25).to_le_bytes()).collect()
     }
 
     fn float_block(offset: f32) -> Block {

@@ -31,6 +31,39 @@
 //! let eff = Mag::GDDR5.round_up_bytes(compressed.size_bytes());
 //! assert_eq!(eff % 32, 0);
 //! ```
+//!
+//! # Performance
+//!
+//! The per-block hot paths are engineered to work a machine word at a
+//! time rather than bit by bit:
+//!
+//! * **Staging-word bitstream** — [`bitstream::BitWriter`] accumulates
+//!   bits in a 64-bit staging word and flushes completed bytes with one
+//!   bulk copy per `write`; [`bitstream::BitReader`] serves any read or
+//!   peek from a single (at most 16-byte) window load. Codecs fuse each
+//!   token's prefix, index and literal fields into one `write`/`peek`
+//!   pair, so a C-PACK word or an FPC pattern costs two bitstream calls
+//!   end to end. The wire format is bit-identical to the original
+//!   byte-loop implementation (see `tests/bitstream_equivalence.rs`).
+//! * **LUT Huffman decode** — [`e2mc`]'s canonical code builds a flat
+//!   decode table indexed by the longest-code-length window at training
+//!   time; decoding a symbol is one table load (plus a raw 16-bit read
+//!   for escapes) instead of a bit-serial canonical walk, the scheme used
+//!   by GPU Huffman decoders (cuSZ+, Rivera et al.). Encoding uses a
+//!   per-symbol `(codeword, length)` table with the escape's raw bits
+//!   pre-fused, so every symbol is exactly one `write`.
+//! * **Zero-alloc block codecs** — per-block state lives in fixed-size
+//!   arrays (BDI value/mask bitmaps, C-PACK's FIFO dictionary, BPC's
+//!   planes, E2MC's way sizes), and E2MC computes its parallel-decoding
+//!   pointers from code-length sums *before* encoding, eliminating the
+//!   per-way scratch writers. The only heap allocation per block is the
+//!   output payload itself.
+//! * **Transposed bit-planes** — BPC's DBP rotation runs as a 32×32
+//!   bit-matrix transpose (Hacker's Delight §7-3), ~5 word-ops per plane
+//!   instead of a 33×31 single-bit gather.
+//!
+//! `cargo bench --bench codec_throughput` (crate `slc-bench`) measures
+//! all of this and refreshes the repo-root `BENCH_codec.json` baseline.
 
 pub mod bdi;
 pub mod bitstream;

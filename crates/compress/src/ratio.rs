@@ -36,8 +36,7 @@ impl RatioAccumulator {
         let capped = bytes.min(self.block_bytes);
         self.blocks += 1;
         self.raw_bytes += u64::from(capped);
-        self.effective_bytes +=
-            u64::from(self.mag.round_up_bytes(capped).min(self.block_bytes));
+        self.effective_bytes += u64::from(self.mag.round_up_bytes(capped).min(self.block_bytes));
     }
 
     /// Records one block compressed to `bits`.

@@ -131,7 +131,7 @@ mod tests {
     #[test]
     fn in_distribution_words_compress() {
         let sc2 = Sc2::train_on_bytes(&training(), DEFAULT_TOP_K);
-        let block = block_from(|i| ((i as u32 % 300) * 7));
+        let block = block_from(|i| (i as u32 % 300) * 7);
         let c = sc2.compress(&block);
         assert!(c.size_bits() < BLOCK_BITS / 2, "got {}", c.size_bits());
         assert_eq!(sc2.decompress(&c), block);

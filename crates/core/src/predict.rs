@@ -49,7 +49,10 @@ pub fn fill_approximated(
 ) {
     assert!(len >= 1, "empty hole");
     assert!(ss + len <= SYMBOLS_PER_BLOCK, "hole {ss}+{len} past block end");
-    assert!(len <= 16, "hole of {len} symbols exceeds the header limit; would cover the whole block");
+    assert!(
+        len <= 16,
+        "hole of {len} symbols exceeds the header limit; would cover the whole block"
+    );
     match kind {
         PredictorKind::Zero => {
             for s in &mut symbols[ss..ss + len] {
@@ -136,10 +139,10 @@ mod tests {
         let mut s = base_symbols();
         let orig = s;
         fill_approximated(&mut s, 17, 6, PredictorKind::LaneMatched);
-        for i in 17..23 {
+        for (i, &sym) in s.iter().enumerate().take(23).skip(17) {
             // Predicted from before the hole: indices 15/16.
             let src = if i % 2 == 0 { 16 } else { 15 };
-            assert_eq!(s[i], orig[src], "symbol {i}");
+            assert_eq!(sym, orig[src], "symbol {i}");
         }
     }
 

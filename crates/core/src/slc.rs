@@ -11,7 +11,7 @@ use crate::header::{SlcHeader, LOSSLESS_HEADER_BITS, LOSSY_HEADER_DELTA};
 use crate::predict::{fill_approximated, PredictorKind};
 use crate::tree::{CodeLengthTree, Selection};
 use slc_compress::bitstream::{BitReader, BitWriter};
-use slc_compress::e2mc::{E2mc, WAYS, WAY_SYMBOLS};
+use slc_compress::e2mc::{E2mc, SymbolTable, WAYS, WAY_SYMBOLS};
 use slc_compress::symbols::{block_to_symbols, symbols_to_block, SYMBOLS_PER_BLOCK};
 use slc_compress::{Block, Mag, BLOCK_BITS, BLOCK_BYTES};
 
@@ -217,11 +217,9 @@ impl SlcCompressor {
                     (decision.comp_size_bits, false)
                 }
             }
-            (ModeChoice::Lossy, Some(sel)) => (
-                decision.comp_size_bits - sel.freed_bits
-                    + crate::header::LOSSY_HEADER_DELTA,
-                true,
-            ),
+            (ModeChoice::Lossy, Some(sel)) => {
+                (decision.comp_size_bits - sel.freed_bits + crate::header::LOSSY_HEADER_DELTA, true)
+            }
         }
     }
 
@@ -264,42 +262,52 @@ impl SlcCompressor {
         }
     }
 
-    fn encode_ways(&self, symbols: &[u16; SYMBOLS_PER_BLOCK], skip: Option<(usize, usize)>) -> (Vec<(Vec<u8>, u32)>, [u32; WAYS - 1]) {
-        let table = self.e2mc.table();
-        let mut ways = Vec::with_capacity(WAYS);
-        for way in 0..WAYS {
-            let mut w = BitWriter::new();
-            for i in way * WAY_SYMBOLS..(way + 1) * WAY_SYMBOLS {
-                let skipped =
-                    skip.is_some_and(|(ss, len)| (ss..ss + len).contains(&i));
-                if !skipped {
-                    table.encode_symbol(&mut w, symbols[i]);
-                }
-            }
-            ways.push(w.finish());
+    /// Packed wire encodings of every symbol (one table pass via
+    /// [`SymbolTable::stash_encodings`], shared by the sizing and write
+    /// steps), with `skip` symbols zeroed out — a zero encoding has width
+    /// 0 and writes nothing.
+    fn encodings(
+        &self,
+        symbols: &[u16; SYMBOLS_PER_BLOCK],
+        skip: Option<(usize, usize)>,
+    ) -> [u64; SYMBOLS_PER_BLOCK] {
+        let mut enc = self.e2mc.table().stash_encodings(symbols);
+        if let Some((ss, len)) = skip {
+            enc[ss..ss + len].fill(0);
         }
+        enc
+    }
+
+    /// Per-way encoded bit counts — the pdps are then known before a
+    /// single codeword is written, so the block encodes in one pass with
+    /// no scratch writers.
+    fn way_bits(&self, encodings: &[u64; SYMBOLS_PER_BLOCK]) -> ([u32; WAYS], [u32; WAYS - 1]) {
+        let way_bits = SymbolTable::way_bits(encodings);
         let mut pdps = [0u32; WAYS - 1];
         let mut offset = 0u32;
-        for (i, (_, bits)) in ways.iter().take(WAYS - 1).enumerate() {
+        for (i, &bits) in way_bits.iter().take(WAYS - 1).enumerate() {
             offset += bits;
             pdps[i] = offset;
         }
-        (ways, pdps)
+        (way_bits, pdps)
     }
 
-    fn assemble(
+    /// Writes header + all ways into one stream (ways lie back to back, so
+    /// sequentially writing the stashed encodings yields exactly the
+    /// concatenated per-way streams; skipped symbols have width 0).
+    fn encode_stream(
         &self,
         header: SlcHeader,
-        ways: Vec<(Vec<u8>, u32)>,
+        encodings: &[u64; SYMBOLS_PER_BLOCK],
+        total_bits: u32,
         kind: StoredKind,
         decision: BudgetDecision,
     ) -> SlcCompressed {
-        let mut w = BitWriter::new();
+        let mut w = BitWriter::with_capacity_bits(total_bits);
         header.write(&mut w);
-        for (bytes, bits) in &ways {
-            w.append(bytes, *bits);
-        }
+        SymbolTable::write_encodings(&mut w, encodings);
         let (payload, size_bits) = w.finish();
+        debug_assert_eq!(size_bits, total_bits);
         SlcCompressed {
             payload,
             size_bits,
@@ -311,8 +319,11 @@ impl SlcCompressor {
 
     fn store_lossless(&self, block: &Block, decision: BudgetDecision) -> SlcCompressed {
         let symbols = block_to_symbols(block);
-        let (ways, pdps) = self.encode_ways(&symbols, None);
-        let out = self.assemble(SlcHeader::Lossless { pdps }, ways, StoredKind::Lossless, decision);
+        let encodings = self.encodings(&symbols, None);
+        let (way_bits, pdps) = self.way_bits(&encodings);
+        let header = SlcHeader::Lossless { pdps };
+        let total = header.size_bits() + way_bits.iter().sum::<u32>();
+        let out = self.encode_stream(header, &encodings, total, StoredKind::Lossless, decision);
         debug_assert_eq!(out.size_bits, decision.comp_size_bits);
         out
     }
@@ -324,10 +335,17 @@ impl SlcCompressor {
         sel: Selection,
     ) -> SlcCompressed {
         let symbols = block_to_symbols(block);
-        let (ways, pdps) = self.encode_ways(&symbols, Some((sel.start, sel.symbols)));
-        let header =
-            SlcHeader::Lossy { ss: sel.start as u8, len: sel.symbols as u8, pdps };
-        let out = self.assemble(header, ways, StoredKind::Lossy { selection: sel }, decision);
+        let encodings = self.encodings(&symbols, Some((sel.start, sel.symbols)));
+        let (way_bits, pdps) = self.way_bits(&encodings);
+        let header = SlcHeader::Lossy { ss: sel.start as u8, len: sel.symbols as u8, pdps };
+        let total = header.size_bits() + way_bits.iter().sum::<u32>();
+        let out = self.encode_stream(
+            header,
+            &encodings,
+            total,
+            StoredKind::Lossy { selection: sel },
+            decision,
+        );
         debug_assert!(
             out.size_bits <= decision.bit_budget,
             "lossy block {} bits overshoots budget {}",
@@ -366,14 +384,24 @@ impl SlcCompressor {
         };
         let data_start = header.size_bits();
         let mut symbols = [0u16; SYMBOLS_PER_BLOCK];
+        let (hole_start, hole_end) = match hole {
+            Some((ss, len)) => (ss, ss + len),
+            None => (SYMBOLS_PER_BLOCK, SYMBOLS_PER_BLOCK),
+        };
         for way in 0..WAYS {
             let offset = if way == 0 { 0 } else { pdps[way - 1] };
             r.seek(data_start + offset);
-            for i in way * WAY_SYMBOLS..(way + 1) * WAY_SYMBOLS {
-                let skipped = hole.is_some_and(|(ss, len)| (ss..ss + len).contains(&i));
-                if !skipped {
-                    symbols[i] = table.decode_symbol(&mut r);
-                }
+            // The hole is contiguous, so each way splits into at most two
+            // contiguous coded segments — decoded with the buffered way
+            // decoder instead of symbol-by-symbol reader calls.
+            let (lo, hi) = (way * WAY_SYMBOLS, (way + 1) * WAY_SYMBOLS);
+            let head = lo..hole_start.clamp(lo, hi);
+            let tail = hole_end.clamp(lo, hi)..hi;
+            if !head.is_empty() {
+                table.decode_way_into(&mut r, &mut symbols[head]);
+            }
+            if !tail.is_empty() {
+                table.decode_way_into(&mut r, &mut symbols[tail]);
             }
         }
         if let Some((ss, len)) = hole {
@@ -399,9 +427,7 @@ mod tests {
     /// Training data resembling a smooth f32 field: symbol stream has
     /// low-entropy exponent lanes and higher-entropy mantissa lanes.
     fn training_bytes() -> Vec<u8> {
-        (0..1u32 << 15)
-            .flat_map(|i| (1000.0f32 + (i % 4096) as f32 * 0.25).to_le_bytes())
-            .collect()
+        (0..1u32 << 15).flat_map(|i| (1000.0f32 + (i % 4096) as f32 * 0.25).to_le_bytes()).collect()
     }
 
     fn e2mc() -> E2mc {
@@ -487,14 +513,12 @@ mod tests {
             if let StoredKind::Lossy { selection } = c.kind() {
                 let zeroed = simp.decompress(&c);
                 let z = block_to_symbols(&zeroed);
-                assert!((selection.start..selection.start + selection.symbols)
-                    .all(|i| z[i] == 0));
+                assert!((selection.start..selection.start + selection.symbols).all(|i| z[i] == 0));
                 // Same stored bits, different reconstruction.
                 let cp = pred.compress(&block);
                 let predicted = pred.decompress(&cp);
                 let p = block_to_symbols(&predicted);
-                assert!((selection.start..selection.start + selection.symbols)
-                    .any(|i| p[i] != 0));
+                assert!((selection.start..selection.start + selection.symbols).any(|i| p[i] != 0));
                 // Prediction must be closer to the original for smooth data.
                 let err = |out: &Block| -> f64 {
                     (0..32)
@@ -554,7 +578,10 @@ mod tests {
     fn bursts_reflect_mag() {
         let e = e2mc();
         for mag in [Mag::NARROW_16, Mag::GDDR5, Mag::WIDE_64] {
-            let s = SlcCompressor::new(e.clone(), SlcConfig::new(mag, mag.bytes() / 2, SlcVariant::TslcOpt));
+            let s = SlcCompressor::new(
+                e.clone(),
+                SlcConfig::new(mag, mag.bytes() / 2, SlcVariant::TslcOpt),
+            );
             let block = float_block(5.0, 0.25);
             let c = s.compress(&block);
             assert_eq!(c.bursts(), mag.bursts_for_bits(c.size_bits(), BLOCK_BYTES as u32));

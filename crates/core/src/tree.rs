@@ -43,31 +43,47 @@ pub struct Selection {
     pub staggered: bool,
 }
 
+/// Total node count of the complete tree (64 + 32 + ... + 1).
+const NODES: usize = 2 * SYMBOLS_PER_BLOCK - 1;
+
+/// Start offset of each level inside the flat node array.
+const LEVEL_OFFSET: [usize; LEVELS as usize + 1] = [0, 64, 96, 112, 120, 124, 126, 127];
+
+// The literal offsets encode SYMBOLS_PER_BLOCK == 64; fail the build, not
+// the decoded data, if the block geometry ever changes.
+const _: () = assert!(LEVEL_OFFSET[0] == 0 && LEVEL_OFFSET[1] == SYMBOLS_PER_BLOCK);
+const _: () = assert!(LEVEL_OFFSET[LEVELS as usize] == NODES);
+
 /// The adder tree over one block's code lengths.
+///
+/// Stored as one flat fixed-size array (levels concatenated), so building
+/// a tree — which happens once per compressed block — allocates nothing.
 #[derive(Debug, Clone)]
 pub struct CodeLengthTree {
-    /// `levels[k-1]` = aligned sums of `2^(k-1)` symbols.
-    levels: Vec<Vec<u32>>,
+    /// `nodes[LEVEL_OFFSET[k-1]..LEVEL_OFFSET[k]]` = level `k`'s aligned
+    /// sums of `2^(k-1)` symbols.
+    nodes: [u32; NODES],
 }
 
 impl CodeLengthTree {
     /// Builds the tree from per-symbol code lengths.
     pub fn new(lengths: &[u32; SYMBOLS_PER_BLOCK]) -> Self {
-        let mut levels = Vec::with_capacity(LEVELS as usize);
-        levels.push(lengths.to_vec());
-        while levels.last().expect("non-empty").len() > 1 {
-            let prev = levels.last().expect("non-empty");
-            let next: Vec<u32> = prev.chunks_exact(2).map(|p| p[0] + p[1]).collect();
-            levels.push(next);
+        let mut nodes = [0u32; NODES];
+        nodes[..SYMBOLS_PER_BLOCK].copy_from_slice(lengths);
+        for level in 1..LEVELS as usize {
+            let (prev, prev_end) = (LEVEL_OFFSET[level - 1], LEVEL_OFFSET[level]);
+            let width = (prev_end - prev) / 2;
+            for i in 0..width {
+                nodes[prev_end + i] = nodes[prev + 2 * i] + nodes[prev + 2 * i + 1];
+            }
         }
-        debug_assert_eq!(levels.len(), LEVELS as usize);
-        Self { levels }
+        Self { nodes }
     }
 
     /// Sum of all code lengths (the last node of the tree, used as the
     /// data portion of *comp size*).
     pub fn total_bits(&self) -> u32 {
-        self.levels[LEVELS as usize - 1][0]
+        self.nodes[NODES - 1]
     }
 
     /// The aligned intermediate sums at `level` (1-based).
@@ -77,13 +93,13 @@ impl CodeLengthTree {
     /// Panics if `level` is outside `1..=7`.
     pub fn level_sums(&self, level: u32) -> &[u32] {
         assert!((1..=LEVELS).contains(&level), "level {level} out of range");
-        &self.levels[level as usize - 1]
+        &self.nodes[LEVEL_OFFSET[level as usize - 1]..LEVEL_OFFSET[level as usize]]
     }
 
     /// Sum of code lengths over `start..start + len` (used for the
     /// staggered TSLC-OPT nodes; hardware adds a few extra adders).
     pub fn window_sum(&self, start: usize, len: usize) -> u32 {
-        self.levels[0][start..start + len].iter().sum()
+        self.nodes[start..start + len].iter().sum()
     }
 
     /// Selects the sub-block to approximate for `needed_bits`.
@@ -240,9 +256,7 @@ mod tests {
         // must climb to level 4 (8 symbols); TSLC-OPT finds the staggered
         // window [2, 6) at level 3.
         let mut lens = uniform(2);
-        for i in 2..6 {
-            lens[i] = 20;
-        }
+        lens[2..6].fill(20);
         let tree = CodeLengthTree::new(&lens);
         let plain = tree.select(60, false).expect("selectable");
         assert_eq!(plain.level, 4);

@@ -6,8 +6,9 @@ use slc_compress::ratio::geometric_mean;
 use slc_core::slc::SlcVariant;
 use slc_power::{EnergyBreakdown, EnergyModel};
 use slc_sim::SimStats;
+use slc_workloads::harness::BenchmarkArtifacts;
 use slc_workloads::harness::{normalized_bandwidth, speedup};
-use slc_workloads::{all_workloads, Harness, Scale, Scheme, SchemeKind};
+use slc_workloads::{all_workloads, Harness, Scale, Scheme, SchemeKind, Workload};
 
 /// One scheme's results on one benchmark, normalised to the E2MC baseline.
 #[derive(Debug, Clone)]
@@ -64,29 +65,55 @@ pub struct Eval {
 ///
 /// `config` fixes the MAG; the threshold follows the paper (16 B at MAG
 /// 32 B in Figs. 7–8, MAG/2 in Fig. 9).
+///
+/// The nine benchmarks are independent, so they evaluate in parallel
+/// ([`slc_par::par_map`]); results come back in paper order regardless of
+/// which workload finishes first, keeping reports byte-identical to a
+/// serial run.
 pub fn evaluate(
     scale: Scale,
     harness: &Harness,
     threshold_bytes: u32,
     variants: &[SlcVariant],
 ) -> Eval {
+    evaluate_prepared(harness, threshold_bytes, variants, &prepare_all(scale, harness))
+}
+
+/// Step 1+2 (exact run + table training) for every benchmark, in
+/// parallel. Callers that need the artifacts for their own studies (e.g.
+/// Fig. 9's ratio sweep) prepare once and pass the result to
+/// [`evaluate_prepared`] instead of paying a second full prepare pass.
+pub fn prepare_all(
+    scale: Scale,
+    harness: &Harness,
+) -> Vec<(Box<dyn Workload>, BenchmarkArtifacts)> {
+    slc_par::par_map(all_workloads(scale), |w| {
+        let artifacts = harness.prepare(w.as_ref());
+        (w, artifacts)
+    })
+}
+
+/// [`evaluate`] over benchmarks that are already prepared.
+pub fn evaluate_prepared(
+    harness: &Harness,
+    threshold_bytes: u32,
+    variants: &[SlcVariant],
+    prepared: &[(Box<dyn Workload>, BenchmarkArtifacts)],
+) -> Eval {
     let energy_model = EnergyModel::default();
     let mag = harness.config.mag();
-    let mut rows = Vec::new();
-    for w in all_workloads(scale) {
-        let artifacts = harness.prepare(w.as_ref());
+    let rows = slc_par::par_map_ref(prepared, |(w, artifacts)| {
         // Baselines.
         let nocomp = Scheme::Uncompressed;
-        let (_, t_nocomp) = harness.evaluate(w.as_ref(), &artifacts, &nocomp);
+        let (_, t_nocomp) = harness.evaluate(w.as_ref(), artifacts, &nocomp);
         let e2mc_scheme = Scheme::E2mc(artifacts.e2mc.clone());
-        let (_, t_e2mc) = harness.evaluate(w.as_ref(), &artifacts, &e2mc_scheme);
+        let (_, t_e2mc) = harness.evaluate(w.as_ref(), artifacts, &e2mc_scheme);
         let baseline_energy = energy_model.evaluate(&t_e2mc.stats, &harness.config);
         // Variants.
         let mut results = Vec::new();
         for &variant in variants {
-            let scheme =
-                Scheme::slc(artifacts.e2mc.clone(), mag, threshold_bytes, variant);
-            let (f, t) = harness.evaluate(w.as_ref(), &artifacts, &scheme);
+            let scheme = Scheme::slc(artifacts.e2mc.clone(), mag, threshold_bytes, variant);
+            let (f, t) = harness.evaluate(w.as_ref(), artifacts, &scheme);
             let energy = energy_model.evaluate(&t.stats, &harness.config);
             results.push(VariantResult {
                 kind: t.kind,
@@ -100,14 +127,14 @@ pub fn evaluate(
                 energy,
             });
         }
-        rows.push(EvalRow {
+        EvalRow {
             name: artifacts.name.clone(),
             baseline: t_e2mc.stats.clone(),
             baseline_energy,
             e2mc_vs_nocomp: speedup(&t_nocomp.stats, &t_e2mc.stats),
             variants: results,
-        });
-    }
+        }
+    });
     Eval { rows, variants: variants.to_vec(), threshold_bytes, mag_bytes: mag.bytes() }
 }
 
@@ -119,9 +146,7 @@ impl Eval {
 
     /// Geometric-mean normalised bandwidth of variant `v`.
     pub fn gm_bandwidth(&self, v: usize) -> f64 {
-        geometric_mean(
-            &self.rows.iter().map(|r| r.variants[v].norm_bandwidth).collect::<Vec<_>>(),
-        )
+        geometric_mean(&self.rows.iter().map(|r| r.variants[v].norm_bandwidth).collect::<Vec<_>>())
     }
 
     /// Geometric-mean normalised energy of variant `v`.

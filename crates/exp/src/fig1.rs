@@ -46,8 +46,9 @@ pub struct Fig1 {
 /// Computes Fig. 1 at `scale` under `mag`.
 pub fn compute(scale: Scale, mag: Mag) -> Fig1 {
     let harness = Harness::new(scale);
-    let mut rows = Vec::new();
-    for w in all_workloads(scale) {
+    // Benchmarks are independent: measure them in parallel, paper order
+    // preserved by the order-preserving map.
+    let rows = slc_par::par_map(all_workloads(scale), |w| {
         let artifacts = harness.prepare(w.as_ref());
         let bdi = Bdi::new();
         let fpc = Fpc::new();
@@ -61,14 +62,14 @@ pub fn compute(scale: Scale, mag: Mag) -> Fig1 {
                 acc.record_bits(codec.size_bits(&block));
             }
         }
-        rows.push(Fig1Row {
+        Fig1Row {
             name: artifacts.name.clone(),
             ratios: accs
                 .iter()
                 .map(|a| RatioPair { raw: a.raw_ratio(), effective: a.effective_ratio() })
                 .collect(),
-        });
-    }
+        }
+    });
     let gm = (0..CODECS.len())
         .map(|c| RatioPair {
             raw: geometric_mean(&rows.iter().map(|r| r.ratios[c].raw).collect::<Vec<_>>()),
@@ -125,8 +126,7 @@ pub fn compute_section2a(scale: Scale, mag: Mag) -> Fig1 {
     use slc_compress::hycomp::{FpH, HyComp};
     use slc_compress::sc2::Sc2;
     let harness = Harness::new(scale);
-    let mut rows = Vec::new();
-    for w in all_workloads(scale) {
+    let rows = slc_par::par_map(all_workloads(scale), |w| {
         let artifacts = harness.prepare(w.as_ref());
         let training: Vec<u8> =
             artifacts.exact_memory.all_blocks().flat_map(|(_, b)| b.to_vec()).collect();
@@ -141,14 +141,14 @@ pub fn compute_section2a(scale: Scale, mag: Mag) -> Fig1 {
                 acc.record_bits(codec.size_bits(&block));
             }
         }
-        rows.push(Fig1Row {
+        Fig1Row {
             name: artifacts.name.clone(),
             ratios: accs
                 .iter()
                 .map(|a| RatioPair { raw: a.raw_ratio(), effective: a.effective_ratio() })
                 .collect(),
-        });
-    }
+        }
+    });
     let gm = (0..3)
         .map(|c| RatioPair {
             raw: geometric_mean(&rows.iter().map(|r| r.ratios[c].raw).collect::<Vec<_>>()),
@@ -208,11 +208,7 @@ mod tests {
             assert!(p.effective <= p.raw + 1e-12, "{c} gains from rounding?");
         }
         // The paper's claim: these techniques suffer due to MAG too.
-        let max_gap = fig
-            .gm
-            .iter()
-            .map(|p| 1.0 - p.effective / p.raw)
-            .fold(0.0f64, f64::max);
+        let max_gap = fig.gm.iter().map(|p| 1.0 - p.effective / p.raw).fold(0.0f64, f64::max);
         assert!(max_gap > 0.03, "MAG gap {max_gap:.3} too small to support §II-A");
         assert!(render_section2a(&fig).contains("HyComp"));
     }
@@ -233,8 +229,8 @@ mod tests {
         // in the paper ("E2MC provides the highest compression ratio").
         // BPC is outside Fig. 1 and may win on delta-friendly data.
         let e2mc_gm = fig.gm[3].raw;
-        for i in 0..3 {
-            assert!(e2mc_gm >= fig.gm[i].raw * 0.95, "E2MC GM {} vs {} {}", e2mc_gm, CODECS[i], fig.gm[i].raw);
+        for (name, gm) in CODECS.iter().zip(&fig.gm).take(3) {
+            assert!(e2mc_gm >= gm.raw * 0.95, "E2MC GM {} vs {} {}", e2mc_gm, name, gm.raw);
         }
         // The MAG gap is material (the paper's headline motivation).
         let gaps = fig.gm_gap_pct();

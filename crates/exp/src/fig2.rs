@@ -34,8 +34,7 @@ pub struct Fig2 {
 pub fn compute(scale: Scale, mag: Mag) -> Fig2 {
     let harness = Harness::new(scale);
     let buckets = mag.bytes() as usize + 1;
-    let mut rows = Vec::new();
-    for w in all_workloads(scale) {
+    let rows = slc_par::par_map(all_workloads(scale), |w| {
         let artifacts = harness.prepare(w.as_ref());
         let mut counts = vec![0u64; buckets];
         let mut total = 0u64;
@@ -54,11 +53,11 @@ pub fn compute(scale: Scale, mag: Mag) -> Fig2 {
                 counts[above as usize] += 1;
             }
         }
-        rows.push(Fig2Row {
+        Fig2Row {
             name: artifacts.name.clone(),
             pct: counts.iter().map(|&c| c as f64 / total.max(1) as f64 * 100.0).collect(),
-        });
-    }
+        }
+    });
     Fig2 { rows, mag }
 }
 
@@ -133,11 +132,7 @@ mod tests {
         // The paper's core observation: a significant percentage of blocks
         // land a few bytes above a multiple of MAG.
         let fig = compute(Scale::Tiny, Mag::GDDR5);
-        let avg_opportunity: f64 = fig
-            .rows
-            .iter()
-            .map(|r| fig.opportunity_pct(r, 16))
-            .sum::<f64>()
+        let avg_opportunity: f64 = fig.rows.iter().map(|r| fig.opportunity_pct(r, 16)).sum::<f64>()
             / fig.rows.len() as f64;
         assert!(
             avg_opportunity > 10.0,

@@ -5,12 +5,12 @@
 //! the §V-C effective-compression-ratio study (paper: E2MC GM 1.41 / 1.31
 //! / 1.16 at MAG 16/32/64 B, raw GM 1.54 independent of MAG).
 
-use crate::eval::{evaluate, Eval};
+use crate::eval::{evaluate_prepared, prepare_all, Eval};
 use crate::report::{err_pct, f3, TextTable};
 use slc_compress::ratio::{geometric_mean, RatioAccumulator};
 use slc_compress::{BlockCompressor, Mag, BLOCK_BYTES};
 use slc_core::slc::SlcVariant;
-use slc_workloads::{all_workloads, Harness, Scale};
+use slc_workloads::{Harness, Scale};
 
 /// One MAG's column of Fig. 9.
 #[derive(Debug, Clone)]
@@ -42,19 +42,20 @@ pub fn compute(scale: Scale) -> Fig9 {
         let config = base.config.with_mag(mag);
         let harness = Harness::new(scale).with_config(config);
         let threshold = mag.bytes() / 2;
-        let eval = evaluate(scale, &harness, threshold, &[SlcVariant::TslcOpt]);
-        // §V-C ratio study over the same memory images.
-        let mut raw = Vec::new();
-        let mut eff = Vec::new();
-        for w in all_workloads(scale) {
-            let artifacts = harness.prepare(w.as_ref());
+        // Prepare each benchmark once and share the artifacts between the
+        // evaluation and the §V-C ratio study (both run over the same
+        // memory images; a second prepare pass would re-execute every
+        // workload and retrain every table).
+        let prepared = prepare_all(scale, &harness);
+        let eval = evaluate_prepared(&harness, threshold, &[SlcVariant::TslcOpt], &prepared);
+        let ratios = slc_par::par_map_ref(&prepared, |(_, artifacts)| {
             let mut acc = RatioAccumulator::new(mag, BLOCK_BYTES as u32);
             for (_, block) in artifacts.exact_memory.all_blocks() {
                 acc.record_bits(artifacts.e2mc.size_bits(&block));
             }
-            raw.push(acc.raw_ratio());
-            eff.push(acc.effective_ratio());
-        }
+            (acc.raw_ratio(), acc.effective_ratio())
+        });
+        let (raw, eff): (Vec<f64>, Vec<f64>) = ratios.into_iter().unzip();
         studies.push(MagStudy {
             mag,
             threshold_bytes: threshold,
@@ -77,8 +78,7 @@ impl Fig9 {
             header.push(format!("err@{}", s.mag));
         }
         let mut t = TextTable::new(header);
-        let names: Vec<String> =
-            self.studies[0].eval.rows.iter().map(|r| r.name.clone()).collect();
+        let names: Vec<String> = self.studies[0].eval.rows.iter().map(|r| r.name.clone()).collect();
         for (i, name) in names.iter().enumerate() {
             let mut cells = vec![name.clone()];
             for s in &self.studies {
@@ -97,10 +97,13 @@ impl Fig9 {
             cells.push(err_pct(s.eval.gm_mre(0)));
         }
         t.row(cells);
-        let mut out = String::from("Fig. 9: TSLC-OPT speedup and error across MAGs (threshold = MAG/2)\n");
+        let mut out =
+            String::from("Fig. 9: TSLC-OPT speedup and error across MAGs (threshold = MAG/2)\n");
         out.push_str(&t.render());
         out.push_str("\n(paper GM speedups: 1.05 @16B, 1.097 @32B, 1.09 @64B; NN +35%, SRAD1 +27%, TP +21% @64B)\n");
-        out.push_str("\n§V-C: E2MC compression-ratio GM by MAG (paper: eff 1.41/1.31/1.16, raw 1.54):\n");
+        out.push_str(
+            "\n§V-C: E2MC compression-ratio GM by MAG (paper: eff 1.41/1.31/1.16, raw 1.54):\n",
+        );
         for s in &self.studies {
             out.push_str(&format!(
                 "  MAG {:>3}: raw {:.2}  effective {:.2}\n",

@@ -57,17 +57,11 @@ pub fn table2() -> String {
     t.row(vec!["Memory type".to_owned(), "GDDR5".to_owned()]);
     t.row(vec!["# Memory controllers".to_owned(), c.memory_controllers.to_string()]);
     t.row(vec!["Memory clock".to_owned(), format!("{} MHz", c.mem_clock_mhz)]);
-    t.row(vec![
-        "Memory bandwidth".to_owned(),
-        format!("{:.1} GB/s", c.bandwidth_gbps()),
-    ]);
+    t.row(vec!["Memory bandwidth".to_owned(), format!("{:.1} GB/s", c.bandwidth_gbps())]);
     t.row(vec!["Bus width".to_owned(), format!("{}-bit", c.bus_bits)]);
     t.row(vec!["Burst length".to_owned(), c.burst_length.to_string()]);
     t.row(vec!["MAG".to_owned(), c.mag().to_string()]);
-    t.row(vec![
-        "E2MC latency".to_owned(),
-        "46 cyc compress / 20 cyc decompress".to_owned(),
-    ]);
+    t.row(vec!["E2MC latency".to_owned(), "46 cyc compress / 20 cyc decompress".to_owned()]);
     t.row(vec!["TSLC latency".to_owned(), "60 cyc compress / 20 cyc decompress".to_owned()]);
     let mut out = String::from("Table II: baseline simulator configuration (GTX580-like)\n");
     out.push_str(&t.render());

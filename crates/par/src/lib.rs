@@ -1,0 +1,123 @@
+//! Order-preserving parallel map over a work list.
+//!
+//! The evaluation harness fans benchmark × scheme combinations out across
+//! cores. The container has no crates.io access, so instead of rayon this
+//! crate implements the one primitive the workspace needs — a scoped
+//! thread-pool `par_map` — on `std::thread::scope`. Results always come
+//! back in input order, so parallel and serial runs produce byte-identical
+//! reports.
+//!
+//! Thread count defaults to [`std::thread::available_parallelism`] and can
+//! be pinned with `SLC_PAR_THREADS` (`SLC_PAR_THREADS=1` forces the serial
+//! path, which is also the fallback for empty and single-item inputs).
+//!
+//! ```
+//! let squares = slc_par::par_map(vec![1u64, 2, 3, 4], |x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9, 16]);
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Number of worker threads to use for `n` items.
+fn worker_count(n: usize) -> usize {
+    let hw = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    let cap = match std::env::var("SLC_PAR_THREADS") {
+        Ok(v) => v.parse::<usize>().ok().filter(|&t| t >= 1).unwrap_or(hw),
+        Err(_) => hw,
+    };
+    cap.min(n)
+}
+
+/// Maps `f` over `items` in parallel, preserving input order.
+///
+/// Items are distributed dynamically (an atomic cursor), so uneven work —
+/// one slow benchmark among nine — does not idle the other workers.
+/// Panics in `f` propagate to the caller once all threads have stopped.
+pub fn par_map<T, U, F>(items: Vec<T>, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    let n = items.len();
+    let workers = worker_count(n);
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let out: Vec<Mutex<Option<U>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = slots[i].lock().expect("slot poisoned").take().expect("taken once");
+                let result = f(item);
+                *out[i].lock().expect("slot poisoned") = Some(result);
+            });
+        }
+    });
+    out.into_iter()
+        .map(|m| m.into_inner().expect("slot poisoned").expect("every index visited"))
+        .collect()
+}
+
+/// Borrowed-input variant of [`par_map`].
+pub fn par_map_ref<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    par_map(items.iter().collect(), f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let input: Vec<usize> = (0..1000).collect();
+        let out = par_map(input, |x| x * 2);
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_single() {
+        assert_eq!(par_map(Vec::<u32>::new(), |x| x), Vec::<u32>::new());
+        assert_eq!(par_map(vec![7], |x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn ref_variant_borrows() {
+        let items = vec![String::from("a"), String::from("bb")];
+        assert_eq!(par_map_ref(&items, |s| s.len()), vec![1, 2]);
+    }
+
+    #[test]
+    fn uneven_work_completes() {
+        let out = par_map((0..64usize).collect(), |i| {
+            if i == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+            i
+        });
+        assert_eq!(out, (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "worker panic")]
+    fn panics_propagate() {
+        let _ = par_map(vec![1, 2, 3], |x| {
+            if x == 2 {
+                panic!("worker panic");
+            }
+            x
+        });
+    }
+}

@@ -125,10 +125,8 @@ impl TslcHardwareModel {
         // levels 1..5 aligned (64+32+16+8+4) + 12 staggered, 12-bit.
         let comparators = (64 + 32 + 16 + 8 + 4 + 12) * comparator_ge(12);
         // One priority encoder per level over its node count.
-        let priority_encoders = [64u32, 32, 16 + 8, 8 + 4, 4]
-            .iter()
-            .map(|&n| priority_encoder_ge(n))
-            .sum();
+        let priority_encoders =
+            [64u32, 32, 16 + 8, 8 + 4, 4].iter().map(|&n| priority_encoder_ge(n)).sum();
         // Selection stage: level mux + start-symbol computation.
         let selector = 5 * 32 + 6 * 64;
         // Pipeline: latch the 64 code lengths (6 bits each) + control.
@@ -217,8 +215,8 @@ mod tests {
         let total_area_pct =
             m.compressor_cost().area_pct_of_gtx580() + m.decompressor_cost().area_pct_of_gtx580();
         assert!((0.0008..0.0025).contains(&total_area_pct), "area pct {total_area_pct}");
-        let total_power_pct = m.compressor_cost().power_pct_of_gtx580()
-            + m.decompressor_cost().power_pct_of_gtx580();
+        let total_power_pct =
+            m.compressor_cost().power_pct_of_gtx580() + m.decompressor_cost().power_pct_of_gtx580();
         assert!((0.0004..0.0015).contains(&total_power_pct), "power pct {total_power_pct}");
         let e2mc_pct = m.pct_of_e2mc_area();
         assert!((3.5..8.0).contains(&e2mc_pct), "E2MC share {e2mc_pct}");
@@ -238,7 +236,12 @@ mod tests {
         let g = TslcHardwareModel::new().compressor_gates();
         assert_eq!(
             g.total(),
-            g.adder_tree + g.opt_adders + g.comparators + g.priority_encoders + g.selector + g.registers
+            g.adder_tree
+                + g.opt_adders
+                + g.comparators
+                + g.priority_encoders
+                + g.selector
+                + g.registers
         );
     }
 }

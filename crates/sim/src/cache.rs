@@ -82,8 +82,7 @@ impl Cache {
         let victim = match ways.iter().position(|l| !l.valid) {
             Some(i) => i,
             None => {
-                let (i, _) =
-                    ways.iter().enumerate().min_by_key(|(_, l)| l.lru).expect("assoc > 0");
+                let (i, _) = ways.iter().enumerate().min_by_key(|(_, l)| l.lru).expect("assoc > 0");
                 i
             }
         };

@@ -164,7 +164,7 @@ impl GpuConfig {
         cfg.bus_bits = mag.bytes() * 8 / self.burst_length;
         let channels = self.channels() as u32 * scale_num / scale_den;
         assert!(
-            channels > 0 && channels % self.memory_controllers as u32 == 0,
+            channels > 0 && channels.is_multiple_of(self.memory_controllers as u32),
             "cannot evenly spread {channels} channels over {} MCs",
             self.memory_controllers
         );

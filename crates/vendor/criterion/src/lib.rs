@@ -1,0 +1,247 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no crates.io access, so this path dependency
+//! implements the benchmarking subset the workspace's benches use:
+//! [`Criterion`] with `bench_function` / `benchmark_group`,
+//! [`Bencher::iter`] and [`Bencher::iter_batched`], [`BatchSize`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement model: a short warm-up, then timed batches whose iteration
+//! count doubles until the measurement window (default 100 ms,
+//! `CRITERION_MEASURE_MS` to override) is filled; the reported figure is
+//! the best (lowest) mean ns/iter across batches, which is robust against
+//! scheduler noise. Results print to stdout and accumulate in the
+//! [`Criterion`] value so a custom `main` can export them (the
+//! `codec_throughput` bench writes `BENCH_codec.json` this way).
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// One finished measurement.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// `group/function` identifier.
+    pub id: String,
+    /// Best mean nanoseconds per iteration.
+    pub ns_per_iter: f64,
+    /// Total iterations measured.
+    pub iterations: u64,
+}
+
+/// How `iter_batched` amortises setup cost. The shim times routine calls
+/// individually, so the variants only document intent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One routine call per setup call.
+    PerIteration,
+}
+
+/// The benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    results: Vec<BenchResult>,
+    measure: Duration,
+    warmup: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let ms = std::env::var("CRITERION_MEASURE_MS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(100);
+        Self {
+            results: Vec::new(),
+            measure: Duration::from_millis(ms),
+            warmup: Duration::from_millis((ms / 4).max(5)),
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs one benchmark.
+    pub fn bench_function(&mut self, id: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let mut b = Bencher {
+            measure: self.measure,
+            warmup: self.warmup,
+            best_ns: f64::INFINITY,
+            iterations: 0,
+        };
+        f(&mut b);
+        let result =
+            BenchResult { id: id.to_owned(), ns_per_iter: b.best_ns, iterations: b.iterations };
+        println!(
+            "{:<44} {:>12.1} ns/iter ({} iters)",
+            result.id, result.ns_per_iter, result.iterations
+        );
+        self.results.push(result);
+        self
+    }
+
+    /// Opens a named group; member ids render as `group/function`.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.to_owned() }
+    }
+
+    /// All results measured so far.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark inside the group.
+    pub fn bench_function(&mut self, id: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        self.criterion.bench_function(&full, f);
+        self
+    }
+
+    /// Sets the target sample count (accepted for API compatibility; the
+    /// shim sizes batches adaptively instead).
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Timing context handed to the benchmark closure.
+pub struct Bencher {
+    measure: Duration,
+    warmup: Duration,
+    best_ns: f64,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Times `routine` until the measurement window is filled.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Warm-up: also estimates a batch size that keeps timer overhead
+        // out of the numbers.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.warmup {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let est_ns = (warm_start.elapsed().as_nanos() as f64 / warm_iters.max(1) as f64).max(0.5);
+        let mut batch = ((1_000_000.0 / est_ns).ceil() as u64).clamp(1, 1 << 20);
+        let start = Instant::now();
+        while start.elapsed() < self.measure {
+            let batch_start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let ns = batch_start.elapsed().as_nanos() as f64 / batch as f64;
+            self.iterations += batch;
+            if ns < self.best_ns {
+                self.best_ns = ns;
+            }
+            batch = (batch * 2).min(1 << 24);
+        }
+    }
+
+    /// Times `routine` over fresh inputs from `setup`; only the routine is
+    /// on the clock.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < self.warmup {
+            black_box(routine(setup()));
+        }
+        let start = Instant::now();
+        let mut spent = Duration::ZERO;
+        while start.elapsed() < self.measure {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            spent += t.elapsed();
+            self.iterations += 1;
+        }
+        if self.iterations > 0 {
+            self.best_ns = spent.as_nanos() as f64 / self.iterations as f64;
+        }
+    }
+}
+
+/// Bundles benchmark functions under one name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Entry point running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $( $group(&mut c); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Criterion {
+        Criterion {
+            results: Vec::new(),
+            measure: Duration::from_millis(5),
+            warmup: Duration::from_millis(1),
+        }
+    }
+
+    #[test]
+    fn bench_function_records_result() {
+        let mut c = quick();
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        assert_eq!(c.results().len(), 1);
+        assert!(c.results()[0].ns_per_iter.is_finite());
+        assert!(c.results()[0].iterations > 0);
+    }
+
+    #[test]
+    fn groups_prefix_ids() {
+        let mut c = quick();
+        let mut g = c.benchmark_group("grp");
+        g.bench_function("f", |b| b.iter(|| black_box(42)));
+        g.finish();
+        assert_eq!(c.results()[0].id, "grp/f");
+    }
+
+    #[test]
+    fn iter_batched_times_routine_only() {
+        let mut c = quick();
+        c.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u8; 64],
+                |v| v.iter().map(|&x| x as u64).sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+        assert!(c.results()[0].ns_per_iter.is_finite());
+    }
+}

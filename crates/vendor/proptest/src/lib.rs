@@ -1,0 +1,603 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so this path dependency
+//! implements the subset of proptest's API that the workspace's property
+//! tests use: the [`proptest!`] macro, [`Strategy`] with `prop_map`,
+//! `any::<T>()`, integer-range and `Just` strategies, tuples,
+//! [`collection::vec`], `array::uniform*`, [`prop_oneof!`],
+//! [`prop_assert!`]/[`prop_assert_eq!`]/[`prop_assume!`] and
+//! [`test_runner::ProptestConfig`].
+//!
+//! Semantics intentionally kept: cases are generated from a deterministic
+//! per-test seed (derived from the test name, overridable with
+//! `PROPTEST_SEED`), `prop_assume!` rejections do not count against the
+//! case budget, and failures report the failing inputs. Shrinking is not
+//! implemented — failures print the full unshrunk inputs instead.
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A generator of test values.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn sample(&self, rng: &mut TestRng) -> S::Value {
+            (**self).sample(rng)
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for Box<S> {
+        type Value = S::Value;
+        fn sample(&self, rng: &mut TestRng) -> S::Value {
+            (**self).sample(rng)
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+        fn sample(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// Always produces a clone of the wrapped value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform choice between boxed strategies (`prop_oneof!`).
+    pub struct Union<T> {
+        options: Vec<Box<dyn Strategy<Value = T>>>,
+    }
+
+    impl<T> Union<T> {
+        /// Builds a union; `options` must be non-empty.
+        pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+            Self { options }
+        }
+    }
+
+    /// Incremental [`Union`] construction (used by `prop_oneof!`; the
+    /// generic `push` bound drives closure type inference better than a
+    /// trait-object cast would).
+    pub struct UnionBuilder<T> {
+        options: Vec<Box<dyn Strategy<Value = T>>>,
+    }
+
+    impl<T> Default for UnionBuilder<T> {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl<T> UnionBuilder<T> {
+        /// Empty builder.
+        pub fn new() -> Self {
+            Self { options: Vec::new() }
+        }
+
+        /// Adds one option.
+        pub fn push<S: Strategy<Value = T> + 'static>(&mut self, strategy: S) {
+            self.options.push(Box::new(strategy));
+        }
+
+        /// Finishes the union.
+        pub fn build(self) -> Union<T> {
+            Union::new(self.options)
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            let i = rng.below(self.options.len() as u64) as usize;
+            self.options[i].sample(rng)
+        }
+    }
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws an unconstrained value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    // Mix plain uniform values with boundary-ish ones so
+                    // edge cases show up without shrinking.
+                    match rng.below(8) {
+                        0 => 0 as $t,
+                        1 => <$t>::MAX,
+                        2 => <$t>::MIN,
+                        3 => 1 as $t,
+                        _ => rng.next_u64() as $t,
+                    }
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// Strategy produced by [`any`].
+    pub struct Any<T> {
+        _marker: std::marker::PhantomData<T>,
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The canonical strategy for `T`: any representable value.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any { _marker: std::marker::PhantomData }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(span) as i128) as $t
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128 - lo as i128 + 1) as u64;
+                    if span == 0 {
+                        return rng.next_u64() as $t;
+                    }
+                    (lo as i128 + rng.below(span) as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_float_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let unit = ((rng.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64);
+                    let v = (self.start as f64
+                        + unit * (self.end as f64 - self.start as f64)) as $t;
+                    if v >= self.start && v < self.end {
+                        v
+                    } else {
+                        self.start
+                    }
+                }
+            }
+        )*};
+    }
+
+    impl_float_range_strategy!(f32, f64);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A 0)
+        (A 0, B 1)
+        (A 0, B 1, C 2)
+        (A 0, B 1, C 2, D 3)
+        (A 0, B 1, C 2, D 3, E 4)
+        (A 0, B 1, C 2, D 3, E 4, F 5)
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Element counts accepted by [`vec`]: an exact size or a range.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { lo: n, hi_inclusive: n }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            Self { lo: r.start, hi_inclusive: r.end - 1 }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            Self { lo: *r.start(), hi_inclusive: *r.end() }
+        }
+    }
+
+    /// Strategy for `Vec<T>` with element strategy `S`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `Vec` strategy: `size` elements drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi_inclusive - self.size.lo + 1) as u64;
+            let len = self.size.lo + rng.below(span) as usize;
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod array {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy for fixed-size arrays.
+    pub struct UniformArrayStrategy<S, const N: usize> {
+        element: S,
+    }
+
+    impl<S: Strategy, const N: usize> Strategy for UniformArrayStrategy<S, N> {
+        type Value = [S::Value; N];
+        fn sample(&self, rng: &mut TestRng) -> [S::Value; N] {
+            std::array::from_fn(|_| self.element.sample(rng))
+        }
+    }
+
+    macro_rules! uniform_fns {
+        ($($name:ident $n:literal),*) => {$(
+            /// Array of independent draws from `element`.
+            pub fn $name<S: Strategy>(element: S) -> UniformArrayStrategy<S, $n> {
+                UniformArrayStrategy { element }
+            }
+        )*};
+    }
+
+    uniform_fns!(uniform1 1, uniform2 2, uniform3 3, uniform4 4, uniform8 8, uniform16 16, uniform32 32);
+}
+
+pub mod test_runner {
+    /// Per-test deterministic RNG (SplitMix64).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeds the generator.
+        pub fn new(seed: u64) -> Self {
+            Self { state: seed ^ 0x5bf0_3635_16f5_5f53 }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, bound)`; `bound` must be positive.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            debug_assert!(bound > 0);
+            (((self.next_u64() as u128) * (bound as u128)) >> 64) as u64
+        }
+    }
+
+    /// Why a single generated case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// `prop_assume!` rejected the inputs; the case is re-drawn.
+        Reject(String),
+        /// A `prop_assert*!` failed; the test fails.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// Builds the failure variant.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+
+        /// Builds the rejection variant.
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    /// Runner configuration (`cases` is the only knob the workspace uses).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of accepted cases to run per test.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            let cases =
+                std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(64);
+            Self { cases }
+        }
+    }
+
+    /// Seed for a named test: `PROPTEST_SEED` env override or an FNV-1a
+    /// hash of the test path, so every test gets a distinct stable stream.
+    pub fn seed_for(test_name: &str) -> u64 {
+        if let Ok(s) = std::env::var("PROPTEST_SEED") {
+            if let Ok(v) = s.parse::<u64>() {
+                return v;
+            }
+        }
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that draws `cases` inputs and runs the body.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $crate::test_runner::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = $cfg:expr; $( $(#[$meta:meta])* fn $name:ident ( $( $arg:ident in $strat:expr ),+ $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut rng = $crate::test_runner::TestRng::new(
+                    $crate::test_runner::seed_for(concat!(module_path!(), "::", stringify!($name))),
+                );
+                let mut accepted = 0u32;
+                let mut rejected = 0u32;
+                while accepted < config.cases {
+                    $( let $arg = $crate::strategy::Strategy::sample(&($strat), &mut rng); )+
+                    let inputs = format!(
+                        concat!($(stringify!($arg), " = {:?}\n"),+),
+                        $(&$arg),+
+                    );
+                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    match outcome {
+                        Ok(()) => accepted += 1,
+                        Err($crate::test_runner::TestCaseError::Reject(_)) => {
+                            rejected += 1;
+                            assert!(
+                                rejected < config.cases.saturating_mul(64).max(1024),
+                                "too many prop_assume! rejections in {}",
+                                stringify!($name)
+                            );
+                        }
+                        Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                            panic!(
+                                "proptest case failed: {}\ninputs:\n{}",
+                                msg, inputs
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// `assert!` that reports the generated inputs on failure.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// `assert_eq!` that reports the generated inputs on failure.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(*l == *r, "assertion failed: {:?} == {:?}", l, r)
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(*l == *r, $($fmt)*)
+            }
+        }
+    };
+}
+
+/// `assert_ne!` that reports the generated inputs on failure.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(*l != *r, "assertion failed: {:?} != {:?}", l, r)
+            }
+        }
+    };
+}
+
+/// Rejects the current case (re-drawn without counting against `cases`).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {{
+        let mut builder = $crate::strategy::UnionBuilder::new();
+        $( builder.push($strat); )+
+        builder.build()
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = crate::test_runner::TestRng::new(1);
+        for _ in 0..1000 {
+            let v = Strategy::sample(&(3u32..10), &mut rng);
+            assert!((3..10).contains(&v));
+            let w = Strategy::sample(&(1u32..=64), &mut rng);
+            assert!((1..=64).contains(&w));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_sizes() {
+        let mut rng = crate::test_runner::TestRng::new(2);
+        for _ in 0..100 {
+            let v = Strategy::sample(&crate::collection::vec(any::<u8>(), 0..64), &mut rng);
+            assert!(v.len() < 64);
+            let w = Strategy::sample(&crate::collection::vec(any::<u8>(), 128usize), &mut rng);
+            assert_eq!(w.len(), 128);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn macro_end_to_end(x in 0u32..100, v in crate::collection::vec(any::<u8>(), 1..8)) {
+            prop_assume!(x != 13);
+            prop_assert!(x < 100);
+            prop_assert_eq!(v.len(), v.len());
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+        #[test]
+        fn config_form_compiles(t in (any::<u64>(), 1u32..=64)) {
+            let (v, w) = t;
+            let masked = if w == 64 { v } else { v & ((1u64 << w) - 1) };
+            prop_assert!(w == 64 || masked < (1u64 << w));
+        }
+    }
+
+    #[test]
+    fn oneof_and_map() {
+        let mut rng = crate::test_runner::TestRng::new(3);
+        let s = prop_oneof![
+            Just(1u32),
+            (10u32..20).prop_map(|v| v * 2),
+            any::<u8>().prop_map(|b| b as u32)
+        ];
+        for _ in 0..200 {
+            let v = Strategy::sample(&s, &mut rng);
+            assert!(v == 1 || (20..40).contains(&v) || v <= 255);
+        }
+    }
+}

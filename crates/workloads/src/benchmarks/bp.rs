@@ -138,10 +138,10 @@ impl Workload for Bp {
         let x = mem.read_f32(input, n);
         let mut weights1 = mem.read_f32(w1, n * h);
         let mut prev1 = mem.read_f32(w1p, n * h);
-        for i in 0..n {
-            for j in 0..h {
+        for (i, &xi) in x.iter().enumerate().take(n) {
+            for (j, &dh) in delta_h.iter().enumerate().take(h) {
                 let idx = i * h + j;
-                let dw = ETA * delta_h[j] * x[i] + MOMENTUM * prev1[idx];
+                let dw = ETA * dh * xi + MOMENTUM * prev1[idx];
                 weights1[idx] += dw;
                 prev1[idx] = dw;
             }
@@ -177,14 +177,7 @@ impl Workload for Bp {
         let (n, h) = (self.n_in, self.n_hidden);
         let mut b = TraceBuilder::new(sms);
         // Kernel 1: stream w1 (+ the input vector), store hidden partials.
-        zip_sweep(
-            &mut b,
-            n * h,
-            2048,
-            &[ArraySpec::new(w1, 4)],
-            &[],
-            8,
-        );
+        zip_sweep(&mut b, n * h, 2048, &[ArraySpec::new(w1, 4)], &[], 8);
         zip_sweep(&mut b, n, 1024, &[ArraySpec::new(input, 4)], &[ArraySpec::new(hid, 4)], 1);
         b.barrier();
         // Kernel 3: read-modify-write w1 and its momentum buffer (the

@@ -26,13 +26,7 @@ impl Bs {
     fn ptrs(&self) -> [DevicePtr; 5] {
         // Allocation order is fixed: price, strike, years, call, put.
         let n = self.options as u64 * 4;
-        [
-            DevicePtr(0),
-            DevicePtr(n),
-            DevicePtr(2 * n),
-            DevicePtr(3 * n),
-            DevicePtr(4 * n),
-        ]
+        [DevicePtr(0), DevicePtr(n), DevicePtr(2 * n), DevicePtr(3 * n), DevicePtr(4 * n)]
     }
 }
 
@@ -40,11 +34,11 @@ impl Bs {
 /// matching the CUDA SDK kernel.
 fn cnd(d: f32) -> f32 {
     const A1: f32 = 0.319_381_53;
-    const A2: f32 = -0.356_563_782;
-    const A3: f32 = 1.781_477_937;
-    const A4: f32 = -1.821_255_978;
-    const A5: f32 = 1.330_274_429;
-    const RSQRT2PI: f32 = 0.398_942_280_401_432_7;
+    const A2: f32 = -0.356_563_78;
+    const A3: f32 = 1.781_477_9;
+    const A4: f32 = -1.821_255_9;
+    const A5: f32 = 1.330_274_5;
+    const RSQRT2PI: f32 = 0.398_942_3;
     let k = 1.0 / (1.0 + 0.231_641_9 * d.abs());
     let poly = k * (A1 + k * (A2 + k * (A3 + k * (A4 + k * A5))));
     let c = RSQRT2PI * (-0.5 * d * d).exp() * poly;

@@ -42,10 +42,7 @@ impl Fwt {
     fn pass_ranges(&self) -> Vec<(usize, usize)> {
         let total = self.stages();
         let per = total.div_ceil(PASSES);
-        (0..PASSES)
-            .map(|p| (p * per, ((p + 1) * per).min(total)))
-            .filter(|(a, b)| a < b)
-            .collect()
+        (0..PASSES).map(|p| (p * per, ((p + 1) * per).min(total))).filter(|(a, b)| a < b).collect()
     }
 }
 
@@ -122,7 +119,7 @@ impl Workload for Fwt {
         // After an even number of passes the result sits back in `data`;
         // `pass_ranges` always yields PASSES = 4 passes for our sizes.
         let (data, pong) = self.ptrs();
-        let final_ptr = if self.pass_ranges().len() % 2 == 0 { data } else { pong };
+        let final_ptr = if self.pass_ranges().len().is_multiple_of(2) { data } else { pong };
         read_region(mem, final_ptr, self.n)
     }
 
@@ -186,8 +183,10 @@ mod tests {
         let f = Fwt::new(Scale::Tiny);
         let t = f.trace(16);
         // 4 passes x (128 load-blocks + 128 store-blocks) for 4096 f32.
-        let loads =
-            (0..t.sms()).flat_map(|s| t.stream(s)).filter(|o| matches!(o, slc_sim::Op::Load(_))).count();
+        let loads = (0..t.sms())
+            .flat_map(|s| t.stream(s))
+            .filter(|o| matches!(o, slc_sim::Op::Load(_)))
+            .count();
         assert_eq!(loads, 4 * 128);
     }
 

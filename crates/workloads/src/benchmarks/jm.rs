@@ -142,9 +142,7 @@ pub fn tri_tri_intersect(t1: [V3; 3], t2: [V3; 3]) -> bool {
             *d = 0.0;
         }
     }
-    if (dv[0] > 0.0 && dv[1] > 0.0 && dv[2] > 0.0)
-        || (dv[0] < 0.0 && dv[1] < 0.0 && dv[2] < 0.0)
-    {
+    if (dv[0] > 0.0 && dv[1] > 0.0 && dv[2] > 0.0) || (dv[0] < 0.0 && dv[1] < 0.0 && dv[2] < 0.0) {
         return false;
     }
     // Plane of t1.
@@ -156,9 +154,7 @@ pub fn tri_tri_intersect(t1: [V3; 3], t2: [V3; 3]) -> bool {
             *d = 0.0;
         }
     }
-    if (du[0] > 0.0 && du[1] > 0.0 && du[2] > 0.0)
-        || (du[0] < 0.0 && du[1] < 0.0 && du[2] < 0.0)
-    {
+    if (du[0] > 0.0 && du[1] > 0.0 && du[2] > 0.0) || (du[0] < 0.0 && du[1] < 0.0 && du[2] < 0.0) {
         return false;
     }
     if dv == [0.0; 3] {
@@ -218,22 +214,20 @@ impl Workload for Jm {
         // intersect: coordinates in a narrow magnitude band (clustered
         // exponents, varying mantissas).
         let mut rng = gen::rng(seed, 0);
-        let mut arrays: Vec<Vec<f32>> = vec![Vec::with_capacity(self.pairs * 3); 6];
+        let mut arrays: Vec<Vec<f32>> =
+            (0..6).map(|_| Vec::with_capacity(self.pairs * 3)).collect();
         for _ in 0..self.pairs {
-            let base: V3 = [
-                rng.gen_range(0.25..1.0),
-                rng.gen_range(0.25..1.0),
-                rng.gen_range(0.25..1.0),
-            ];
+            let base: V3 =
+                [rng.gen_range(0.25..1.0), rng.gen_range(0.25..1.0), rng.gen_range(0.25..1.0)];
             let shift: V3 = [
-                base[0] + rng.gen_range(-0.12..0.12),
-                base[1] + rng.gen_range(-0.12..0.12),
-                base[2] + rng.gen_range(-0.12..0.12),
+                base[0] + rng.gen_range(-0.12f32..0.12),
+                base[1] + rng.gen_range(-0.12f32..0.12),
+                base[2] + rng.gen_range(-0.12f32..0.12),
             ];
             for (slot, array) in arrays.iter_mut().enumerate() {
                 let center = if slot < 3 { base } else { shift };
-                for axis in 0..3 {
-                    array.push(center[axis] + rng.gen_range(-0.15..0.15));
+                for &c in &center {
+                    array.push(c + rng.gen_range(-0.15f32..0.15));
                 }
             }
         }
@@ -254,9 +248,8 @@ impl Workload for Jm {
             coords.iter().map(|&p| mem.read_f32(p, self.pairs * 3)).collect();
         let mut out = vec![0.0f32; self.pairs];
         for i in 0..self.pairs {
-            let v = |a: usize| -> V3 {
-                [arrays[a][3 * i], arrays[a][3 * i + 1], arrays[a][3 * i + 2]]
-            };
+            let v =
+                |a: usize| -> V3 { [arrays[a][3 * i], arrays[a][3 * i + 1], arrays[a][3 * i + 2]] };
             let t1 = [v(0), v(1), v(2)];
             let t2 = [v(3), v(4), v(5)];
             out[i] = if tri_tri_intersect(t1, t2) { 1.0 } else { 0.0 };
@@ -334,10 +327,7 @@ mod tests {
         let out = jm.output(&mem);
         let hits = out.iter().filter(|&&v| v > 0.5).count();
         let rate = hits as f64 / out.len() as f64;
-        assert!(
-            (0.05..0.95).contains(&rate),
-            "intersection rate {rate} should be non-degenerate"
-        );
+        assert!((0.05..0.95).contains(&rate), "intersection rate {rate} should be non-degenerate");
     }
 
     #[test]

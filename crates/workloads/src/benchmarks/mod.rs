@@ -50,10 +50,8 @@ pub(crate) fn zip_sweep(
     let mut start = 0usize;
     while start < n {
         let end = (start + tile_elems).min(n);
-        let loads: Vec<BlockAddr> =
-            inputs.iter().flat_map(|a| a.blocks(start, end)).collect();
-        let stores: Vec<BlockAddr> =
-            outputs.iter().flat_map(|a| a.blocks(start, end)).collect();
+        let loads: Vec<BlockAddr> = inputs.iter().flat_map(|a| a.blocks(start, end)).collect();
+        let stores: Vec<BlockAddr> = outputs.iter().flat_map(|a| a.blocks(start, end)).collect();
         let compute = compute_per_block * loads.len().max(1) as u32;
         b.tile(&loads, compute, &stores);
         start = end;

@@ -76,9 +76,9 @@ fn srad_kernel1(
             ds[idx] = south - jc;
             dw[idx] = west - jc;
             de[idx] = east - jc;
-            let g2 = (dn[idx] * dn[idx] + ds[idx] * ds[idx] + dw[idx] * dw[idx]
-                + de[idx] * de[idx])
-                / (jc * jc);
+            let g2 =
+                (dn[idx] * dn[idx] + ds[idx] * ds[idx] + dw[idx] * dw[idx] + de[idx] * de[idx])
+                    / (jc * jc);
             let l = (dn[idx] + ds[idx] + dw[idx] + de[idx]) / jc;
             let num = 0.5 * g2 - (1.0 / 16.0) * l * l;
             let den = (1.0 + 0.25 * l).powi(2);

@@ -22,7 +22,13 @@ pub fn uniform_vec(rng: &mut StdRng, n: usize, lo: f32, hi: f32) -> Vec<f32> {
 
 /// A smooth 2-D field: a few low-frequency sinusoids. Values span roughly
 /// `[-amplitude, amplitude]` around `offset`.
-pub fn smooth_image(rng: &mut StdRng, width: usize, height: usize, offset: f32, amplitude: f32) -> Vec<f32> {
+pub fn smooth_image(
+    rng: &mut StdRng,
+    width: usize,
+    height: usize,
+    offset: f32,
+    amplitude: f32,
+) -> Vec<f32> {
     let waves: Vec<(f32, f32, f32, f32)> = (0..4)
         .map(|_| {
             (
@@ -63,7 +69,13 @@ pub fn quantized_image(rng: &mut StdRng, width: usize, height: usize, levels: u3
 
 /// A smooth field plus white noise of relative strength `noise`
 /// (0 = perfectly smooth, 1 = noise as strong as the signal).
-pub fn noisy_field(rng: &mut StdRng, n: usize, offset: f32, amplitude: f32, noise: f32) -> Vec<f32> {
+pub fn noisy_field(
+    rng: &mut StdRng,
+    n: usize,
+    offset: f32,
+    amplitude: f32,
+    noise: f32,
+) -> Vec<f32> {
     let width = (n as f64).sqrt().ceil() as usize;
     let height = n.div_ceil(width);
     let mut img = smooth_image(rng, width, height, offset, amplitude);

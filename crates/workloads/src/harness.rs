@@ -99,11 +99,8 @@ impl Harness {
         let mut noop = |_: &mut GpuMemory| {};
         w.execute(&mut mem, &mut noop);
         let exact_output = w.output(&mem);
-        let blocks: Vec<slc_compress::Block> = initial
-            .all_blocks()
-            .map(|(_, b)| b)
-            .chain(mem.all_blocks().map(|(_, b)| b))
-            .collect();
+        let blocks: Vec<slc_compress::Block> =
+            initial.all_blocks().map(|(_, b)| b).chain(mem.all_blocks().map(|(_, b)| b)).collect();
         let e2mc = E2mc::train_on_blocks(blocks.iter(), &E2mcConfig::default());
         let trace = w.trace(self.config.sms);
         BenchmarkArtifacts {
@@ -221,12 +218,7 @@ mod tests {
         let nn = Nn::new(Scale::Tiny);
         let artifacts = h.prepare(&nn);
         let lossless = Scheme::E2mc(artifacts.e2mc.clone());
-        let lossy = Scheme::slc(
-            artifacts.e2mc.clone(),
-            h.config.mag(),
-            16,
-            SlcVariant::TslcOpt,
-        );
+        let lossy = Scheme::slc(artifacts.e2mc.clone(), h.config.mag(), 16, SlcVariant::TslcOpt);
         let f_lossless = h.run_functional(&nn, &artifacts, &lossless);
         let f_lossy = h.run_functional(&nn, &artifacts, &lossy);
         assert!(f_lossy.mre_pct >= 0.0);

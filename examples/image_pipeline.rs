@@ -32,8 +32,7 @@ fn main() {
         "1.000"
     );
     for variant in [SlcVariant::TslcSimp, SlcVariant::TslcPred, SlcVariant::TslcOpt] {
-        let scheme =
-            Scheme::slc(artifacts.e2mc.clone(), harness.config.mag(), 16, variant);
+        let scheme = Scheme::slc(artifacts.e2mc.clone(), harness.config.mag(), 16, variant);
         let (f, t) = harness.evaluate(&dct, &artifacts, &scheme);
         println!(
             "{:>10}  {:>10}  {:>10}  {:>11.4}%  {:>10.3}",

@@ -26,7 +26,10 @@ fn main() {
     let slc = SlcCompressor::new(e2mc.clone(), config);
 
     // 3. Compress a few blocks and show the Fig. 4 decision flow.
-    println!("{:>5}  {:>9}  {:>9}  {:>6}  {:>8}  {:>6}", "block", "lossless", "stored", "extra", "mode", "bursts");
+    println!(
+        "{:>5}  {:>9}  {:>9}  {:>6}  {:>8}  {:>6}",
+        "block", "lossless", "stored", "extra", "mode", "bursts"
+    );
     for k in 0..8 {
         let mut block = [0u8; BLOCK_BYTES];
         for (i, c) in block.chunks_exact_mut(4).enumerate() {

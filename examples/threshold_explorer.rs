@@ -21,10 +21,7 @@ fn main() {
     let e2mc = Scheme::E2mc(artifacts.e2mc.clone());
     let (_, t_base) = harness.evaluate(w.as_ref(), &artifacts, &e2mc);
 
-    println!(
-        "\n{:>10}  {:>12}  {:>10}  {:>10}",
-        "threshold", "mean bursts", "speedup", "error"
-    );
+    println!("\n{:>10}  {:>12}  {:>10}  {:>10}", "threshold", "mean bursts", "speedup", "error");
     for threshold in [0u32, 2, 4, 8, 12, 16, 24, 32] {
         let scheme = Scheme::slc(
             artifacts.e2mc.clone(),

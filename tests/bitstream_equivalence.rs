@@ -1,0 +1,245 @@
+//! Equivalence proof for the word-at-a-time bitstream and the table-driven
+//! Huffman decoder.
+//!
+//! The seed implementation packed bits with a per-byte loop and decoded
+//! E2MC codewords by walking canonical-code ranges bit by bit. This PR
+//! replaced both with word-based fast paths; these tests pin the wire
+//! format:
+//!
+//! * `reference` reimplements the seed's bit-by-bit packing semantics; the
+//!   property tests assert the production writer emits **bit-identical
+//!   streams** for arbitrary `(value, width)` sequences, which covers every
+//!   codec (codecs serialise exclusively through `BitWriter`).
+//! * A reference tree-walk decoder (linear scan over `(code, length)`
+//!   pairs) must agree with the production LUT decoder on every symbol.
+//! * Golden vectors freeze known byte encodings and per-codec stream
+//!   hashes for deterministic blocks, so future refactors cannot silently
+//!   change the format.
+
+use proptest::prelude::*;
+use slc::slc_compress::bdi::Bdi;
+use slc::slc_compress::bitstream::{BitReader, BitWriter};
+use slc::slc_compress::bpc::Bpc;
+use slc::slc_compress::cpack::Cpack;
+use slc::slc_compress::e2mc::{E2mc, E2mcConfig, MAX_CODE_LEN};
+use slc::slc_compress::fpc::Fpc;
+use slc::slc_compress::{Block, BlockCompressor, BLOCK_BYTES};
+
+/// The seed's bit-by-bit packing model (MSB-first within each byte).
+mod reference {
+    pub struct RefWriter {
+        pub bytes: Vec<u8>,
+        pub len_bits: u32,
+    }
+
+    impl RefWriter {
+        pub fn new() -> Self {
+            Self { bytes: Vec::new(), len_bits: 0 }
+        }
+
+        pub fn write(&mut self, value: u64, width: u32) {
+            for i in (0..width).rev() {
+                let bit = ((value >> i) & 1) as u8;
+                let bit_in_byte = (self.len_bits % 8) as u8;
+                if bit_in_byte == 0 {
+                    self.bytes.push(0);
+                }
+                let last = self.bytes.last_mut().expect("pushed above");
+                *last |= bit << (7 - bit_in_byte);
+                self.len_bits += 1;
+            }
+        }
+    }
+}
+
+/// FNV-1a over a compressed stream, for compact golden vectors.
+fn fnv(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn mask(v: u64, w: u32) -> u64 {
+    if w == 64 {
+        v
+    } else {
+        v & ((1u64 << w) - 1)
+    }
+}
+
+#[test]
+fn golden_byte_vectors() {
+    // write(0b101, 3) ++ write(0xABCD, 16): 101 1010101111001101 ->
+    // 10110101 01111001 101xxxxx.
+    let mut w = BitWriter::new();
+    w.write(0b101, 3);
+    w.write(0xABCD, 16);
+    let (bytes, len) = w.finish();
+    assert_eq!(len, 19);
+    assert_eq!(bytes, vec![0xB5, 0x79, 0xA0]);
+
+    // A 64-bit field crossing the staging-word split path.
+    let mut w = BitWriter::new();
+    w.write(1, 1);
+    w.write(0x0123_4567_89AB_CDEF, 64);
+    let (bytes, len) = w.finish();
+    assert_eq!(len, 65);
+    assert_eq!(bytes, vec![0x80, 0x91, 0xA2, 0xB3, 0xC4, 0xD5, 0xE6, 0xF7, 0x80]);
+}
+
+/// Deterministic pseudo-random block generator (SplitMix64).
+fn test_block(seed: u64) -> Block {
+    let mut b = [0u8; BLOCK_BYTES];
+    let mut x = seed;
+    for chunk in b.chunks_exact_mut(8) {
+        x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = x;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        chunk.copy_from_slice(&(z ^ (z >> 31)).to_le_bytes());
+    }
+    b
+}
+
+fn ramp_block(start: u32, step: u32) -> Block {
+    let mut b = [0u8; BLOCK_BYTES];
+    for (i, c) in b.chunks_exact_mut(4).enumerate() {
+        c.copy_from_slice(&(start.wrapping_add(step * i as u32)).to_le_bytes());
+    }
+    b
+}
+
+/// Golden stream hashes for deterministic blocks, recorded from the
+/// as-merged implementation (which the property tests above prove
+/// bit-identical to the seed's packing). Any change to these values is a
+/// wire-format break.
+#[test]
+fn golden_codec_stream_hashes() {
+    let bdi = Bdi::new();
+    let fpc = Fpc::new();
+    let cpack = Cpack::new();
+    let bpc = Bpc::new();
+    let ramp = ramp_block(0x4000_0000, 3);
+    let zeros = [0u8; BLOCK_BYTES];
+    let expectations: [(&str, &dyn BlockCompressor, &Block, u32, u64); 4] = [
+        ("bdi/ramp", &bdi, &ramp, 324, 0xd780_6542_3373_97d5),
+        ("fpc/zeros", &fpc, &zeros, 24, 0x85e3_6318_cda0_4b7b),
+        ("cpack/zeros", &cpack, &zeros, 64, 0xa8c7_f832_281a_39c5),
+        ("bpc/ramp", &bpc, &ramp, 47, 0x90be_3613_64aa_1e3d),
+    ];
+    for (name, codec, block, bits, hash) in expectations {
+        let c = codec.compress(block);
+        if std::env::var("GOLDEN_PRINT").is_ok() {
+            eprintln!("GOLDEN {name} bits={} fnv={:#018x}", c.size_bits(), fnv(c.payload()));
+            continue;
+        }
+        assert_eq!(c.size_bits(), bits, "{name}: stream length changed");
+        assert_eq!(fnv(c.payload()), hash, "{name}: stream bytes changed");
+        assert_eq!(&codec.decompress(&c), block, "{name}: roundtrip broken");
+    }
+}
+
+#[test]
+fn reference_huffman_walk_agrees_with_lut() {
+    let training: Vec<u8> = (0..1u32 << 14).flat_map(|i| ((i % 301) * 11).to_le_bytes()).collect();
+    let e2mc = E2mc::train_on_bytes(&training, &E2mcConfig::default());
+    let table = e2mc.table();
+    let code = table.canonical_code();
+    // Reference decode: linear scan over every entry's (code, length).
+    let reference_decode = |window: u32| -> (u32, u32) {
+        for entry in 0..code.alphabet_len() {
+            let len = code.length(entry);
+            if len == 0 {
+                continue;
+            }
+            if window >> (MAX_CODE_LEN - len) == code.code(entry) as u32 {
+                return (entry as u32, len);
+            }
+        }
+        panic!("no codeword matches window {window:#06x}");
+    };
+    for window in 0..1u32 << MAX_CODE_LEN {
+        let expect = reference_decode(window);
+        let got = code.decode(window);
+        assert_eq!(got, expect, "window {window:#06x}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn prop_writer_matches_seed_reference(fields in proptest::collection::vec((any::<u64>(), 1u32..=64), 0..96)) {
+        let mut reference = reference::RefWriter::new();
+        let mut writer = BitWriter::new();
+        for &(v, w) in &fields {
+            let m = mask(v, w);
+            reference.write(m, w);
+            writer.write(m, w);
+        }
+        let (bytes, len) = writer.finish();
+        prop_assert_eq!(len, reference.len_bits);
+        prop_assert_eq!(bytes, reference.bytes);
+    }
+
+    #[test]
+    fn prop_reader_matches_reference_bits(data in proptest::collection::vec(any::<u8>(), 1..64),
+                                          widths in proptest::collection::vec(1u32..=64, 1..32)) {
+        let len = (data.len() * 8) as u32;
+        let mut r = BitReader::new(&data, len);
+        let mut pos = 0u32;
+        for &w in &widths {
+            if len - pos < w {
+                break;
+            }
+            // Reference extraction straight from the byte array.
+            let mut expect = 0u64;
+            for i in 0..w {
+                let p = pos + i;
+                let bit = (data[(p / 8) as usize] >> (7 - p % 8)) & 1;
+                expect = (expect << 1) | bit as u64;
+            }
+            prop_assert_eq!(r.read(w), expect);
+            pos += w;
+        }
+    }
+
+    #[test]
+    fn prop_all_codecs_roundtrip_and_stay_stable(seed in any::<u64>()) {
+        let block = test_block(seed);
+        let bdi = Bdi::new();
+        let fpc = Fpc::new();
+        let cpack = Cpack::new();
+        let bpc = Bpc::new();
+        let codecs: [&dyn BlockCompressor; 4] = [&bdi, &fpc, &cpack, &bpc];
+        for codec in codecs {
+            let c = codec.compress(&block);
+            // Stream is a pure function of the block.
+            let again = codec.compress(&block);
+            prop_assert_eq!(c.size_bits(), again.size_bits());
+            prop_assert_eq!(c.payload(), again.payload());
+            prop_assert_eq!(codec.decompress(&c), block);
+        }
+    }
+
+    #[test]
+    fn prop_e2mc_stream_is_sum_of_code_lengths(words in proptest::collection::vec(0u32..600, BLOCK_BYTES / 4)) {
+        // The paper's core invariant: compressed size == header + sum of
+        // per-symbol code lengths — decode tables and encode tables must
+        // agree on every length.
+        let training: Vec<u8> = (0..1u32 << 14).flat_map(|i| (i % 600).to_le_bytes()).collect();
+        let e2mc = E2mc::train_on_bytes(&training, &E2mcConfig::default());
+        let mut block = [0u8; BLOCK_BYTES];
+        for (i, w) in words.iter().enumerate() {
+            block[i * 4..i * 4 + 4].copy_from_slice(&w.to_le_bytes());
+        }
+        let c = e2mc.compress(&block);
+        if c.is_compressed() {
+            prop_assert_eq!(c.size_bits(), e2mc.lossless_size_bits(&block));
+        }
+        prop_assert_eq!(e2mc.decompress(&c), block);
+    }
+}

@@ -68,7 +68,8 @@ fn trained_tables_beat_untrained_on_their_own_data() {
     let w = all_workloads(Scale::Tiny).remove(4); // TP: smooth matrix
     let mem = w.build(3);
     let own: Vec<u8> = mem.all_blocks().flat_map(|(_, b)| b.to_vec()).collect();
-    let foreign: Vec<u8> = (0..1u32 << 14).flat_map(|i| i.wrapping_mul(2654435761).to_le_bytes()).collect();
+    let foreign: Vec<u8> =
+        (0..1u32 << 14).flat_map(|i| i.wrapping_mul(2654435761).to_le_bytes()).collect();
     let own_table = E2mc::train_on_bytes(&own, &E2mcConfig::default());
     let foreign_table = E2mc::train_on_bytes(&foreign, &E2mcConfig::default());
     let mut own_total = 0u64;

@@ -86,10 +86,7 @@ fn header_rejects_malformed_fields() {
 #[test]
 fn slc_roundtrip_survives_any_block_content() {
     // Pathological contents: all-ones, alternating, denormals, NaNs.
-    let slc = SlcCompressor::new(
-        trained(),
-        SlcConfig::new(Mag::GDDR5, 16, SlcVariant::TslcOpt),
-    );
+    let slc = SlcCompressor::new(trained(), SlcConfig::new(Mag::GDDR5, 16, SlcVariant::TslcOpt));
     let patterns: Vec<[u8; BLOCK_BYTES]> = vec![
         [0xff; BLOCK_BYTES],
         {

@@ -51,10 +51,7 @@ fn variants_share_traffic_but_differ_in_quality() {
     }
     // "TSLC-SIMP has the highest error due to truncation. The error
     // reduces significantly for TSLC-PRED" (§V-A).
-    assert!(
-        errors[0].1 >= errors[1].1,
-        "SIMP {errors:?} should not beat PRED"
-    );
+    assert!(errors[0].1 >= errors[1].1, "SIMP {errors:?} should not beat PRED");
     assert!(errors[2].1 <= errors[0].1, "OPT should not exceed SIMP: {errors:?}");
 }
 

@@ -16,10 +16,8 @@ fn slc_never_costs_more_bursts_than_e2mc() {
     let h = harness();
     for w in all_workloads(Scale::Tiny) {
         let a = h.prepare(w.as_ref());
-        let slc = SlcCompressor::new(
-            a.e2mc.clone(),
-            SlcConfig::new(Mag::GDDR5, 16, SlcVariant::TslcOpt),
-        );
+        let slc =
+            SlcCompressor::new(a.e2mc.clone(), SlcConfig::new(Mag::GDDR5, 16, SlcVariant::TslcOpt));
         for (region, block) in a.exact_memory.all_blocks() {
             if !region.safe_to_approx {
                 continue;
@@ -43,10 +41,8 @@ fn lossy_blocks_differ_only_in_approximated_symbols() {
     let mut lossy_seen = 0usize;
     for w in all_workloads(Scale::Tiny) {
         let a = h.prepare(w.as_ref());
-        let slc = SlcCompressor::new(
-            a.e2mc.clone(),
-            SlcConfig::new(Mag::GDDR5, 16, SlcVariant::TslcOpt),
-        );
+        let slc =
+            SlcCompressor::new(a.e2mc.clone(), SlcConfig::new(Mag::GDDR5, 16, SlcVariant::TslcOpt));
         for (region, block) in a.exact_memory.all_blocks().step_by(7) {
             if !region.safe_to_approx {
                 continue;
@@ -78,10 +74,8 @@ fn stored_size_respects_bit_budget() {
     let h = harness();
     for w in all_workloads(Scale::Tiny) {
         let a = h.prepare(w.as_ref());
-        let slc = SlcCompressor::new(
-            a.e2mc.clone(),
-            SlcConfig::new(Mag::GDDR5, 16, SlcVariant::TslcOpt),
-        );
+        let slc =
+            SlcCompressor::new(a.e2mc.clone(), SlcConfig::new(Mag::GDDR5, 16, SlcVariant::TslcOpt));
         for (_, block) in a.exact_memory.all_blocks().step_by(11) {
             let enc = slc.compress(&block);
             if let StoredKind::Lossy { .. } = enc.kind() {
@@ -143,10 +137,7 @@ fn predictors_order_by_quality_on_smooth_data() {
         err_lane += sq(&lane.decompress(&enc_lane));
     }
     assert!(lossy > 10, "need lossy blocks to compare, got {lossy}");
-    assert!(
-        err_lane < err_zero,
-        "lane-matched {err_lane:.1} must beat zero-fill {err_zero:.1}"
-    );
+    assert!(err_lane < err_zero, "lane-matched {err_lane:.1} must beat zero-fill {err_zero:.1}");
 }
 
 #[test]
