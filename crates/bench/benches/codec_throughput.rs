@@ -118,6 +118,12 @@ fn bench_codecs(c: &mut Criterion) {
 fn bench_slc_paths(c: &mut Criterion) {
     let blocks = sample_blocks();
     let e2mc = trained_e2mc(&blocks);
+    // Clone cost of a trained codec: an Arc refcount bump on the shared
+    // symbol table, not a copy of the ~832 KB of precomputed tables. The
+    // row keeps the O(1) clone contract visible in the baseline.
+    let mut g = c.benchmark_group("setup");
+    g.bench_function("e2mc_clone_shared", |b| b.iter(|| e2mc.clone()));
+    g.finish();
     let slc = SlcCompressor::new(e2mc, SlcConfig::new(Mag::GDDR5, 16, SlcVariant::TslcOpt));
     let mut g = c.benchmark_group("slc");
     g.bench_function("stored_bits_fast_path", |b| {

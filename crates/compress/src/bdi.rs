@@ -11,8 +11,13 @@
 //! the base. Special encodings cover the all-zero block and a block that
 //! repeats a single 8-byte value.
 
-use crate::bitstream::{BitReader, BitWriter};
+use crate::bitstream::{BitReader, FixedBitWriter};
 use crate::{Block, BlockCompressor, Compressed, BLOCK_BITS, BLOCK_BYTES};
+
+/// Fixed writer capacity for any BDI encode: the widest geometry (B2D1,
+/// 596 bits) plus the tag, rounded up to whole bytes, plus the writer's
+/// 8-byte flush slack.
+const WRITER_CAP: usize = (4usize + 596).div_ceil(8) + 8;
 
 /// The BDI encoding chosen for a block, ordered by decreasing specificity.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -136,137 +141,141 @@ impl Bdi {
     /// Same planner as [`compress`](BlockCompressor::compress), so the two
     /// can never disagree on the winning variant.
     pub fn choose_encoding(&self, block: &Block) -> BdiEncoding {
-        if block.iter().all(|&b| b == 0) {
+        let v8 = words_of(block);
+        if is_zero(&v8) {
             return BdiEncoding::Zeros;
         }
-        if is_repeat8(block) {
+        if is_repeat8(&v8) {
             return BdiEncoding::Repeat;
         }
-        match best_base_delta(block, &mut [0u64; MAX_VALUES]) {
+        match best_base_delta(&ValueLanes::split(v8)) {
             Some((enc, ..)) => enc,
             None => BdiEncoding::Uncompressed,
         }
     }
 }
 
-/// Best representable base+delta variant of `block` with its full plan
-/// `(enc, base_bytes, delta_bytes, base, mask)`, or `None` when no
-/// geometry fits. One value-extraction and one planning pass per base
-/// width; each pass evaluates every delta size of that width at once.
-/// Winner selection matches evaluating `BASE_DELTA_VARIANTS` in the
-/// hardware's listed order with a strict improvement test.
-/// On `Some`, `values` holds the winning base width's decoded values, so
-/// the encode step needs no further extraction pass.
-fn best_base_delta(
-    block: &Block,
-    values: &mut [u64; MAX_VALUES],
-) -> Option<(BdiEncoding, usize, usize, u64, u64)> {
-    let mut best: Option<(BdiEncoding, usize, usize, u64, u64)> = None;
-    let mut best_bits = BLOCK_BITS;
-    let mut best_order = usize::MAX;
-    let mut extracted = 0usize;
-    for (base_bytes, deltas) in [(8usize, &[1usize, 2, 4][..]), (4, &[1, 2]), (2, &[1])] {
-        let n = values_of(block, base_bytes, values);
-        extracted = base_bytes;
-        let plans = plan_widths(&values[..n], base_bytes, deltas);
-        for (&delta_bytes, plan) in deltas.iter().zip(plans) {
-            let Some((base, mask)) = plan else { continue };
-            let (order, (enc, ..)) = BdiEncoding::BASE_DELTA_VARIANTS
-                .iter()
-                .copied()
-                .enumerate()
-                .find(|&(_, (_, b, d))| b == base_bytes && d == delta_bytes)
-                .expect("variant listed");
-            let bits = enc.size_bits();
-            if bits < best_bits || (bits == best_bits && order < best_order) {
-                best = Some((enc, base_bytes, delta_bytes, base, mask));
-                best_bits = bits;
-                best_order = order;
+/// The block's sixteen 64-bit words: one load pass feeds the cheap
+/// Zeros/Repeat special-case checks, and [`ValueLanes`] derives the
+/// narrower lanes from it only when base+delta planning is reached.
+fn words_of(block: &Block) -> [u64; BLOCK_BYTES / 8] {
+    let mut v8 = [0u64; BLOCK_BYTES / 8];
+    for (slot, c) in v8.iter_mut().zip(block.chunks_exact(8)) {
+        *slot = u64::from_le_bytes(c.try_into().expect("8-byte chunk"));
+    }
+    v8
+}
+
+fn is_zero(v8: &[u64; BLOCK_BYTES / 8]) -> bool {
+    v8.iter().fold(0u64, |acc, &w| acc | w) == 0
+}
+
+fn is_repeat8(v8: &[u64; BLOCK_BYTES / 8]) -> bool {
+    v8.iter().all(|&w| w == v8[0])
+}
+
+/// The block decoded as little-endian values of every base width at once.
+///
+/// One pass over the 64-bit words fills all three lanes (the 4- and
+/// 2-byte values are shifts of the 8-byte loads), so the six base+delta
+/// arms plan over fixed arrays without ever re-reading block bytes — the
+/// hardware evaluates all geometries in parallel from the same staging
+/// register the same way.
+struct ValueLanes {
+    v8: [u64; BLOCK_BYTES / 8],
+    v4: [u64; BLOCK_BYTES / 4],
+    v2: [u64; BLOCK_BYTES / 2],
+}
+
+impl ValueLanes {
+    fn split(v8: [u64; BLOCK_BYTES / 8]) -> Self {
+        let mut v4 = [0u64; BLOCK_BYTES / 4];
+        let mut v2 = [0u64; BLOCK_BYTES / 2];
+        for (i, &w) in v8.iter().enumerate() {
+            v4[2 * i] = w & 0xffff_ffff;
+            v4[2 * i + 1] = w >> 32;
+            for j in 0..4 {
+                v2[4 * i + j] = (w >> (16 * j)) & 0xffff;
             }
         }
+        Self { v8, v4, v2 }
     }
-    if let Some((_, base_bytes, ..)) = best {
-        if base_bytes != extracted {
-            values_of(block, base_bytes, values);
+
+    fn values(&self, width: usize) -> &[u64] {
+        match width {
+            8 => &self.v8,
+            4 => &self.v4,
+            2 => &self.v2,
+            _ => unreachable!("BDI base widths are 8/4/2"),
         }
+    }
+}
+
+/// Best representable base+delta variant with its full plan
+/// `(enc, base_bytes, delta_bytes, base, mask)`, or `None` when no
+/// geometry fits. Arms are evaluated in the hardware's listed order with
+/// a strict improvement test on compressed size, so the winner is
+/// identical to the sequential evaluation.
+fn best_base_delta(lanes: &ValueLanes) -> Option<(BdiEncoding, usize, usize, u64, u64)> {
+    let mut best: Option<(BdiEncoding, usize, usize, u64, u64)> = None;
+    let mut best_bits = BLOCK_BITS;
+    for (enc, base_bytes, delta_bytes) in BdiEncoding::BASE_DELTA_VARIANTS {
+        // Sizes are static per arm, so an arm that cannot beat the current
+        // winner needs no planning at all (iteration follows the listed
+        // order, so "strictly fewer bits" also reproduces the order
+        // tiebreak of the sequential evaluation).
+        let bits = enc.size_bits();
+        if bits >= best_bits {
+            continue;
+        }
+        let Some((base, mask)) = plan_arm(lanes.values(base_bytes), base_bytes, delta_bytes) else {
+            continue;
+        };
+        best = Some((enc, base_bytes, delta_bytes, base, mask));
+        best_bits = bits;
     }
     best
 }
 
-/// Maximum number of values per block (base size 2 -> 64 values).
-const MAX_VALUES: usize = BLOCK_BYTES / 2;
-
-/// Decodes the block into `width`-byte little-endian values; returns the
-/// value count. Fixed-size output keeps the per-block path allocation-free.
-fn values_of(block: &Block, width: usize, out: &mut [u64; MAX_VALUES]) -> usize {
-    let n = BLOCK_BYTES / width;
-    for (slot, c) in out.iter_mut().zip(block.chunks_exact(width)) {
-        let mut buf = [0u8; 8];
-        buf[..width].copy_from_slice(c);
-        *slot = u64::from_le_bytes(buf);
-    }
-    n
-}
-
-fn is_repeat8(block: &Block) -> bool {
-    let first = &block[..8];
-    block.chunks_exact(8).all(|c| c == first)
-}
-
-/// Plans every delta size of one base width in a single pass over the
-/// values. Per delta size the result is a per-value plan: bit `i` of the
-/// mask set = value `i` deltas against the explicit base, clear = against
-/// the implicit zero base (at most 64 values, so one `u64` bitmap);
-/// `None` when the block is not representable with that geometry. The
-/// base is the first value the zero base cannot represent (which
-/// therefore deltas against itself); later values must fit one of the
-/// two bases.
+/// Plans one base+delta arm over a width's value lane with two branchless
+/// bitmap passes (the "bulk delta encode": every value's fit is computed
+/// with the same add/mask/compare, no per-value control flow).
 ///
-/// "Delta fits `d` signed bytes" is tested branchlessly as
+/// Pass 1 computes the *zero-fit* bitmap — bit `i` set when value `i` is
+/// representable from the implicit zero base. The arm's explicit base is
+/// the first value that bitmap misses (it deltas against itself). Pass 2
+/// computes the *base-fit* bitmap against that base; the arm is
+/// representable iff every zero-miss is a base-hit. The returned mask is
+/// exactly the zero-miss bitmap: bit `i` set = value `i` deltas against
+/// the explicit base, clear = against zero, matching the wire format.
+///
+/// "Delta fits `d` signed bytes" is tested as
 /// `((v - base + 2^(8d-1)) mod 2^(8w)) < 2^(8d)` — one add, mask and
 /// compare per value instead of sign-extension arithmetic.
-fn plan_widths(values: &[u64], base_bytes: usize, deltas: &[usize]) -> [Option<(u64, u64)>; 3] {
-    #[derive(Clone, Copy, Default)]
-    struct DeltaState {
-        dead: bool,
-        base_found: bool,
-        base: u64,
-        mask: u64,
-        half: u64,
-        full: u64,
-    }
+fn plan_arm(values: &[u64], base_bytes: usize, delta_bytes: usize) -> Option<(u64, u64)> {
     let wmask = mask_for(base_bytes);
-    let mut states = [DeltaState::default(); 3];
-    for (state, &d) in states.iter_mut().zip(deltas) {
-        state.half = 1u64 << (d as u32 * 8 - 1);
-        state.full = 1u64 << (d as u32 * 8);
-    }
+    let half = 1u64 << (delta_bytes as u32 * 8 - 1);
+    let full = 1u64 << (delta_bytes as u32 * 8);
+    let mut zero_fit = 0u64;
     for (i, &v) in values.iter().enumerate() {
-        for state in states[..deltas.len()].iter_mut() {
-            if state.dead {
-                continue;
-            }
-            if v.wrapping_add(state.half) & wmask < state.full {
-                continue; // zero base covers it
-            }
-            if !state.base_found {
-                state.base_found = true;
-                state.base = v;
-                state.mask |= 1u64 << i; // delta 0 against itself
-            } else if v.wrapping_sub(state.base).wrapping_add(state.half) & wmask < state.full {
-                state.mask |= 1u64 << i;
-            } else {
-                state.dead = true;
-            }
-        }
+        zero_fit |= u64::from(v.wrapping_add(half) & wmask < full) << i;
     }
-    let mut out = [None; 3];
-    for (slot, state) in out.iter_mut().zip(states).take(deltas.len()) {
-        if !state.dead {
-            *slot = Some((state.base, state.mask));
-        }
+    let live = if values.len() == 64 { u64::MAX } else { (1u64 << values.len()) - 1 };
+    let need = !zero_fit & live;
+    if need == 0 {
+        // Every value fits the zero base; no explicit base is consumed
+        // (base field stays 0, as in the sequential evaluation).
+        return Some((0, 0));
     }
-    out
+    let base = values[need.trailing_zeros() as usize];
+    let mut base_fit = 0u64;
+    for (i, &v) in values.iter().enumerate() {
+        base_fit |= u64::from(v.wrapping_sub(base).wrapping_add(half) & wmask < full) << i;
+    }
+    if need & !base_fit != 0 {
+        return None;
+    }
+    Some((base, need))
 }
 
 /// Computes `v - base` in the `width`-byte signed domain.
@@ -288,34 +297,36 @@ impl BlockCompressor for Bdi {
     }
 
     fn compress(&self, block: &Block) -> Compressed {
-        // Plan inline (one pass shared with the encode step) instead of
-        // calling choose_encoding and re-deriving the winning plan.
-        if block.iter().all(|&b| b == 0) {
-            let mut w = BitWriter::new();
+        // One word-load pass feeds the cheap special-case checks; the
+        // narrower lanes are split out only if planning is reached, and
+        // then feed the planner and the encode step alike.
+        let v8 = words_of(block);
+        if is_zero(&v8) {
+            let mut w = FixedBitWriter::<WRITER_CAP>::new();
             w.write(BdiEncoding::Zeros.tag() as u64, 4);
             let (payload, bits) = w.finish();
             return Compressed::new(bits, payload);
         }
-        if is_repeat8(block) {
-            let mut w = BitWriter::new();
+        if is_repeat8(&v8) {
+            let mut w = FixedBitWriter::<WRITER_CAP>::new();
             w.write(BdiEncoding::Repeat.tag() as u64, 4);
-            w.write(u64::from_le_bytes(block[..8].try_into().expect("8 bytes")), 64);
+            w.write(v8[0], 64);
             let (payload, bits) = w.finish();
             return Compressed::new(bits, payload);
         }
-        let mut values = [0u64; MAX_VALUES];
-        let Some((enc, base_bytes, delta_bytes, base, mask)) = best_base_delta(block, &mut values)
-        else {
+        let lanes = ValueLanes::split(v8);
+        let Some((enc, base_bytes, delta_bytes, base, mask)) = best_base_delta(&lanes) else {
             return Compressed::uncompressed(block);
         };
-        let n = BLOCK_BYTES / base_bytes;
-        let mut w = BitWriter::with_capacity_bits(enc.size_bits());
+        let values = lanes.values(base_bytes);
+        let n = values.len();
+        let mut w = FixedBitWriter::<WRITER_CAP>::new();
         w.write(enc.tag() as u64, 4);
         w.write(base & mask_for(base_bytes), base_bytes as u32 * 8);
         // Value 0's flag goes first on the wire (MSB of the field):
         // reverse the LSB-indexed bitmap once and write it whole.
         w.write(mask.reverse_bits() >> (64 - n), n as u32);
-        for (i, &v) in values[..n].iter().enumerate() {
+        for (i, &v) in values.iter().enumerate() {
             let b = if (mask >> i) & 1 == 1 { base } else { 0 };
             let delta = sign_extend_sub(v, b, base_bytes);
             w.write((delta as u64) & mask_for(delta_bytes), delta_bytes as u32 * 8);
@@ -345,43 +356,53 @@ impl BlockCompressor for Bdi {
             BdiEncoding::Uncompressed => {
                 unreachable!("verbatim blocks use Compressed::uncompressed")
             }
-            _ => {
-                let (_, base_bytes, delta_bytes) = BdiEncoding::BASE_DELTA_VARIANTS
-                    .iter()
-                    .copied()
-                    .find(|&(e, _, _)| e == enc)
-                    .expect("variant listed");
-                let n = BLOCK_BYTES / base_bytes;
-                let base = r.read(base_bytes as u32 * 8);
-                // n <= 64, so the whole mask is one bitmap read.
-                let mask = r.read(n as u32);
-                // Deltas are fetched up to 64 bits at a time and split in
-                // registers instead of one reader call per value.
-                let dbits = delta_bytes as u32 * 8;
-                let per_read = (64 / dbits) as usize;
-                let dmask = mask_for(delta_bytes);
-                let mut i = 0;
-                while i < n {
-                    let take = (n - i).min(per_read);
-                    let raw = r.read(take as u32 * dbits);
-                    for t in 0..take {
-                        let v_raw = (raw >> ((take - 1 - t) as u32 * dbits)) & dmask;
-                        let delta = sign_extend(v_raw, delta_bytes);
-                        let idx = i + t;
-                        let b = if (mask >> (n - 1 - idx)) & 1 == 1 { base } else { 0 };
-                        let v = b.wrapping_add(delta as u64) & mask_for(base_bytes);
-                        out[idx * base_bytes..(idx + 1) * base_bytes]
-                            .copy_from_slice(&v.to_le_bytes()[..base_bytes]);
-                    }
-                    i += take;
-                }
-            }
+            BdiEncoding::B8D1 => decode_base_delta::<8, 1>(&mut r, &mut out),
+            BdiEncoding::B8D2 => decode_base_delta::<8, 2>(&mut r, &mut out),
+            BdiEncoding::B8D4 => decode_base_delta::<8, 4>(&mut r, &mut out),
+            BdiEncoding::B4D1 => decode_base_delta::<4, 1>(&mut r, &mut out),
+            BdiEncoding::B4D2 => decode_base_delta::<4, 2>(&mut r, &mut out),
+            BdiEncoding::B2D1 => decode_base_delta::<2, 1>(&mut r, &mut out),
         }
         out
     }
 
     fn size_bits(&self, block: &Block) -> u32 {
         self.choose_encoding(block).size_bits()
+    }
+}
+
+/// Decodes the base + mask + delta section of one `BASE`/`DELTA` geometry
+/// into `out` (the tag has already been consumed).
+///
+/// Monomorphised per arm so the value count, the batch width and every
+/// shift and mask below are compile-time constants: deltas arrive in full
+/// 64-bit reader fetches (the value count is always a multiple of the
+/// per-fetch batch) and the fixed-trip inner loop unrolls into straight
+/// shift/add/store code — the bulk decode counterpart of the compress
+/// side's bulk planning pass.
+fn decode_base_delta<const BASE: usize, const DELTA: usize>(
+    r: &mut BitReader<'_>,
+    out: &mut Block,
+) {
+    let n = BLOCK_BYTES / BASE;
+    let dbits = DELTA as u32 * 8;
+    let per_read = (64 / dbits) as usize;
+    debug_assert_eq!(n % per_read, 0, "every BDI geometry batches evenly");
+    let dmask = mask_for(DELTA);
+    let wmask = mask_for(BASE);
+    let base = r.read(BASE as u32 * 8);
+    // n <= 64, so the whole mask is one bitmap read.
+    let mask = r.read(n as u32);
+    for chunk in 0..n / per_read {
+        let raw = r.read(per_read as u32 * dbits);
+        for t in 0..per_read {
+            let idx = chunk * per_read + t;
+            let v_raw = (raw >> ((per_read - 1 - t) as u32 * dbits)) & dmask;
+            let delta = sign_extend(v_raw, DELTA);
+            let b = if (mask >> (n - 1 - idx)) & 1 == 1 { base } else { 0 };
+            let v = b.wrapping_add(delta as u64) & wmask;
+            out[idx * BASE..(idx + 1) * BASE].copy_from_slice(&v.to_le_bytes()[..BASE]);
+        }
     }
 }
 

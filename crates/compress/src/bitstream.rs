@@ -155,6 +155,99 @@ impl BitWriter {
     }
 }
 
+/// Fixed-capacity bit writer for bounded per-block encodes.
+///
+/// Same MSB-first packing as [`BitWriter`] (the streams are
+/// byte-identical), but staged into a stack buffer of `CAP` bytes instead
+/// of a `Vec`: each flush is one unconditional 8-byte store at the cursor
+/// (the staging word is always written whole and the cursor advanced by
+/// the completed bytes), so the hot path carries no capacity checks or
+/// heap growth, and [`finish`](Self::finish) performs the block's single
+/// exact-size allocation.
+///
+/// `CAP` must cover the codec's worst-case encode **plus 8 bytes of
+/// slack** for the whole-word flush; `write` panics (via slice indexing)
+/// if a codec overruns it.
+#[derive(Debug, Clone)]
+pub struct FixedBitWriter<const CAP: usize> {
+    buf: [u8; CAP],
+    /// Completed bytes.
+    cursor: usize,
+    /// Staging word: low `acc_bits` bits pending, MSB-first.
+    acc: u64,
+    acc_bits: u32,
+}
+
+impl<const CAP: usize> Default for FixedBitWriter<CAP> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<const CAP: usize> FixedBitWriter<CAP> {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self { buf: [0u8; CAP], cursor: 0, acc: 0, acc_bits: 0 }
+    }
+
+    /// Number of bits written so far.
+    pub fn len_bits(&self) -> u32 {
+        self.cursor as u32 * 8 + self.acc_bits
+    }
+
+    /// Appends the `width` low-order bits of `value`, MSB first (same
+    /// contract as [`BitWriter::write`]).
+    #[inline]
+    pub fn write(&mut self, value: u64, width: u32) {
+        debug_assert!(width <= 64, "width {width} exceeds 64");
+        debug_assert!(
+            width == 64 || value < (1u64 << width),
+            "value {value:#x} does not fit in {width} bits"
+        );
+        if width == 0 {
+            return;
+        }
+        if width > 57 {
+            let low = width - 32;
+            self.push(value >> low, 32);
+            self.push(value, low);
+        } else {
+            self.push(value, width);
+        }
+    }
+
+    /// Stages `width <= 57` bits; completed bytes land in the buffer via
+    /// one branchless 8-byte store.
+    #[inline]
+    fn push(&mut self, value: u64, width: u32) {
+        let value = value & (u64::MAX >> (64 - width));
+        let total = self.acc_bits + width; // <= 7 + 57 = 64
+        let acc = (self.acc << width) | value;
+        let keep = total % 8;
+        let flush_bytes = (total / 8) as usize;
+        // Store the whole left-aligned staging word unconditionally and
+        // advance only past the complete bytes; the slack bytes are
+        // rewritten by the next flush.
+        let aligned = acc << (64 - total);
+        self.buf[self.cursor..self.cursor + 8].copy_from_slice(&aligned.to_be_bytes());
+        self.cursor += flush_bytes;
+        self.acc = if keep == 0 { 0 } else { acc & ((1u64 << keep) - 1) };
+        self.acc_bits = keep;
+    }
+
+    /// Finishes into the packed bytes (one exact-size allocation) and the
+    /// bit length.
+    pub fn finish(mut self) -> (Vec<u8>, u32) {
+        let len_bits = self.len_bits();
+        let mut len = self.cursor;
+        if self.acc_bits > 0 {
+            self.buf[len] = (self.acc << (8 - self.acc_bits)) as u8;
+            len += 1;
+        }
+        (self.buf[..len].to_vec(), len_bits)
+    }
+}
+
 /// Sequential bit reader over a packed stream produced by [`BitWriter`].
 #[derive(Debug, Clone)]
 pub struct BitReader<'a> {
@@ -443,6 +536,25 @@ mod tests {
             let take = win.min(len);
             let read = r.read(take) << (win - take);
             prop_assert_eq!(peeked, read);
+        }
+
+        #[test]
+        fn prop_fixed_writer_matches_vec_writer(fields in proptest::collection::vec((any::<u64>(), 1u32..=64), 0..48)) {
+            // The stack-backed writer must be bit- and byte-identical to
+            // the Vec-backed one on any write sequence that fits its
+            // capacity (48 * 64 bits = 384 bytes < 392).
+            let mut reference = BitWriter::new();
+            let mut fixed = FixedBitWriter::<400>::new();
+            for &(v, width) in &fields {
+                let masked = if width == 64 { v } else { v & ((1u64 << width) - 1) };
+                reference.write(masked, width);
+                fixed.write(masked, width);
+            }
+            prop_assert_eq!(reference.len_bits(), fixed.len_bits());
+            let (expect_bytes, expect_len) = reference.finish();
+            let (bytes, len) = fixed.finish();
+            prop_assert_eq!(len, expect_len);
+            prop_assert_eq!(bytes, expect_bytes);
         }
 
         #[test]

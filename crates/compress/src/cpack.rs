@@ -9,7 +9,7 @@
 //! and the decompressor reconstructs the same dictionary as it decodes, so
 //! no dictionary bits travel with the block.
 
-use crate::bitstream::{BitReader, BitWriter};
+use crate::bitstream::{BitReader, FixedBitWriter};
 use crate::symbols::{block_to_words, words_to_block, WORDS_PER_BLOCK};
 use crate::{Block, BlockCompressor, Compressed, BLOCK_BITS, BLOCK_BYTES};
 
@@ -67,19 +67,69 @@ impl Dictionary {
         self.next = (self.next + 1) % DICT_ENTRIES;
     }
 
-    // The three scans stay separate `position` loops: they early-exit and
-    // the compiler vectorises the simple equality scans, which beats a
-    // fused single pass.
-    fn find_full(&self, word: u32) -> Option<usize> {
-        self.entries.iter().position(|&e| e == word)
+    /// Compares `word` against *all* 16 entries in one branchless pass,
+    /// returning `(full, upper3, upper2)` match bitmaps (bit `i` set =
+    /// entry `i` matches at that granularity). The hardware probes every
+    /// dictionary entry in parallel; this is the software equivalent,
+    /// replacing three early-exit scans whose worst case (the common
+    /// no-match word) walked the whole FIFO three times. Each entry is
+    /// loaded once and compared at all three granularities, so a partial
+    /// hit costs no second pass.
+    ///
+    /// `bitmap.trailing_zeros()` recovers the lowest matching index, which
+    /// is exactly what the sequential `position` probe returned.
+    #[cfg(target_arch = "x86_64")]
+    fn match_masks(&self, word: u32) -> (u32, u32, u32) {
+        // Four 4-lane load/compare/movemask rounds (SSE2 is part of the
+        // x86-64 baseline, so no runtime feature detection). A whole-FIFO
+        // probe at every granularity costs about what one early-exit hit
+        // at index 0 cost the scalar scan.
+        use std::arch::x86_64::{
+            __m128i, _mm_and_si128, _mm_castsi128_ps, _mm_cmpeq_epi32, _mm_loadu_si128,
+            _mm_movemask_ps, _mm_set1_epi32,
+        };
+        // SAFETY: SSE2 is unconditionally available on x86_64, and the
+        // unaligned loads stay inside `entries` (4 lanes x 4 chunks = 16).
+        unsafe {
+            let w_full = _mm_set1_epi32(word as i32);
+            let w_u3 = _mm_set1_epi32((word & 0xffff_ff00) as i32);
+            let w_u2 = _mm_set1_epi32((word & 0xffff_0000) as i32);
+            let m3 = _mm_set1_epi32(0xffff_ff00u32 as i32);
+            let m2 = _mm_set1_epi32(0xffff_0000u32 as i32);
+            let mut full = 0u32;
+            let mut upper3 = 0u32;
+            let mut upper2 = 0u32;
+            for i in 0..DICT_ENTRIES / 4 {
+                let e = _mm_loadu_si128(self.entries.as_ptr().add(4 * i).cast::<__m128i>());
+                let f = _mm_movemask_ps(_mm_castsi128_ps(_mm_cmpeq_epi32(e, w_full))) as u32;
+                let a =
+                    _mm_movemask_ps(_mm_castsi128_ps(_mm_cmpeq_epi32(_mm_and_si128(e, m3), w_u3)))
+                        as u32;
+                let b =
+                    _mm_movemask_ps(_mm_castsi128_ps(_mm_cmpeq_epi32(_mm_and_si128(e, m2), w_u2)))
+                        as u32;
+                full |= f << (4 * i);
+                upper3 |= a << (4 * i);
+                upper2 |= b << (4 * i);
+            }
+            (full, upper3, upper2)
+        }
     }
 
-    fn find_upper3(&self, word: u32) -> Option<usize> {
-        self.entries.iter().position(|&e| e >> 8 == word >> 8)
-    }
-
-    fn find_upper2(&self, word: u32) -> Option<usize> {
-        self.entries.iter().position(|&e| e >> 16 == word >> 16)
+    /// Portable fallback of [`match_masks`](Self::match_masks)
+    /// (identical bitmaps).
+    #[cfg(not(target_arch = "x86_64"))]
+    fn match_masks(&self, word: u32) -> (u32, u32, u32) {
+        let mut full = 0u32;
+        let mut upper3 = 0u32;
+        let mut upper2 = 0u32;
+        for (i, &e) in self.entries.iter().enumerate() {
+            let x = e ^ word;
+            full |= u32::from(x == 0) << i;
+            upper3 |= u32::from(x & 0xffff_ff00 == 0) << i;
+            upper2 |= u32::from(x & 0xffff_0000 == 0) << i;
+        }
+        (full, upper3, upper2)
     }
 }
 
@@ -110,19 +160,39 @@ impl Cpack {
         Self::default()
     }
 
-    fn classify(dict: &Dictionary, word: u32) -> (CpackCode, Option<usize>) {
+    /// Classifies `word` and forms its complete wire token in one cascade:
+    /// `(bits, width, push)` where `bits`/`width` are the fused
+    /// prefix+index+literal encoding ready for a single writer `write`
+    /// and `push` says whether the decoder will push the word into its
+    /// FIFO. Widths are unique per code, so they double as the code
+    /// identity (see [`CpackCode::size_bits`]).
+    fn token(dict: &Dictionary, word: u32) -> (u64, u32, bool) {
         if word == 0 {
-            (CpackCode::Zzzz, None)
-        } else if let Some(i) = dict.find_full(word) {
-            (CpackCode::Mmmm, Some(i))
-        } else if word & 0xffff_ff00 == 0 {
-            (CpackCode::Zzzx, None)
-        } else if let Some(i) = dict.find_upper3(word) {
-            (CpackCode::Mmmx, Some(i))
-        } else if let Some(i) = dict.find_upper2(word) {
-            (CpackCode::Mmxx, Some(i))
+            return (0b00, 2, false);
+        }
+        if word & 0xffff_ff00 == 0 {
+            // The original priority checks the full dictionary match
+            // before ZZZX, but the dictionary provably never holds a value
+            // in 1..=0xff (entries are 0 initially, and every pushed word
+            // already failed this check, so it is >= 0x100) — a ZZZX word
+            // cannot full-match, and skipping the probe is exact.
+            return ((0b1101 << 8) | word as u64, 12, false);
+        }
+        // One whole-FIFO probe yields every granularity's bitmap; the
+        // priority cascade below only inspects bitmaps.
+        let (full, upper3, upper2) = dict.match_masks(word);
+        if full != 0 {
+            let idx = full.trailing_zeros() as u64;
+            return ((0b10 << 4) | idx, 6, false);
+        }
+        if upper3 != 0 {
+            let idx = upper3.trailing_zeros() as u64;
+            ((0b1110 << 12) | (idx << 8) | (word & 0xff) as u64, 16, true)
+        } else if upper2 != 0 {
+            let idx = upper2.trailing_zeros() as u64;
+            ((0b1100 << 20) | (idx << 16) | (word & 0xffff) as u64, 24, true)
         } else {
-            (CpackCode::Xxxx, None)
+            ((0b01 << 32) | word as u64, 34, true)
         }
     }
 }
@@ -135,34 +205,17 @@ impl BlockCompressor for Cpack {
     fn compress(&self, block: &Block) -> Compressed {
         let words = block_to_words(block);
         let mut dict = Dictionary::new();
-        let mut w = BitWriter::new();
+        // Worst case is all-miss: 34 bits/word = 136 bytes, plus the fixed
+        // writer's 8-byte flush slack.
+        let mut w = FixedBitWriter::<{ 34 * WORDS_PER_BLOCK / 8 + 8 }>::new();
         for &word in &words {
-            let (code, index) = Self::classify(&dict, word);
             // Prefix, index and literal bits fuse into one write per word
-            // (bit-identical to the field-by-field layout).
-            match code {
-                CpackCode::Zzzz => w.write(0b00, 2),
-                CpackCode::Xxxx => {
-                    w.write((0b01 << 32) | word as u64, 34);
-                    dict.push(word);
-                }
-                CpackCode::Mmmm => {
-                    let idx = index.expect("full match has index") as u64;
-                    w.write((0b10 << 4) | idx, 6);
-                }
-                CpackCode::Mmxx => {
-                    let idx = index.expect("partial match has index") as u64;
-                    w.write((0b1100 << 20) | (idx << 16) | (word & 0xffff) as u64, 24);
-                    dict.push(word);
-                }
-                CpackCode::Zzzx => {
-                    w.write((0b1101 << 8) | (word & 0xff) as u64, 12);
-                }
-                CpackCode::Mmmx => {
-                    let idx = index.expect("partial match has index") as u64;
-                    w.write((0b1110 << 12) | (idx << 8) | (word & 0xff) as u64, 16);
-                    dict.push(word);
-                }
+            // (bit-identical to the field-by-field layout); the token
+            // cascade already resolved which code won.
+            let (bits, width, push) = Self::token(&dict, word);
+            w.write(bits, width);
+            if push {
+                dict.push(word);
             }
         }
         let (payload, bits) = w.finish();
@@ -309,6 +362,34 @@ mod tests {
     }
 
     proptest! {
+        #[test]
+        fn prop_bitmap_probe_matches_sequential_scan(
+            entries in proptest::collection::vec(any::<u32>(), DICT_ENTRIES),
+            word in any::<u32>(),
+        ) {
+            // The bulk (SIMD on x86-64) probe must agree bit-for-bit with
+            // the reference per-entry scan at every granularity.
+            let mut d = Dictionary::new();
+            d.entries.copy_from_slice(&entries);
+            let (full, upper3, upper2) = d.match_masks(word);
+            let mut rf = 0u32;
+            let mut r3 = 0u32;
+            let mut r2 = 0u32;
+            for (i, &e) in entries.iter().enumerate() {
+                rf |= u32::from(e == word) << i;
+                r3 |= u32::from(e >> 8 == word >> 8) << i;
+                r2 |= u32::from(e >> 16 == word >> 16) << i;
+            }
+            prop_assert_eq!(full, rf);
+            prop_assert_eq!(upper3, r3);
+            prop_assert_eq!(upper2, r2);
+            // trailing_zeros reproduces the sequential `position` probe.
+            prop_assert_eq!(
+                (full != 0).then(|| full.trailing_zeros() as usize),
+                entries.iter().position(|&e| e == word)
+            );
+        }
+
         #[test]
         fn prop_roundtrip_random(data in proptest::collection::vec(any::<u8>(), BLOCK_BYTES)) {
             let cpack = Cpack::new();

@@ -38,6 +38,8 @@ mod sampler;
 pub use huffman::{CanonicalCode, MAX_CODE_LEN};
 pub use sampler::SymbolSampler;
 
+use std::sync::Arc;
+
 use crate::bitstream::{BitReader, BitWriter};
 use crate::symbols::{block_to_symbols, symbols_to_block, SYMBOLS_PER_BLOCK};
 use crate::{Block, BlockCompressor, Compressed, BLOCK_BITS, BLOCK_BYTES};
@@ -79,6 +81,14 @@ impl Default for E2mcConfig {
 
 /// A trained symbol table: canonical codes for the top-k symbols plus an
 /// escape entry for the rest.
+///
+/// Tables are frozen after the one-shot sampling phase (the paper trains
+/// once and never retrains), so they carry no interior mutability and the
+/// ~832 KB of precomputed encode/decode tables below are immutable for
+/// the life of the run. [`E2mc`] therefore holds the table behind an
+/// [`Arc`]: cloning a trained codec — and every [`crate::BlockCompressor`]
+/// or SLC scheme built on it — shares this one allocation instead of
+/// deep-copying it.
 #[derive(Clone)]
 pub struct SymbolTable {
     code: CanonicalCode,
@@ -284,14 +294,25 @@ impl SymbolTable {
 }
 
 /// The E2MC block compressor with a trained [`SymbolTable`].
+///
+/// The table lives behind an [`Arc`]: `E2mc::clone` is a refcount bump,
+/// never a copy of the precomputed tables, so schemes, harness artifacts
+/// and many concurrent compressor instances all share one trained model
+/// (the paper's frozen per-application code table; SC2 shares one trained
+/// Huffman structure across the whole cache the same way).
 #[derive(Debug, Clone)]
 pub struct E2mc {
-    table: SymbolTable,
+    table: Arc<SymbolTable>,
 }
 
 impl E2mc {
     /// Wraps a pre-trained table.
     pub fn new(table: SymbolTable) -> Self {
+        Self::from_shared(Arc::new(table))
+    }
+
+    /// Wraps an already-shared pre-trained table without re-wrapping it.
+    pub fn from_shared(table: Arc<SymbolTable>) -> Self {
         Self { table }
     }
 
@@ -324,6 +345,13 @@ impl E2mc {
 
     /// The trained symbol table (shared with the SLC layer).
     pub fn table(&self) -> &SymbolTable {
+        &self.table
+    }
+
+    /// The shared handle to the trained table. Clones of it (and of the
+    /// codec) point at the same allocation — the property the harness
+    /// relies on to instantiate many schemes per trained model.
+    pub fn shared_table(&self) -> &Arc<SymbolTable> {
         &self.table
     }
 
@@ -503,6 +531,27 @@ mod tests {
         let small = E2mc::train_on_bytes(&bytes, &E2mcConfig { top_k: 8, ..Default::default() });
         let block = block_from_u32s(|i| (i as u32 * 13) % 997);
         assert!(small.size_bits(&block) >= big.size_bits(&block));
+    }
+
+    #[test]
+    fn clone_shares_the_trained_table() {
+        // E2mc::clone must be an Arc refcount bump, not a deep copy of the
+        // ~832 KB of precomputed tables: both handles point at the same
+        // SymbolTable allocation.
+        let a = trained();
+        let b = a.clone();
+        assert!(std::ptr::eq(a.table(), b.table()), "clone deep-copied the symbol table");
+        assert!(Arc::ptr_eq(a.shared_table(), b.shared_table()));
+    }
+
+    #[test]
+    fn from_shared_adopts_without_copying() {
+        let a = trained();
+        let c = E2mc::from_shared(Arc::clone(a.shared_table()));
+        assert!(std::ptr::eq(a.table(), c.table()));
+        // And the adopted codec is fully functional.
+        let block = block_from_u32s(|i| (i as u32 * 7) % 97);
+        assert_eq!(c.decompress(&c.compress(&block)), block);
     }
 
     #[test]

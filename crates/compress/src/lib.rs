@@ -61,9 +61,32 @@
 //! * **Transposed bit-planes** — BPC's DBP rotation runs as a 32×32
 //!   bit-matrix transpose (Hacker's Delight §7-3), ~5 word-ops per plane
 //!   instead of a 33×31 single-bit gather.
+//! * **Shared trained artifacts** — [`e2mc::E2mc`] holds its trained
+//!   [`e2mc::SymbolTable`] (~832 KB of precomputed encode/decode tables)
+//!   behind an `Arc`. The clone-cost contract: cloning a trained codec —
+//!   or any scheme built on one — is an O(1) refcount bump, **never** a
+//!   copy of the tables, so harnesses instantiate one scheme per variant,
+//!   threshold or worker thread against a single frozen model (the
+//!   paper's one-shot sampling phase freezes the table for the life of a
+//!   run; SC2 shares one trained Huffman structure across the whole cache
+//!   the same way). `E2mc::shared_table` exposes the handle, and a unit
+//!   test pins pointer identity across clones.
+//! * **Bulk dictionary/geometry scans** — C-PACK probes all 16 FIFO
+//!   entries at every match granularity in one branchless pass (SSE2
+//!   compare+movemask on x86-64, a scalar bitmap loop elsewhere) instead
+//!   of three early-exit scans, and BDI extracts the 8/4/2-byte value
+//!   lanes in a single pass then plans every base+delta arm with two
+//!   branchless fit-bitmap sweeps; its decoder is monomorphised per
+//!   geometry so every trip count and shift is a compile-time constant.
+//! * **Fixed-capacity block writer** — bounded encodes (C-PACK, BDI) use
+//!   [`bitstream::FixedBitWriter`], which stages into a stack buffer with
+//!   one unconditional 8-byte store per flush and allocates exactly once
+//!   at `finish`, bit-identical to [`bitstream::BitWriter`].
 //!
 //! `cargo bench --bench codec_throughput` (crate `slc-bench`) measures
-//! all of this and refreshes the repo-root `BENCH_codec.json` baseline.
+//! all of this and refreshes the repo-root `BENCH_codec.json` baseline
+//! (CI fails on >30% regression against the committed baseline; see
+//! `tools/check_bench_regression.py`).
 
 pub mod bdi;
 pub mod bitstream;

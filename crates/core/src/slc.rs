@@ -156,6 +156,12 @@ impl SlcCompressed {
 }
 
 /// The SLC compressor: a trained E2MC baseline plus the SLC budget/tree.
+///
+/// Cloning is cheap: the trained symbol table lives behind an `Arc`
+/// inside [`E2mc`], so every `SlcCompressor` instance — and every scheme
+/// built from one — shares the single frozen table, exactly as the
+/// modeled hardware shares one trained code table across all compressor
+/// units.
 #[derive(Debug, Clone)]
 pub struct SlcCompressor {
     e2mc: E2mc,
@@ -163,7 +169,8 @@ pub struct SlcCompressor {
 }
 
 impl SlcCompressor {
-    /// Wraps a trained E2MC codec.
+    /// Wraps a trained E2MC codec. `e2mc` is a shared handle (an `Arc`'d
+    /// table under the hood), so taking it by value costs no table copy.
     pub fn new(e2mc: E2mc, config: SlcConfig) -> Self {
         Self { e2mc, config }
     }

@@ -103,7 +103,9 @@ pub fn evaluate_prepared(
     let energy_model = EnergyModel::default();
     let mag = harness.config.mag();
     let rows = slc_par::par_map_ref(prepared, |(w, artifacts)| {
-        // Baselines.
+        // Baselines. Cloning `artifacts.e2mc` into a scheme is an Arc
+        // refcount bump (the trained table is shared), so every worker
+        // and every variant below reuses the one trained model.
         let nocomp = Scheme::Uncompressed;
         let (_, t_nocomp) = harness.evaluate(w.as_ref(), artifacts, &nocomp);
         let e2mc_scheme = Scheme::E2mc(artifacts.e2mc.clone());

@@ -8,8 +8,11 @@
 //! reports.
 //!
 //! Thread count defaults to [`std::thread::available_parallelism`] and can
-//! be pinned with `SLC_PAR_THREADS` (`SLC_PAR_THREADS=1` forces the serial
-//! path, which is also the fallback for empty and single-item inputs).
+//! be pinned with `SLC_PAR_THREADS`. `SLC_PAR_THREADS=1` forces the serial
+//! path (also the fallback for empty and single-item inputs), and so do
+//! `SLC_PAR_THREADS=0` and any unparseable value: an operator who sets the
+//! knob to "no threads" — or typos it — gets the predictable serial
+//! fallback, never an accidental fan-out across every core.
 //!
 //! ```
 //! let squares = slc_par::par_map(vec![1u64, 2, 3, 4], |x| x * x);
@@ -19,13 +22,20 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+/// Thread cap for one `SLC_PAR_THREADS` value: unset defers to the
+/// hardware count, while `0` and garbage both clamp to serial (a pinned
+/// knob must never silently mean "all cores" — see the module docs).
+fn cap_from_env(var: Option<&str>, hw: usize) -> usize {
+    match var {
+        None => hw,
+        Some(v) => v.trim().parse::<usize>().unwrap_or(0).max(1),
+    }
+}
+
 /// Number of worker threads to use for `n` items.
 fn worker_count(n: usize) -> usize {
     let hw = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
-    let cap = match std::env::var("SLC_PAR_THREADS") {
-        Ok(v) => v.parse::<usize>().ok().filter(|&t| t >= 1).unwrap_or(hw),
-        Err(_) => hw,
-    };
+    let cap = cap_from_env(std::env::var("SLC_PAR_THREADS").ok().as_deref(), hw);
     cap.min(n)
 }
 
@@ -79,6 +89,27 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn env_cap_zero_and_garbage_mean_serial() {
+        // Pure-function test (no process-global env mutation, which would
+        // race with other tests): 0 and any unparseable value clamp to 1
+        // worker instead of falling back to all cores.
+        assert_eq!(cap_from_env(Some("0"), 8), 1);
+        assert_eq!(cap_from_env(Some("garbage"), 8), 1);
+        assert_eq!(cap_from_env(Some(""), 8), 1);
+        assert_eq!(cap_from_env(Some("-3"), 8), 1);
+        assert_eq!(cap_from_env(Some("2.5"), 8), 1);
+        // Explicit counts and whitespace-padded counts pass through.
+        assert_eq!(cap_from_env(Some("1"), 8), 1);
+        assert_eq!(cap_from_env(Some("4"), 8), 4);
+        assert_eq!(cap_from_env(Some(" 4 "), 8), 4);
+        // More threads than cores is honoured (worker_count still clamps
+        // to the item count).
+        assert_eq!(cap_from_env(Some("16"), 8), 16);
+        // Unset defers to the hardware count.
+        assert_eq!(cap_from_env(None, 8), 8);
+    }
 
     #[test]
     fn preserves_order() {

@@ -27,7 +27,9 @@ pub struct BenchmarkArtifacts {
     pub exact_output: Vec<f32>,
     /// Memory image after the exact run (inputs + outputs).
     pub exact_memory: GpuMemory,
-    /// E2MC trained on the benchmark's traffic.
+    /// E2MC trained on the benchmark's traffic. A shared handle: cloning
+    /// it into a [`Scheme`] shares the frozen symbol table rather than
+    /// copying it, so one `prepare` pass serves any number of schemes.
     pub e2mc: E2mc,
     /// The kernel pipeline's memory trace.
     pub trace: Trace,

@@ -48,6 +48,11 @@ pub enum Scheme {
 
 impl Scheme {
     /// Builds the SLC scheme from a trained baseline.
+    ///
+    /// `e2mc` is a shared handle to the frozen symbol table (cloning one
+    /// is an `Arc` refcount bump), so callers build as many schemes per
+    /// trained model as they like — one per TSLC variant, per threshold,
+    /// per thread — without ever copying the trained tables.
     pub fn slc(e2mc: E2mc, mag: Mag, threshold_bytes: u32, variant: SlcVariant) -> Self {
         Scheme::Slc(SlcCompressor::new(e2mc, SlcConfig::new(mag, threshold_bytes, variant)))
     }

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Compare a fresh codec_throughput run against the committed baseline.
+
+Usage: check_bench_regression.py BASELINE_JSON CANDIDATE_JSON [--tolerance PCT]
+
+Fails (exit 1) when any benchmark row present in both files is more than
+``--tolerance`` percent slower than the baseline *after normalising for
+machine speed*: each row's candidate/baseline ratio is divided by the
+median ratio across all shared rows, so a runner that is uniformly slower
+(or faster) than the machine that produced the committed baseline cancels
+out, and only rows that regressed relative to their peers fail. The
+trade-off: a change that slows every row by the same factor is invisible
+to this gate (pass ``--no-normalize`` for raw cross-machine comparison).
+
+Rows only present on one side are reported but never fail the check, so
+adding or retiring benches does not break CI. The default tolerance of
+30% is deliberately loose: the gate exists to catch lost fast paths and
+accidental asymptotic regressions, not single-digit drift.
+"""
+
+import argparse
+import json
+import statistics
+import sys
+
+
+def load_rows(path):
+    with open(path) as fh:
+        doc = json.load(fh)
+    return {r["id"]: float(r["ns_per_iter"]) for r in doc["results"]}
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline")
+    ap.add_argument("candidate")
+    ap.add_argument("--tolerance", type=float, default=30.0,
+                    help="allowed relative slowdown in percent (default: 30)")
+    ap.add_argument("--no-normalize", action="store_true",
+                    help="compare raw ns/iter instead of median-normalised ratios")
+    args = ap.parse_args()
+
+    base = load_rows(args.baseline)
+    cand = load_rows(args.candidate)
+    limit = 1.0 + args.tolerance / 100.0
+
+    shared = sorted(k for k in base.keys() & cand.keys() if base[k] > 0)
+    ratios = {k: cand[k] / base[k] for k in shared}
+    pivot = 1.0
+    if ratios and not args.no_normalize:
+        # Clamped at 1.0: a slower runner cancels out, but a run where
+        # most rows *improved* must never penalise the unchanged rows
+        # (a sub-1.0 median would inflate their relative ratios).
+        pivot = max(statistics.median(ratios.values()), 1.0)
+        print(f"median machine-speed ratio: {pivot:.2f}x (normalising by it)")
+        if pivot > 1.5:
+            # Normalisation cannot tell a slow runner from a genuine
+            # across-the-board regression (e.g. a lost bitstream fast
+            # path slows every codec row by the same factor). The gate
+            # stays green either way — this banner is the tripwire a
+            # human must follow up: rerun on the baseline's machine, or
+            # with --no-normalize.
+            print(f"WARNING: every shared row is >= ~{pivot:.1f}x the committed "
+                  "baseline. If this machine class matches the one that "
+                  "generated the baseline, that is a uniform regression "
+                  "the normalised gate cannot flag — investigate before "
+                  "trusting this pass.")
+
+    failures = []
+    for row_id in sorted(base.keys() | cand.keys()):
+        if row_id not in base:
+            print(f"  new row (no baseline):      {row_id}")
+            continue
+        if row_id not in cand:
+            print(f"  retired row (baseline only): {row_id}")
+            continue
+        rel = ratios.get(row_id, 1.0) / pivot
+        marker = "FAIL" if rel > limit else "ok"
+        print(f"  {marker:4} {row_id:44} {base[row_id]:9.1f} -> {cand[row_id]:9.1f} ns "
+              f"({rel:5.2f}x rel)")
+        if rel > limit:
+            failures.append((row_id, rel))
+
+    if failures:
+        print(f"\n{len(failures)} row(s) regressed beyond {args.tolerance:.0f}% "
+              "relative to the run median:")
+        for row_id, rel in failures:
+            print(f"  {row_id}: {rel:.2f}x")
+        return 1
+    print(f"\nall shared rows within {args.tolerance:.0f}% (relative)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
