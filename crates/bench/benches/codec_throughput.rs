@@ -1,5 +1,7 @@
 //! Microbenchmarks: per-block compress/decompress throughput of every
-//! codec, plus SLC's size-only fast path (the hardware's tree adder).
+//! codec, SLC's size-only fast path (the hardware's tree adder), and the
+//! evaluation layer's shared-analysis burst-map sweep vs the per-scheme
+//! re-encode it replaced.
 //!
 //! The sample set mixes the block archetypes GPU traffic exhibits — zero
 //! blocks, repeated values, integer ramps, small integers, smooth float
@@ -20,6 +22,9 @@ use slc_compress::e2mc::{E2mc, E2mcConfig};
 use slc_compress::fpc::Fpc;
 use slc_compress::{Block, BlockCompressor, Mag, BLOCK_BYTES};
 use slc_core::slc::{SlcCompressor, SlcConfig, SlcVariant};
+use slc_sim::GpuMemory;
+use slc_workloads::analysis::SnapshotAnalysis;
+use slc_workloads::scheme::{BurstsAccumulator, Scheme};
 
 /// Deterministic per-block PRNG (SplitMix64) for the noise archetype.
 fn mix(mut x: u64) -> u64 {
@@ -154,6 +159,62 @@ fn bench_slc_paths(c: &mut Criterion) {
     g.finish();
 }
 
+/// The shared-analysis win in the evaluation path: building burst maps
+/// for N schemes (3 TSLC variants × 2 thresholds + the E2MC baseline)
+/// over one memory snapshot.
+///
+/// `eval/bursts_map` analyses the snapshot **once** and sweeps all N
+/// decisions over the shared [`SnapshotAnalysis`];
+/// `eval/bursts_map_direct` is the pre-refactor shape — every scheme
+/// re-derives every block's E2MC code lengths — so the ratio of the two
+/// rows is the (schemes × thresholds) → 1 reduction in encode work.
+fn bench_eval_paths(c: &mut Criterion) {
+    let blocks = sample_blocks();
+    let e2mc = trained_e2mc(&blocks);
+    let mut mem = GpuMemory::new();
+    let approx = mem.malloc("approx", 32 * BLOCK_BYTES, true, 16);
+    let exact = mem.malloc("exact", 32 * BLOCK_BYTES, false, 0);
+    for (i, block) in blocks.iter().take(32).enumerate() {
+        let vals: Vec<f32> =
+            block.chunks_exact(4).map(|c| f32::from_le_bytes(c.try_into().unwrap())).collect();
+        mem.write_f32(slc_sim::DevicePtr(approx.0 + (i * BLOCK_BYTES) as u64), &vals);
+        mem.write_f32(slc_sim::DevicePtr(exact.0 + (i * BLOCK_BYTES) as u64), &vals);
+    }
+    let mut schemes = vec![Scheme::E2mc(e2mc.clone())];
+    for threshold in [8, 16] {
+        for variant in [SlcVariant::TslcSimp, SlcVariant::TslcPred, SlcVariant::TslcOpt] {
+            schemes.push(Scheme::slc(e2mc.clone(), Mag::GDDR5, threshold, variant));
+        }
+    }
+    let mut g = c.benchmark_group("eval");
+    g.bench_function("bursts_map", |b| {
+        b.iter(|| {
+            let snap = SnapshotAnalysis::capture(&e2mc, &mem);
+            schemes
+                .iter()
+                .map(|s| {
+                    let mut acc = BurstsAccumulator::new(Mag::GDDR5);
+                    acc.record(s, &snap);
+                    acc.into_map().len()
+                })
+                .sum::<usize>()
+        })
+    });
+    g.bench_function("bursts_map_direct", |b| {
+        b.iter(|| {
+            schemes
+                .iter()
+                .map(|s| {
+                    let mut acc = BurstsAccumulator::new(Mag::GDDR5);
+                    acc.snapshot(s, &mem);
+                    acc.into_map().len()
+                })
+                .sum::<usize>()
+        })
+    });
+    g.finish();
+}
+
 /// Serialises results as the `BENCH_codec.json` baseline.
 fn write_baseline(c: &Criterion) {
     let path = std::env::var("BENCH_CODEC_JSON")
@@ -179,5 +240,6 @@ fn main() {
     let mut c = Criterion::default();
     bench_codecs(&mut c);
     bench_slc_paths(&mut c);
+    bench_eval_paths(&mut c);
     write_baseline(&c);
 }

@@ -1,0 +1,124 @@
+//! The shared per-block analysis artifact of the SLC pipeline.
+//!
+//! Every SLC decision — the Fig. 4 budget comparison and the Fig. 5
+//! truncation selection — is a pure function of a block's per-symbol
+//! canonical-Huffman code lengths, the very lengths E2MC sums to size the
+//! block before encoding it. [`BlockAnalysis`] captures exactly that
+//! (lengths + their sum, no payload), so one cheap [`E2mc::analyze`] pass
+//! can serve any number of consumers: the E2MC size model, N SLC schemes
+//! at different MAGs/thresholds/variants, ratio studies and burst
+//! accounting — the phase split cuSZ and the GPU Huffman-decode work use
+//! to separate histogram/codebook construction from coding.
+//!
+//! [`E2mc::analyze`]: super::E2mc::analyze
+
+use crate::symbols::SYMBOLS_PER_BLOCK;
+use crate::BLOCK_BITS;
+
+use super::HEADER_BITS;
+
+/// Per-symbol code lengths and their sum for one analysed block.
+///
+/// Produced by [`E2mc::analyze`](super::E2mc::analyze) in a single pass
+/// over the dense width table; carries **no payload**, only the sizing
+/// facts every downstream decision needs. All derived quantities
+/// (`slc-core`'s budget decision and tree selection, burst counts, ratio
+/// accumulators) are deterministic functions of this value, so computing
+/// it once per block and sharing the artifact is bit-identical to
+/// re-deriving it at every consumer.
+///
+/// Lengths are stored as bytes (the widest encoding is the escape code
+/// plus 16 raw bits, well under 256), keeping the artifact at 68 bytes so
+/// snapshot-level caches of hundreds of thousands of analyses stay cheap.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockAnalysis {
+    /// Encoded length of each of the 64 symbols in bits (escape symbols
+    /// cost their escape codeword plus 16 raw bits).
+    lengths: [u8; SYMBOLS_PER_BLOCK],
+    /// Sum of `lengths` — the data portion of every framing's size.
+    total_code_bits: u32,
+}
+
+impl BlockAnalysis {
+    /// Builds an analysis from per-symbol widths as the dense table
+    /// stores them (the [`E2mc::analyze`](super::E2mc::analyze) path).
+    pub(super) fn from_widths(lengths: [u8; SYMBOLS_PER_BLOCK]) -> Self {
+        let total_code_bits = lengths.iter().map(|&w| u32::from(w)).sum();
+        Self { lengths, total_code_bits }
+    }
+
+    /// Builds an analysis from raw per-symbol code lengths.
+    ///
+    /// Exposed for tests and tools that synthesise length patterns; the
+    /// production path is [`E2mc::analyze`](super::E2mc::analyze).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a length exceeds 255 bits (no real encoding comes close:
+    /// the maximum is the escape codeword plus 16 raw bits).
+    pub fn from_lengths(lengths: [u32; SYMBOLS_PER_BLOCK]) -> Self {
+        let mut widths = [0u8; SYMBOLS_PER_BLOCK];
+        for (w, &l) in widths.iter_mut().zip(&lengths) {
+            *w = u8::try_from(l).expect("code length exceeds 255 bits");
+        }
+        Self::from_widths(widths)
+    }
+
+    /// Per-symbol code lengths — the inputs of the Fig. 5 adder tree.
+    pub fn code_lengths(&self) -> [u32; SYMBOLS_PER_BLOCK] {
+        let mut out = [0u32; SYMBOLS_PER_BLOCK];
+        for (o, &w) in out.iter_mut().zip(&self.lengths) {
+            *o = u32::from(w);
+        }
+        out
+    }
+
+    /// Sum of all code lengths (the tree's root, before any header).
+    pub fn total_code_bits(&self) -> u32 {
+        self.total_code_bits
+    }
+
+    /// Lossless compressed size under E2MC's framing: mode bit + pdps +
+    /// code lengths. Matches
+    /// [`E2mc::lossless_size_bits`](super::E2mc::lossless_size_bits).
+    pub fn lossless_size_bits(&self) -> u32 {
+        HEADER_BITS + self.total_code_bits
+    }
+
+    /// The E2MC stored size: the lossless size capped at the verbatim
+    /// block (incompressible blocks are stored raw). Matches
+    /// [`BlockCompressor::size_bits`](crate::BlockCompressor::size_bits)
+    /// on [`E2mc`](super::E2mc).
+    pub fn e2mc_size_bits(&self) -> u32 {
+        self.lossless_size_bits().min(BLOCK_BITS)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_lengths_sums_and_frames() {
+        let mut lengths = [3u32; SYMBOLS_PER_BLOCK];
+        lengths[0] = 19;
+        let a = BlockAnalysis::from_lengths(lengths);
+        assert_eq!(a.total_code_bits(), 3 * 63 + 19);
+        assert_eq!(a.code_lengths(), lengths);
+        assert_eq!(a.lossless_size_bits(), HEADER_BITS + a.total_code_bits());
+        assert_eq!(a.e2mc_size_bits(), a.lossless_size_bits());
+    }
+
+    #[test]
+    fn e2mc_size_is_capped_at_the_block() {
+        let a = BlockAnalysis::from_lengths([28; SYMBOLS_PER_BLOCK]);
+        assert!(a.lossless_size_bits() > BLOCK_BITS);
+        assert_eq!(a.e2mc_size_bits(), BLOCK_BITS);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds 255")]
+    fn oversized_lengths_are_rejected() {
+        BlockAnalysis::from_lengths([256; SYMBOLS_PER_BLOCK]);
+    }
+}

@@ -32,9 +32,11 @@
 //! assert_eq!(e2mc.decompress(&c), block);
 //! ```
 
+mod analysis;
 mod huffman;
 mod sampler;
 
+pub use analysis::BlockAnalysis;
 pub use huffman::{CanonicalCode, MAX_CODE_LEN};
 pub use sampler::SymbolSampler;
 
@@ -355,21 +357,32 @@ impl E2mc {
         &self.table
     }
 
+    /// Analyses one block without encoding anything: one pass over the
+    /// dense width table yields the per-symbol code lengths and their sum
+    /// — everything the paper's tree adder, the Fig. 4 budget decision
+    /// and all burst accounting need. The returned [`BlockAnalysis`] is
+    /// the shared artifact of the SLC pipeline: produce it once per
+    /// block, then let any number of schemes, thresholds and figures
+    /// consume it (see the `slc-core` crate docs for the sharing
+    /// contract).
+    pub fn analyze(&self, block: &Block) -> BlockAnalysis {
+        let symbols = block_to_symbols(block);
+        let mut widths = [0u8; SYMBOLS_PER_BLOCK];
+        for (o, s) in widths.iter_mut().zip(symbols) {
+            *o = self.table.bits[s as usize];
+        }
+        BlockAnalysis::from_widths(widths)
+    }
+
     /// Per-symbol code lengths of a block — the values the paper's parallel
     /// tree adder sums to obtain the compressed size.
     pub fn code_lengths(&self, block: &Block) -> [u32; SYMBOLS_PER_BLOCK] {
-        let symbols = block_to_symbols(block);
-        let mut out = [0u32; SYMBOLS_PER_BLOCK];
-        for (o, s) in out.iter_mut().zip(symbols) {
-            *o = self.table.symbol_bits(s);
-        }
-        out
+        self.analyze(block).code_lengths()
     }
 
     /// Sum of code lengths plus header: the lossless compressed size.
     pub fn lossless_size_bits(&self, block: &Block) -> u32 {
-        let data: u32 = self.code_lengths(block).iter().sum();
-        HEADER_BITS + data
+        self.analyze(block).lossless_size_bits()
     }
 }
 
@@ -487,6 +500,20 @@ mod tests {
         let lens = e.code_lengths(&block);
         let total: u32 = lens.iter().sum();
         assert_eq!(e.lossless_size_bits(&block), HEADER_BITS + total);
+    }
+
+    #[test]
+    fn analyze_agrees_with_size_and_length_paths() {
+        let e = trained();
+        for seed in 0..16u32 {
+            let block =
+                block_from_u32s(|i| (seed.wrapping_mul(2654435761) ^ (i as u32 * 31)) % 400);
+            let a = e.analyze(&block);
+            assert_eq!(a.code_lengths(), e.code_lengths(&block));
+            assert_eq!(a.total_code_bits(), a.code_lengths().iter().sum::<u32>());
+            assert_eq!(a.lossless_size_bits(), e.lossless_size_bits(&block));
+            assert_eq!(a.e2mc_size_bits(), e.size_bits(&block));
+        }
     }
 
     #[test]

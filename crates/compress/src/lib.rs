@@ -71,6 +71,15 @@
 //!   run; SC2 shares one trained Huffman structure across the whole cache
 //!   the same way). `E2mc::shared_table` exposes the handle, and a unit
 //!   test pins pointer identity across clones.
+//! * **Shared block analyses** — [`e2mc::E2mc::analyze`] captures a
+//!   block's per-symbol code lengths and their sum as an
+//!   [`e2mc::BlockAnalysis`] (68 bytes, no payload) in one pass over the
+//!   dense width table. Every size-only consumer — SLC's budget decision
+//!   and Fig. 5 tree in `slc-core`, burst accounting and ratio studies in
+//!   the workload harness — takes the artifact instead of re-deriving the
+//!   lengths, so one analysis per block serves any number of schemes,
+//!   MAGs and thresholds (pinned bit-identical to the direct path by
+//!   property tests).
 //! * **Bulk dictionary/geometry scans** — C-PACK probes all 16 FIFO
 //!   entries at every match granularity in one branchless pass (SSE2
 //!   compare+movemask on x86-64, a scalar bitmap loop elsewhere) instead

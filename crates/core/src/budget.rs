@@ -7,6 +7,8 @@
 //! are what sticks out above it; the user-set *threshold* bounds how many
 //! bits may be approximated away.
 
+use crate::header::LOSSLESS_HEADER_BITS;
+use slc_compress::e2mc::BlockAnalysis;
 use slc_compress::{Mag, BLOCK_BITS};
 
 /// Which compression mode the Fig. 4 flow selects for a block.
@@ -87,6 +89,14 @@ impl BudgetDecision {
             ModeChoice::Lossless
         };
         Self { comp_size_bits, bit_budget, extra_bits, mode }
+    }
+
+    /// Runs the Fig. 4 flow for a block that has already been analysed:
+    /// the lossless compressed size is the SLC header plus the analysis'
+    /// code-length sum, so the decision costs two additions and a few
+    /// compares on top of a shared [`BlockAnalysis`] — no re-encoding.
+    pub fn for_analysis(analysis: &BlockAnalysis, mag: Mag, threshold_bits: u32) -> Self {
+        Self::evaluate(LOSSLESS_HEADER_BITS + analysis.total_code_bits(), mag, threshold_bits)
     }
 
     /// Bursts the block costs if stored losslessly under `mag`.
@@ -182,6 +192,21 @@ mod tests {
         assert_eq!(d.bit_budget, 48 * 8);
         assert_eq!(d.extra_bits, 16);
         assert_eq!(d.mode, ModeChoice::Lossy);
+    }
+
+    #[test]
+    fn for_analysis_matches_evaluate_on_the_framed_size() {
+        use slc_compress::symbols::SYMBOLS_PER_BLOCK;
+        for fill in [2u32, 5, 9, 14] {
+            let a = BlockAnalysis::from_lengths([fill; SYMBOLS_PER_BLOCK]);
+            let via = BudgetDecision::for_analysis(&a, Mag::GDDR5, THR_16B);
+            let direct = BudgetDecision::evaluate(
+                LOSSLESS_HEADER_BITS + fill * SYMBOLS_PER_BLOCK as u32,
+                Mag::GDDR5,
+                THR_16B,
+            );
+            assert_eq!(via, direct);
+        }
     }
 
     proptest! {

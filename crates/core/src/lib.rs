@@ -16,6 +16,37 @@
 //!   decompression.
 //! * [`slc`] — the end-to-end compressor/decompressor layered on E2MC.
 //!
+//! # The shared block-analysis pipeline
+//!
+//! Every decision this crate makes — the Fig. 4 budget comparison, the
+//! Fig. 5 truncation selection, stored sizes and burst counts — is a pure
+//! function of one artifact: the block's per-symbol canonical-Huffman
+//! code lengths, captured (with their sum) as
+//! [`slc_compress::e2mc::BlockAnalysis`] by a single
+//! [`E2mc::analyze`](slc_compress::e2mc::E2mc::analyze) pass.
+//! [`SlcCompressor`] exposes paired entry points around it:
+//!
+//! * block-taking convenience — [`slc::SlcCompressor::analyze`],
+//!   [`stored_bits`](slc::SlcCompressor::stored_bits),
+//!   [`stored_bursts`](slc::SlcCompressor::stored_bursts),
+//!   [`compress`](slc::SlcCompressor::compress) — each of which derives
+//!   the analysis internally; and
+//! * `*_with` overloads ([`analyze_with`](slc::SlcCompressor::analyze_with),
+//!   [`stored_bits_with`](slc::SlcCompressor::stored_bits_with),
+//!   [`stored_bursts_with`](slc::SlcCompressor::stored_bursts_with),
+//!   [`compress_with`](slc::SlcCompressor::compress_with)) that consume a
+//!   precomputed `&BlockAnalysis`.
+//!
+//! **Sharing contract:** an analysis is valid for any number of
+//! consumers as long as (a) it was produced by the *same trained table*
+//! (the `Arc`-shared [`slc_compress::e2mc::SymbolTable`]) and (b) the
+//! block bytes have not changed. MAG, lossy threshold and TSLC variant
+//! are *not* baked into the analysis — N schemes at different
+//! configurations can sweep one analysis with N cheap decisions, which
+//! is exactly what the workload harness' snapshot cache does (see
+//! `slc-workloads::analysis`). The `*_with` overloads are pinned
+//! bit-identical to their block-taking twins by unit and property tests.
+//!
 //! # Quick start
 //!
 //! ```

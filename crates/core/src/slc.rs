@@ -7,11 +7,11 @@
 //! the block, filling truncated symbols via the configured predictor.
 
 use crate::budget::{BudgetDecision, ModeChoice};
-use crate::header::{SlcHeader, LOSSLESS_HEADER_BITS, LOSSY_HEADER_DELTA};
+use crate::header::{SlcHeader, LOSSY_HEADER_DELTA};
 use crate::predict::{fill_approximated, PredictorKind};
 use crate::tree::{CodeLengthTree, Selection};
 use slc_compress::bitstream::{BitReader, BitWriter};
-use slc_compress::e2mc::{E2mc, SymbolTable, WAYS, WAY_SYMBOLS};
+use slc_compress::e2mc::{BlockAnalysis, E2mc, SymbolTable, WAYS, WAY_SYMBOLS};
 use slc_compress::symbols::{block_to_symbols, symbols_to_block, SYMBOLS_PER_BLOCK};
 use slc_compress::{Block, Mag, BLOCK_BITS, BLOCK_BYTES};
 
@@ -185,22 +185,42 @@ impl SlcCompressor {
         &self.e2mc
     }
 
+    /// Analyses `block` under the trained table: the per-symbol code
+    /// lengths and their sum, the shared artifact every decision below
+    /// consumes. Produce it once and fan it out to [`analyze_with`],
+    /// [`stored_bits_with`] or [`compress_with`] — across as many
+    /// schemes, thresholds and MAGs as needed — instead of paying one
+    /// table pass per consumer.
+    ///
+    /// [`analyze_with`]: Self::analyze_with
+    /// [`stored_bits_with`]: Self::stored_bits_with
+    /// [`compress_with`]: Self::compress_with
+    pub fn analysis(&self, block: &Block) -> BlockAnalysis {
+        self.e2mc.analyze(block)
+    }
+
     /// Computes the Fig. 4 decision and (for lossy mode) the Fig. 5
     /// selection for `block`, without encoding anything.
     ///
     /// Exposed so experiments can study the decision distribution (the
     /// Fig. 2 heat map) without paying for encoding.
     pub fn analyze(&self, block: &Block) -> (BudgetDecision, Option<Selection>) {
-        let lengths = self.e2mc.code_lengths(block);
-        let tree = CodeLengthTree::new(&lengths);
-        let comp_size = LOSSLESS_HEADER_BITS + tree.total_bits();
+        self.analyze_with(&self.analysis(block))
+    }
+
+    /// [`analyze`](Self::analyze) over a precomputed [`BlockAnalysis`].
+    ///
+    /// The budget decision needs only the code-length sum; the Fig. 5
+    /// tree is built just for blocks the budget sends lossy, from the
+    /// analysis' lengths — no second E2MC pass anywhere.
+    pub fn analyze_with(&self, analysis: &BlockAnalysis) -> (BudgetDecision, Option<Selection>) {
         let decision =
-            BudgetDecision::evaluate(comp_size, self.config.mag, self.config.threshold_bits());
+            BudgetDecision::for_analysis(analysis, self.config.mag, self.config.threshold_bits());
         let selection = if decision.mode == ModeChoice::Lossy {
             // The lossy header costs LOSSY_HEADER_DELTA more bits than the
             // lossless one; the freed codewords must cover both the extra
             // bits and that delta or the block would overshoot its budget.
-            tree.select(
+            CodeLengthTree::from_analysis(analysis).select(
                 decision.extra_bits + LOSSY_HEADER_DELTA,
                 self.config.variant.uses_opt_nodes(),
             )
@@ -214,7 +234,12 @@ impl SlcCompressor {
     /// encoding anything — the fast path for burst accounting (hardware
     /// likewise derives the burst count from the code-length sum alone).
     pub fn stored_bits(&self, block: &Block) -> (u32, bool) {
-        let (decision, selection) = self.analyze(block);
+        self.stored_bits_with(&self.analysis(block))
+    }
+
+    /// [`stored_bits`](Self::stored_bits) over a precomputed analysis.
+    pub fn stored_bits_with(&self, analysis: &BlockAnalysis) -> (u32, bool) {
+        let (decision, selection) = self.analyze_with(analysis);
         match (decision.mode, selection) {
             (ModeChoice::Uncompressed, _) => (BLOCK_BITS, false),
             (ModeChoice::Lossless, _) | (ModeChoice::Lossy, None) => {
@@ -232,7 +257,13 @@ impl SlcCompressor {
 
     /// Bursts the stored block costs under the configured MAG.
     pub fn stored_bursts(&self, block: &Block) -> u32 {
-        let (bits, _) = self.stored_bits(block);
+        self.stored_bursts_with(&self.analysis(block))
+    }
+
+    /// [`stored_bursts`](Self::stored_bursts) over a precomputed
+    /// analysis.
+    pub fn stored_bursts_with(&self, analysis: &BlockAnalysis) -> u32 {
+        let (bits, _) = self.stored_bits_with(analysis);
         self.config.mag.bursts_for_bits(bits, BLOCK_BYTES as u32)
     }
 
@@ -245,7 +276,20 @@ impl SlcCompressor {
 
     /// Compresses one block.
     pub fn compress(&self, block: &Block) -> SlcCompressed {
-        let (decision, selection) = self.analyze(block);
+        self.compress_with(block, &self.analysis(block))
+    }
+
+    /// [`compress`](Self::compress) over a precomputed analysis of the
+    /// same `block` — the encode path of callers that already analysed
+    /// the block for its budget decision (e.g. the workload harness'
+    /// staging pass, which needs both the stored form and the burst
+    /// count).
+    ///
+    /// `analysis` **must** come from [`Self::analysis`] (equivalently,
+    /// [`E2mc::analyze`] on the same trained table) for this block;
+    /// handing in another block's analysis produces a wrong-size stream.
+    pub fn compress_with(&self, block: &Block, analysis: &BlockAnalysis) -> SlcCompressed {
+        let (decision, selection) = self.analyze_with(analysis);
         match (decision.mode, selection) {
             (ModeChoice::Uncompressed, _) => self.store_uncompressed(block, decision),
             (ModeChoice::Lossless, _) | (ModeChoice::Lossy, None) => {
@@ -605,6 +649,31 @@ mod tests {
             assert_eq!(bits, c.size_bits(), "block {k}");
             assert_eq!(lossy, c.is_lossy(), "block {k}");
             assert_eq!(s.stored_bursts(&block), c.bursts(), "block {k}");
+        }
+    }
+
+    #[test]
+    fn precomputed_analysis_paths_match_block_paths() {
+        // The whole sharing contract: every *_with overload fed a
+        // precomputed BlockAnalysis must agree bit-for-bit with the
+        // direct block-taking path it shadows.
+        for variant in [SlcVariant::TslcSimp, SlcVariant::TslcPred, SlcVariant::TslcOpt] {
+            let s = slc(variant);
+            for k in 0..96 {
+                let block = float_block(k as f32 * 1.9, 0.15 + (k % 5) as f32 * 0.04);
+                let a = s.analysis(&block);
+                assert_eq!(a, s.e2mc().analyze(&block));
+                assert_eq!(s.analyze_with(&a), s.analyze(&block));
+                assert_eq!(s.stored_bits_with(&a), s.stored_bits(&block));
+                assert_eq!(s.stored_bursts_with(&a), s.stored_bursts(&block));
+                let c_with = s.compress_with(&block, &a);
+                let c = s.compress(&block);
+                assert_eq!(c_with.payload(), c.payload());
+                assert_eq!(c_with.size_bits(), c.size_bits());
+                assert_eq!(c_with.kind(), c.kind());
+                assert_eq!(c_with.bursts(), c.bursts());
+                assert_eq!(c_with.decision(), c.decision());
+            }
         }
     }
 

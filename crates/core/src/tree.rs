@@ -19,6 +19,7 @@
 //! starting at `4 + 16i`), the natural way to add finer sums with a few
 //! extra adders. See DESIGN.md for the rationale and the ablation bench.
 
+use slc_compress::e2mc::BlockAnalysis;
 use slc_compress::symbols::SYMBOLS_PER_BLOCK;
 
 /// Highest level the selector may use (16 symbols; the header's 4-bit
@@ -78,6 +79,13 @@ impl CodeLengthTree {
             }
         }
         Self { nodes }
+    }
+
+    /// Builds the tree from a shared [`BlockAnalysis`] — the lengths the
+    /// E2MC layer already computed to size the block, so the tree adds
+    /// no second table pass.
+    pub fn from_analysis(analysis: &BlockAnalysis) -> Self {
+        Self::new(&analysis.code_lengths())
     }
 
     /// Sum of all code lengths (the last node of the tree, used as the
@@ -278,6 +286,20 @@ mod tests {
         let sel = tree.select(32, true).expect("selectable");
         assert_eq!(sel.start, 0);
         assert!(!sel.staggered);
+    }
+
+    #[test]
+    fn from_analysis_matches_direct_construction() {
+        let mut lens = uniform(2);
+        lens[5] = 17;
+        lens[40] = 9;
+        let via_analysis = CodeLengthTree::from_analysis(&BlockAnalysis::from_lengths(lens));
+        let direct = CodeLengthTree::new(&lens);
+        assert_eq!(via_analysis.total_bits(), direct.total_bits());
+        for level in 1..=LEVELS {
+            assert_eq!(via_analysis.level_sums(level), direct.level_sums(level));
+        }
+        assert_eq!(via_analysis.select(20, true), direct.select(20, true));
     }
 
     #[test]

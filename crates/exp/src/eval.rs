@@ -83,6 +83,12 @@ pub fn evaluate(
 /// parallel. Callers that need the artifacts for their own studies (e.g.
 /// Fig. 9's ratio sweep) prepare once and pass the result to
 /// [`evaluate_prepared`] instead of paying a second full prepare pass.
+///
+/// The artifacts also lazily cache the exact run's per-snapshot E2MC
+/// analyses ([`BenchmarkArtifacts::exact_snapshots`]): the artifacts are
+/// MAG- and threshold-independent, so one prepared set serves any number
+/// of [`evaluate_prepared`] sweeps and the E2MC baseline inside each is a
+/// cheap decision sweep over the shared analyses, not a re-encode.
 pub fn prepare_all(
     scale: Scale,
     harness: &Harness,
@@ -105,7 +111,10 @@ pub fn evaluate_prepared(
     let rows = slc_par::par_map_ref(prepared, |(w, artifacts)| {
         // Baselines. Cloning `artifacts.e2mc` into a scheme is an Arc
         // refcount bump (the trained table is shared), so every worker
-        // and every variant below reuses the one trained model.
+        // and every variant below reuses the one trained model; the E2MC
+        // baseline additionally sweeps the artifacts' cached exact-run
+        // analyses instead of replaying the kernels (see
+        // `Harness::run_functional`).
         let nocomp = Scheme::Uncompressed;
         let (_, t_nocomp) = harness.evaluate(w.as_ref(), artifacts, &nocomp);
         let e2mc_scheme = Scheme::E2mc(artifacts.e2mc.clone());

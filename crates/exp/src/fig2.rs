@@ -7,7 +7,7 @@
 //! blocks."
 
 use crate::report::shade;
-use slc_compress::{BlockCompressor, Mag, BLOCK_BITS, BLOCK_BYTES};
+use slc_compress::{Mag, BLOCK_BITS, BLOCK_BYTES};
 use slc_workloads::{all_workloads, Harness, Scale};
 
 /// One benchmark's distribution over bytes-above-MAG.
@@ -38,8 +38,10 @@ pub fn compute(scale: Scale, mag: Mag) -> Fig2 {
         let artifacts = harness.prepare(w.as_ref());
         let mut counts = vec![0u64; buckets];
         let mut total = 0u64;
-        for (_, block) in artifacts.exact_memory.all_blocks() {
-            let bits = artifacts.e2mc.size_bits(&block);
+        // One shared analysis of the final memory image sizes every
+        // bucket; nothing is re-encoded per figure.
+        for b in artifacts.final_analysis().entries() {
+            let bits = b.analysis.e2mc_size_bits();
             total += 1;
             if bits >= BLOCK_BITS || mag.round_up_bits(bits) >= BLOCK_BITS {
                 counts[mag.bytes() as usize] += 1; // uncompressed bucket

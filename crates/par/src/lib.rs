@@ -19,8 +19,18 @@
 //! assert_eq!(squares, vec![1, 4, 9, 16]);
 //! ```
 
+use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+thread_local! {
+    /// Whether the current thread is already a `par_map` worker. Nested
+    /// `par_map` calls (e.g. a per-snapshot fan-out inside a per-workload
+    /// fan-out) then run serially on the worker instead of multiplying
+    /// live threads to ~cores² and paying a spawn per inner call; output
+    /// is unchanged either way (the map is order-preserving).
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
 
 /// Thread cap for one `SLC_PAR_THREADS` value: unset defers to the
 /// hardware count, while `0` and garbage both clamp to serial (a pinned
@@ -34,6 +44,9 @@ fn cap_from_env(var: Option<&str>, hw: usize) -> usize {
 
 /// Number of worker threads to use for `n` items.
 fn worker_count(n: usize) -> usize {
+    if IN_WORKER.with(Cell::get) {
+        return 1; // nested call: stay on the current worker thread
+    }
     let hw = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
     let cap = cap_from_env(std::env::var("SLC_PAR_THREADS").ok().as_deref(), hw);
     cap.min(n)
@@ -60,14 +73,17 @@ where
     let cursor = AtomicUsize::new(0);
     std::thread::scope(|s| {
         for _ in 0..workers {
-            s.spawn(|| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
+            s.spawn(|| {
+                IN_WORKER.with(|w| w.set(true));
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let item = slots[i].lock().expect("slot poisoned").take().expect("taken once");
+                    let result = f(item);
+                    *out[i].lock().expect("slot poisoned") = Some(result);
                 }
-                let item = slots[i].lock().expect("slot poisoned").take().expect("taken once");
-                let result = f(item);
-                *out[i].lock().expect("slot poisoned") = Some(result);
             });
         }
     });
@@ -109,6 +125,22 @@ mod tests {
         assert_eq!(cap_from_env(Some("16"), 8), 16);
         // Unset defers to the hardware count.
         assert_eq!(cap_from_env(None, 8), 8);
+    }
+
+    #[test]
+    fn nested_par_map_runs_serially_on_the_worker() {
+        // Each test runs on its own thread, so flipping the thread-local
+        // here is isolated: with the worker flag set, worker_count must
+        // clamp to 1 no matter the hardware or item count.
+        IN_WORKER.with(|w| w.set(true));
+        assert_eq!(worker_count(64), 1);
+        IN_WORKER.with(|w| w.set(false));
+        // And nested maps still produce correct, ordered output.
+        let out =
+            par_map((0..8usize).collect(), |i| par_map((0..4usize).collect(), move |j| i * 10 + j));
+        for (i, inner) in out.iter().enumerate() {
+            assert_eq!(inner, &vec![i * 10, i * 10 + 1, i * 10 + 2, i * 10 + 3]);
+        }
     }
 
     #[test]

@@ -34,7 +34,11 @@ impl BurstsSource for UniformBursts {
 }
 
 /// Burst counts from a map, with a default for unmapped blocks.
-#[derive(Debug, Clone, Default)]
+///
+/// `PartialEq` compares contents (default + the full block→bursts
+/// mapping), which is what "byte-identical burst maps" means for the
+/// analysis-pipeline equivalence tests.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct BurstsMap {
     default: u32,
     map: HashMap<BlockAddr, u32>,

@@ -49,6 +49,12 @@ impl Region {
         addr >= self.base && addr < self.base + self.size
     }
 
+    /// Block address of the region's `index`-th block — the one place
+    /// the region-to-block address arithmetic lives.
+    pub fn block_addr(&self, index: usize) -> BlockAddr {
+        self.base / BLOCK_BYTES as u64 + index as u64
+    }
+
     /// Block addresses covered by the region.
     pub fn blocks(&self) -> impl Iterator<Item = BlockAddr> + '_ {
         let first = self.base / BLOCK_BYTES as u64;
@@ -159,26 +165,47 @@ impl GpuMemory {
 
     /// Applies `f` to every 128 B block of every safe-to-approximate
     /// region, replacing the block with the function's output — the
-    /// kernel-boundary DRAM round-trip.
+    /// kernel-boundary DRAM round-trip. Visits regions in table order and
+    /// blocks in ascending offset (the order [`Self::blocks_with_addr`]
+    /// reproduces, which lets stagers merge per-block state back by
+    /// position). Borrows regions and data disjointly: no region-table
+    /// clone, no per-block copy on the read side.
     ///
-    /// Returns the number of blocks rewritten.
+    /// Returns the number of blocks visited (memory is only written for
+    /// blocks the callback actually changed).
     pub fn stage_approx_regions(&mut self, mut f: impl FnMut(&Region, &Block) -> Block) -> usize {
-        let mut rewritten = 0;
-        let regions: Vec<Region> = self.regions.clone();
+        let Self { data, regions } = self;
+        let mut visited = 0;
         for region in regions.iter().filter(|r| r.safe_to_approx) {
             let start = region.base as usize;
             let end = (region.base + region.size) as usize;
             for off in (start..end).step_by(BLOCK_BYTES) {
-                let mut block = [0u8; BLOCK_BYTES];
-                block.copy_from_slice(&self.data[off..off + BLOCK_BYTES]);
-                let out = f(region, &block);
-                if out != block {
-                    self.data[off..off + BLOCK_BYTES].copy_from_slice(&out);
+                let block: &Block =
+                    data[off..off + BLOCK_BYTES].try_into().expect("regions are block-padded");
+                let out = f(region, block);
+                if out != *block {
+                    data[off..off + BLOCK_BYTES].copy_from_slice(&out);
                 }
-                rewritten += 1;
+                visited += 1;
             }
         }
-        rewritten
+        visited
+    }
+
+    /// Iterates every region block **by reference** with its block
+    /// address ([`Region::block_addr`]) and owning region — the zero-copy
+    /// sibling of [`all_blocks`](Self::all_blocks) and the single
+    /// region-order block walk that burst accounting and snapshot
+    /// analysis share.
+    pub fn blocks_with_addr(&self) -> impl Iterator<Item = (&Region, BlockAddr, &Block)> + '_ {
+        self.regions.iter().flat_map(move |region| {
+            let start = region.base as usize;
+            let end = (region.base + region.size) as usize;
+            self.data[start..end].chunks_exact(BLOCK_BYTES).enumerate().map(move |(i, chunk)| {
+                let block: &Block = chunk.try_into().expect("regions are block-padded");
+                (region, region.block_addr(i), block)
+            })
+        })
     }
 
     /// Iterates over the blocks of every region (for table training and
@@ -259,6 +286,30 @@ mod tests {
     }
 
     #[test]
+    fn stage_order_matches_blocks_with_addr() {
+        let mut m = GpuMemory::new();
+        let _exact = m.malloc("exact", 128, false, 0);
+        let a = m.malloc("approx", 256, true, 16);
+        let mut staged_bases = Vec::new();
+        let mut count = 0u64;
+        m.stage_approx_regions(|region, block| {
+            assert_eq!(region.base, a.0);
+            staged_bases.push(region.base + count * BLOCK_BYTES as u64);
+            count += 1;
+            *block
+        });
+        let walk: Vec<u64> = m
+            .blocks_with_addr()
+            .filter(|(r, _, _)| r.safe_to_approx)
+            .map(|(_, addr, _)| addr * BLOCK_BYTES as u64)
+            .collect();
+        // The staging walk and the shared block walk agree on order and
+        // position — the contract positional merges rely on.
+        assert_eq!(staged_bases, walk);
+        assert_eq!(walk, vec![128, 256]);
+    }
+
+    #[test]
     fn region_blocks_cover_allocation() {
         let mut m = GpuMemory::new();
         let p = m.malloc("x", 300, true, 16);
@@ -273,6 +324,26 @@ mod tests {
         m.malloc("a", 128, true, 16);
         m.malloc("b", 384, false, 0);
         assert_eq!(m.all_blocks().count(), 4);
+    }
+
+    #[test]
+    fn blocks_with_addr_mirrors_all_blocks() {
+        let mut m = GpuMemory::new();
+        let a = m.malloc("a", 256, true, 16);
+        m.malloc("b", 384, false, 0);
+        m.write_f32(a, &[5.5; 64]);
+        let by_ref: Vec<(u64, bool, Block)> =
+            m.blocks_with_addr().map(|(r, addr, b)| (addr, r.safe_to_approx, *b)).collect();
+        let by_val: Vec<(bool, Block)> =
+            m.all_blocks().map(|(r, b)| (r.safe_to_approx, b)).collect();
+        assert_eq!(by_ref.len(), by_val.len());
+        for (i, ((addr, approx_a, block_a), (approx_b, block_b))) in
+            by_ref.iter().zip(&by_val).enumerate()
+        {
+            assert_eq!(*addr, i as u64, "contiguous regions give contiguous addresses");
+            assert_eq!(approx_a, approx_b);
+            assert_eq!(block_a, block_b);
+        }
     }
 
     #[test]

@@ -1,0 +1,157 @@
+//! Snapshot-level sharing of per-block E2MC analyses.
+//!
+//! A memory snapshot (one kernel-boundary state of a [`GpuMemory`]) is
+//! analysed **once** under the trained table — one
+//! [`E2mc::analyze`] pass per block, parallelised over blocks with
+//! `slc-par` — and the resulting [`SnapshotAnalysis`] then serves every
+//! consumer that would otherwise re-derive the same code lengths:
+//!
+//! * [`BurstsAccumulator`](crate::scheme::BurstsAccumulator) decision
+//!   sweeps for any number of schemes, MAGs and thresholds;
+//! * the Fig. 2 heat map and the §V-C compression-ratio studies, which
+//!   bucket the same per-block sizes;
+//! * the Fig. 9 MAG/threshold sweeps, which re-decide but never
+//!   re-encode.
+//!
+//! Analyses are only meaningful against the trained table that produced
+//! them, so a snapshot carries the `Arc` identity of its table and
+//! consumers verify it with [`SnapshotAnalysis::matches`].
+
+use slc_compress::e2mc::{BlockAnalysis, E2mc, SymbolTable};
+use slc_compress::Block;
+use slc_sim::{BlockAddr, GpuMemory};
+use std::sync::Arc;
+
+/// One analysed block of a snapshot.
+#[derive(Debug, Clone)]
+pub struct AnalyzedBlock {
+    /// Block address (`region.base / BLOCK_BYTES + index`).
+    pub addr: BlockAddr,
+    /// Whether the owning region is marked safe to approximate.
+    pub approximable: bool,
+    /// The block's shared analysis (code lengths + total bits).
+    pub analysis: BlockAnalysis,
+}
+
+/// Per-block analyses of one memory snapshot under one trained table.
+///
+/// Entries are ordered exactly as [`GpuMemory::all_blocks`] iterates
+/// (region table order, ascending block offset within each region), so
+/// order-sensitive consumers — floating-point ratio accumulators, report
+/// rows — produce byte-identical output to a direct walk over memory.
+#[derive(Debug, Clone)]
+pub struct SnapshotAnalysis {
+    entries: Vec<AnalyzedBlock>,
+    /// Identity of the trained model the analyses were computed with.
+    table: Arc<SymbolTable>,
+}
+
+impl SnapshotAnalysis {
+    /// Analyses every region block of `mem` under `e2mc`, one E2MC pass
+    /// per block, fanned out across **chunks** of blocks with
+    /// [`slc_par::par_map`] (order-preserving, so the entry order is
+    /// identical to a serial walk). Chunking keeps the per-item work
+    /// coarse enough to amortise the pool's hand-off cost — a single
+    /// block analyses in tens of nanoseconds — and degenerates to one
+    /// plain loop on single-core hosts.
+    pub fn capture(e2mc: &E2mc, mem: &GpuMemory) -> Self {
+        /// Blocks per parallel work item (≈ a few hundred µs of work).
+        const CHUNK_BLOCKS: usize = 4096;
+        let blocks: Vec<(BlockAddr, bool, &Block)> = mem
+            .blocks_with_addr()
+            .map(|(region, addr, block)| (addr, region.safe_to_approx, block))
+            .collect();
+        let analyzed = slc_par::par_map(blocks.chunks(CHUNK_BLOCKS).collect(), |chunk| {
+            chunk
+                .iter()
+                .map(|&(addr, approximable, block)| AnalyzedBlock {
+                    addr,
+                    approximable,
+                    analysis: e2mc.analyze(block),
+                })
+                .collect::<Vec<_>>()
+        });
+        let entries = analyzed.into_iter().flatten().collect();
+        Self { entries, table: Arc::clone(e2mc.shared_table()) }
+    }
+
+    /// Builds a snapshot from already-analysed blocks (the harness' fused
+    /// stage-and-analyse pass, which computes each analysis as a side
+    /// effect of staging).
+    pub fn from_entries(e2mc: &E2mc, entries: Vec<AnalyzedBlock>) -> Self {
+        Self { entries, table: Arc::clone(e2mc.shared_table()) }
+    }
+
+    /// The analysed blocks, in [`GpuMemory::all_blocks`] order.
+    pub fn entries(&self) -> &[AnalyzedBlock] {
+        &self.entries
+    }
+
+    /// `true` when the snapshot was analysed with exactly `e2mc`'s
+    /// trained table (the `Arc` allocation, not value equality) — the
+    /// precondition for feeding it to any scheme built on that table.
+    pub fn matches(&self, e2mc: &E2mc) -> bool {
+        Arc::ptr_eq(&self.table, e2mc.shared_table())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slc_compress::e2mc::E2mcConfig;
+    use slc_compress::BLOCK_BYTES;
+
+    fn trained() -> E2mc {
+        let bytes: Vec<u8> =
+            (0..1u32 << 14).flat_map(|i| ((i % 512) as f32).to_le_bytes()).collect();
+        E2mc::train_on_bytes(&bytes, &E2mcConfig::default())
+    }
+
+    fn memory() -> GpuMemory {
+        let mut m = GpuMemory::new();
+        let a = m.malloc("approx", 512, true, 16);
+        let e = m.malloc("exact", 256, false, 0);
+        let vals: Vec<f32> = (0..128).map(|i| (i % 512) as f32).collect();
+        m.write_f32(a, &vals);
+        m.write_f32(e, &vals[..64]);
+        m
+    }
+
+    #[test]
+    fn capture_matches_a_direct_walk() {
+        let e2mc = trained();
+        let mem = memory();
+        let snap = SnapshotAnalysis::capture(&e2mc, &mem);
+        let direct: Vec<(BlockAddr, bool, BlockAnalysis)> = {
+            let mut out = Vec::new();
+            for region in mem.regions() {
+                for (i, chunk) in mem.region_bytes(region).chunks_exact(BLOCK_BYTES).enumerate() {
+                    let block: &Block = chunk.try_into().unwrap();
+                    out.push((
+                        region.base / BLOCK_BYTES as u64 + i as u64,
+                        region.safe_to_approx,
+                        e2mc.analyze(block),
+                    ));
+                }
+            }
+            out
+        };
+        assert_eq!(snap.entries().len(), direct.len());
+        for (got, want) in snap.entries().iter().zip(&direct) {
+            assert_eq!(got.addr, want.0);
+            assert_eq!(got.approximable, want.1);
+            assert_eq!(got.analysis, want.2);
+        }
+    }
+
+    #[test]
+    fn matches_is_table_identity() {
+        let e2mc = trained();
+        let mem = memory();
+        let snap = SnapshotAnalysis::capture(&e2mc, &mem);
+        assert!(snap.matches(&e2mc));
+        assert!(snap.matches(&e2mc.clone()), "clones share the table");
+        let other = trained();
+        assert!(!snap.matches(&other), "a retrained table is a different model");
+    }
+}

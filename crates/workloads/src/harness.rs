@@ -12,12 +12,14 @@
 //! 4. Feed the benchmark's trace plus the burst map to the timing
 //!    simulator with the scheme's codec latencies.
 
+use crate::analysis::SnapshotAnalysis;
 use crate::metrics;
-use crate::scheme::{Scheme, SchemeKind};
+use crate::scheme::{BurstsAccumulator, Scheme, SchemeKind};
 use crate::suite::{Scale, Workload};
 use slc_compress::e2mc::{E2mc, E2mcConfig};
 use slc_sim::mc::BurstsMap;
 use slc_sim::{Engine, GpuConfig, GpuMemory, SimStats, Trace};
+use std::sync::OnceLock;
 
 /// Per-benchmark reusable artifacts (exact run, trained table, trace).
 pub struct BenchmarkArtifacts {
@@ -33,6 +35,70 @@ pub struct BenchmarkArtifacts {
     pub e2mc: E2mc,
     /// The kernel pipeline's memory trace.
     pub trace: Trace,
+    /// Seed the artifacts were prepared with (= the harness seed), so
+    /// lazily derived runs replay the identical deterministic pipeline.
+    pub seed: u64,
+    /// Identity of the prepared workload instance: name plus the
+    /// scale-dependent input description, so a same-named workload at a
+    /// different scale can never consume (or populate) this cache.
+    workload_fingerprint: String,
+    /// Lazily captured per-kernel-boundary analyses of the exact
+    /// (unstaged) run — see [`Self::exact_snapshots`].
+    exact_snapshots: OnceLock<Vec<SnapshotAnalysis>>,
+    /// Lazily captured analysis of [`Self::exact_memory`] — see
+    /// [`Self::final_analysis`].
+    final_analysis: OnceLock<SnapshotAnalysis>,
+}
+
+impl BenchmarkArtifacts {
+    /// Analyses of the memory image at every kernel-boundary DRAM
+    /// round-trip of the **exact** run, under the trained table.
+    ///
+    /// Computed once per artifacts (one deterministic replay of the
+    /// kernel pipeline, analysing each boundary snapshot) and shared by
+    /// every consumer thereafter: the E2MC-baseline functional pass of
+    /// [`Harness::run_functional`] at *any* MAG or threshold reduces to a
+    /// decision sweep over these analyses — the (schemes × thresholds)
+    /// → 1 collapse of the shared pipeline. Kernels never see staged
+    /// data in a lossless run, so these snapshots are bit-identical to
+    /// what that run would observe.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `w` is not the workload instance these artifacts were
+    /// prepared from — same benchmark *and* same scale-dependent input
+    /// (replaying a different pipeline would cache, and then keep
+    /// serving, the wrong snapshots).
+    pub fn exact_snapshots(&self, w: &dyn Workload) -> &[SnapshotAnalysis] {
+        assert_eq!(
+            Self::fingerprint(w),
+            self.workload_fingerprint,
+            "artifacts were prepared from a different workload instance"
+        );
+        self.exact_snapshots.get_or_init(|| {
+            let mut snapshots = Vec::new();
+            let mut mem = w.build(self.seed);
+            let mut capture =
+                |m: &mut GpuMemory| snapshots.push(SnapshotAnalysis::capture(&self.e2mc, m));
+            w.execute(&mut mem, &mut capture);
+            snapshots
+        })
+    }
+
+    /// Identity of one workload instance: Table III name + the
+    /// scale-dependent input description (`name()` alone cannot tell two
+    /// scales of the same benchmark apart).
+    fn fingerprint(w: &dyn Workload) -> String {
+        format!("{}/{}", w.name(), w.input_description())
+    }
+
+    /// Analysis of the final exact memory image (the state the Fig. 2
+    /// heat map and the §V-C ratio studies bucket). Computed once; every
+    /// MAG/threshold sweep reuses it.
+    pub fn final_analysis(&self) -> &SnapshotAnalysis {
+        self.final_analysis
+            .get_or_init(|| SnapshotAnalysis::capture(&self.e2mc, &self.exact_memory))
+    }
 }
 
 /// Result of one functional (data) pass under a scheme.
@@ -111,6 +177,10 @@ impl Harness {
             exact_memory: mem,
             e2mc,
             trace,
+            seed: self.seed,
+            workload_fingerprint: BenchmarkArtifacts::fingerprint(w),
+            exact_snapshots: OnceLock::new(),
+            final_analysis: OnceLock::new(),
         }
     }
 
@@ -121,6 +191,15 @@ impl Harness {
     /// burst counts at every kernel-boundary DRAM round-trip; the burst
     /// map is the per-block mean over snapshots (see
     /// [`crate::scheme::BurstsAccumulator`]).
+    ///
+    /// Each snapshot's blocks are analysed once and the analyses drive
+    /// both the SLC staging decision and the burst accounting (the fused
+    /// [`Scheme::stage_analyzed`] pass). Non-mutating schemes sharing the
+    /// artifacts' trained table skip the kernel replay entirely: their
+    /// run observes exactly the exact run's memory trajectory, so they
+    /// sweep the cached [`BenchmarkArtifacts::exact_snapshots`] —
+    /// byte-identical output, one analysis pass amortised over every
+    /// scheme, MAG and threshold.
     pub fn run_functional(
         &self,
         w: &dyn Workload,
@@ -133,15 +212,49 @@ impl Harness {
                 kind: scheme.kind(),
                 error_pct: 0.0,
                 mre_pct: 0.0,
-                bursts: crate::scheme::BurstsAccumulator::new(mag).into_map(),
+                bursts: BurstsAccumulator::new(mag).into_map(),
             };
         }
-        let mut accumulator = crate::scheme::BurstsAccumulator::new(mag);
+        let shares_artifact_table = scheme.e2mc().is_some_and(|e| {
+            std::sync::Arc::ptr_eq(e.shared_table(), artifacts.e2mc.shared_table())
+        });
+        if matches!(scheme, Scheme::E2mc(_))
+            && shares_artifact_table
+            && self.seed == artifacts.seed
+            && BenchmarkArtifacts::fingerprint(w) == artifacts.workload_fingerprint
+        {
+            // Lossless staging is the identity, so a fresh run would
+            // deterministically retrace the exact run; sweep its cached
+            // per-boundary analyses instead of re-executing the kernels.
+            let mut accumulator = BurstsAccumulator::new(mag);
+            for snapshot in artifacts.exact_snapshots(w) {
+                accumulator.record(scheme, snapshot);
+            }
+            return FunctionalOutcome {
+                kind: scheme.kind(),
+                error_pct: w.error(&artifacts.exact_output, &artifacts.exact_output),
+                mre_pct: metrics::mre(&artifacts.exact_output, &artifacts.exact_output) * 100.0,
+                bursts: accumulator.into_map(),
+            };
+        }
+        self.run_functional_direct(w, artifacts, scheme)
+    }
+
+    /// The uncached functional pass: replays the kernels under the
+    /// scheme's staging, analysing each boundary snapshot once.
+    fn run_functional_direct(
+        &self,
+        w: &dyn Workload,
+        artifacts: &BenchmarkArtifacts,
+        scheme: &Scheme,
+    ) -> FunctionalOutcome {
+        let mut accumulator = BurstsAccumulator::new(self.config.mag());
         let output = {
             let mut mem = w.build(self.seed);
             let mut stage = |m: &mut GpuMemory| {
-                scheme.stage(m);
-                accumulator.snapshot(scheme, m);
+                let snapshot =
+                    scheme.stage_analyzed(m).expect("Uncompressed is handled by the caller");
+                accumulator.record(scheme, &snapshot);
             };
             w.execute(&mut mem, &mut stage);
             w.output(&mem)
@@ -212,6 +325,40 @@ mod tests {
         assert_eq!(f.error_pct, 0.0);
         assert_eq!(f.mre_pct, 0.0);
         assert!(!f.bursts.is_empty(), "trained E2MC should compress NN traffic");
+    }
+
+    #[test]
+    fn cached_baseline_pass_equals_direct_replay() {
+        // The E2MC baseline sweeps the artifacts' cached exact-run
+        // analyses instead of re-executing the kernels; the outcome must
+        // be indistinguishable from the uncached replay.
+        let h = harness();
+        let nn = Nn::new(Scale::Tiny);
+        let artifacts = h.prepare(&nn);
+        let scheme = Scheme::E2mc(artifacts.e2mc.clone());
+        let cached = h.run_functional(&nn, &artifacts, &scheme);
+        let direct = h.run_functional_direct(&nn, &artifacts, &scheme);
+        assert_eq!(cached.error_pct, direct.error_pct);
+        assert_eq!(cached.mre_pct, direct.mre_pct);
+        assert_eq!(cached.bursts, direct.bursts);
+        // A scheme trained elsewhere must not consume the cache (and the
+        // harness falls back to the replay without panicking).
+        let foreign = Scheme::E2mc(E2mc::train_on_bytes(
+            &(0..4096u32).flat_map(|i| (i % 7).to_le_bytes()).collect::<Vec<u8>>(),
+            &E2mcConfig::default(),
+        ));
+        let f = h.run_functional(&nn, &artifacts, &foreign);
+        assert_eq!(f.error_pct, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "different workload instance")]
+    fn exact_snapshots_reject_a_different_scale_instance() {
+        // Same benchmark name, different scale: the cache must refuse it
+        // (name alone cannot tell the two input pipelines apart).
+        let h = harness();
+        let artifacts = h.prepare(&Nn::new(Scale::Tiny));
+        let _ = artifacts.exact_snapshots(&Nn::new(Scale::Small));
     }
 
     #[test]

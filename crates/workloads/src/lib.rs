@@ -21,7 +21,12 @@
 //!
 //! [`harness`] glues benchmarks to compression [`scheme`]s and the timing
 //! simulator; the `slc-exp` crate builds every paper figure from it.
+//! [`analysis`] holds the snapshot-level cache of per-block E2MC analyses
+//! (one `E2mc::analyze` pass per memory snapshot, swept by any number of
+//! schemes, MAGs and thresholds — the shared pipeline described in the
+//! `slc-core` crate docs).
 
+pub mod analysis;
 pub mod benchmarks;
 pub mod gen;
 pub mod harness;
@@ -29,6 +34,7 @@ pub mod metrics;
 pub mod scheme;
 pub mod suite;
 
+pub use analysis::{AnalyzedBlock, SnapshotAnalysis};
 pub use harness::{BenchmarkArtifacts, FunctionalOutcome, Harness, TimingOutcome};
 pub use scheme::{Scheme, SchemeKind};
 pub use suite::{all_workloads, workload_by_name, Scale, Workload};

@@ -7,11 +7,12 @@
 //! accounting for the timing simulator, and the codec latencies of
 //! Section IV-A.
 
-use slc_compress::e2mc::E2mc;
-use slc_compress::{Block, BlockCompressor, Mag, BLOCK_BYTES};
+use crate::analysis::{AnalyzedBlock, SnapshotAnalysis};
+use slc_compress::e2mc::{BlockAnalysis, E2mc};
+use slc_compress::{Block, Mag, BLOCK_BYTES};
 use slc_core::slc::{SlcCompressor, SlcConfig, SlcVariant};
 use slc_sim::mc::BurstsMap;
-use slc_sim::{GpuMemory, Region};
+use slc_sim::GpuMemory;
 
 /// Identifies a scheme in figures and tables.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -76,6 +77,15 @@ impl Scheme {
         }
     }
 
+    /// The trained lossless codec behind the scheme, if it has one.
+    pub fn e2mc(&self) -> Option<&E2mc> {
+        match self {
+            Scheme::Uncompressed => None,
+            Scheme::E2mc(e) => Some(e),
+            Scheme::Slc(s) => Some(s.e2mc()),
+        }
+    }
+
     /// Functional kernel-boundary staging: rewrites safe-to-approximate
     /// regions with what a DRAM round-trip returns. Lossless schemes leave
     /// memory untouched.
@@ -85,27 +95,97 @@ impl Scheme {
         }
     }
 
+    /// [`stage`](Self::stage) fused with the per-snapshot analysis pass:
+    /// stages `mem` and returns the [`SnapshotAnalysis`] of the **staged**
+    /// state, analysing each block exactly once.
+    ///
+    /// For SLC the staging round-trip already needs the block's analysis
+    /// to drive its budget decision; blocks the budget keeps exact
+    /// round-trip to identical bytes, so their pre-stage analysis *is*
+    /// the post-stage analysis and only lossy blocks are analysed a
+    /// second time (on their reconstruction, whose stored form the burst
+    /// accounting must reflect — identical to analysing the staged memory
+    /// from scratch, just without the redundant passes). Lossless schemes
+    /// leave memory untouched and simply capture the snapshot.
+    ///
+    /// Returns `None` for [`Scheme::Uncompressed`], which has no trained
+    /// table and needs no per-block analysis.
+    pub fn stage_analyzed(&self, mem: &mut GpuMemory) -> Option<SnapshotAnalysis> {
+        let e2mc = self.e2mc()?.clone(); // Arc bump, not a table copy
+        if let Scheme::Slc(slc) = self {
+            // Staging visits approx-region blocks in region-table order —
+            // the same relative order the full entry walk below sees them
+            // — so the staged analyses merge back by position, no map.
+            let mut staged: Vec<BlockAnalysis> = Vec::new();
+            mem.stage_approx_regions(|_region, block| {
+                let analysis = e2mc.analyze(block);
+                let c = slc.compress_with(block, &analysis);
+                let out = slc.decompress(&c);
+                // Exact modes reproduce the block bit-for-bit, so the
+                // reconstruction's analysis is the one already in hand.
+                staged.push(if c.is_lossy() { e2mc.analyze(&out) } else { analysis });
+                out
+            });
+            let mut staged = staged.into_iter();
+            let mut entries = Vec::new();
+            for (region, addr, block) in mem.blocks_with_addr() {
+                let analysis = if region.safe_to_approx {
+                    staged.next().expect("one staged analysis per approx block")
+                } else {
+                    e2mc.analyze(block)
+                };
+                entries.push(AnalyzedBlock { addr, approximable: region.safe_to_approx, analysis });
+            }
+            debug_assert!(staged.next().is_none(), "staged analyses left over");
+            Some(SnapshotAnalysis::from_entries(&e2mc, entries))
+        } else {
+            Some(SnapshotAnalysis::capture(&e2mc, mem))
+        }
+    }
+
     /// Bursts one block costs under `mag`, given whether it lives in a
     /// safe-to-approximate region.
     pub fn bursts_for_block(&self, block: &Block, mag: Mag, approximable: bool) -> u32 {
-        let max = mag.bursts_for_bytes(BLOCK_BYTES as u32, BLOCK_BYTES as u32);
         match self {
-            Scheme::Uncompressed => max,
-            Scheme::E2mc(e) => mag.bursts_for_bits(e.size_bits(block), BLOCK_BYTES as u32),
+            Scheme::Uncompressed => mag.bursts_for_bytes(BLOCK_BYTES as u32, BLOCK_BYTES as u32),
+            _ => self.bursts_for_analysis(
+                &self.e2mc().expect("compressed schemes carry a table").analyze(block),
+                mag,
+                approximable,
+            ),
+        }
+    }
+
+    /// [`bursts_for_block`](Self::bursts_for_block) over a precomputed
+    /// analysis — the decision sweep of the shared pipeline. `analysis`
+    /// must come from this scheme's trained table (checked at the
+    /// snapshot level by [`SnapshotAnalysis::matches`]).
+    pub fn bursts_for_analysis(
+        &self,
+        analysis: &BlockAnalysis,
+        mag: Mag,
+        approximable: bool,
+    ) -> u32 {
+        match self {
+            Scheme::Uncompressed => mag.bursts_for_bytes(BLOCK_BYTES as u32, BLOCK_BYTES as u32),
+            Scheme::E2mc(_) => mag.bursts_for_bits(analysis.e2mc_size_bits(), BLOCK_BYTES as u32),
             Scheme::Slc(s) => {
                 if approximable {
-                    s.stored_bursts(block)
+                    s.stored_bursts_with(analysis)
                 } else {
-                    mag.bursts_for_bits(s.e2mc().size_bits(block), BLOCK_BYTES as u32)
+                    mag.bursts_for_bits(analysis.e2mc_size_bits(), BLOCK_BYTES as u32)
                 }
             }
         }
     }
 
-    /// Builds the per-block burst map of one device memory snapshot.
+    /// Builds the per-block burst map of one device memory snapshot:
+    /// one analysis pass, one decision sweep.
     pub fn bursts_map(&self, mem: &GpuMemory, mag: Mag) -> BurstsMap {
         let mut acc = BurstsAccumulator::new(mag);
-        acc.snapshot(self, mem);
+        if let Some(e2mc) = self.e2mc() {
+            acc.record(self, &SnapshotAnalysis::capture(e2mc, mem));
+        }
         acc.into_map()
     }
 }
@@ -133,29 +213,49 @@ impl BurstsAccumulator {
     }
 
     /// Records the burst counts of every region block in `mem` under
-    /// `scheme`.
+    /// `scheme`, borrowing each block in place (no region-table clone,
+    /// no per-block copy).
     pub fn snapshot(&mut self, scheme: &Scheme, mem: &GpuMemory) {
         if matches!(scheme, Scheme::Uncompressed) {
             return;
         }
-        let regions: Vec<Region> = mem.regions().to_vec();
-        for region in &regions {
-            let bytes = mem.region_bytes(region);
-            for (i, chunk) in bytes.chunks_exact(BLOCK_BYTES).enumerate() {
-                let mut block = [0u8; BLOCK_BYTES];
-                block.copy_from_slice(chunk);
-                let addr = region.base / BLOCK_BYTES as u64 + i as u64;
-                let bursts = scheme.bursts_for_block(&block, self.mag, region.safe_to_approx);
-                let e = self.sums.entry(addr).or_insert((0, 0));
-                e.0 += u64::from(bursts);
-                e.1 += 1;
-            }
+        for (region, addr, block) in mem.blocks_with_addr() {
+            let bursts = scheme.bursts_for_block(block, self.mag, region.safe_to_approx);
+            self.add(addr, bursts);
         }
     }
 
-    /// Number of snapshots folded in for the first recorded block.
+    /// Records one already-analysed snapshot under `scheme`: the cheap
+    /// decision sweep of the shared pipeline — no block is re-encoded.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the snapshot was analysed with a different trained
+    /// table than the scheme's (the analyses would be meaningless).
+    pub fn record(&mut self, scheme: &Scheme, snapshot: &SnapshotAnalysis) {
+        let Some(e2mc) = scheme.e2mc() else {
+            return; // Uncompressed records nothing, as in `snapshot`.
+        };
+        assert!(
+            snapshot.matches(e2mc),
+            "snapshot analysed under a different trained table than the scheme's"
+        );
+        for b in snapshot.entries() {
+            self.add(b.addr, scheme.bursts_for_analysis(&b.analysis, self.mag, b.approximable));
+        }
+    }
+
+    fn add(&mut self, addr: u64, bursts: u32) {
+        let e = self.sums.entry(addr).or_insert((0, 0));
+        e.0 += u64::from(bursts);
+        e.1 += 1;
+    }
+
+    /// Number of snapshots folded in: the minimum fold count over all
+    /// recorded blocks (deterministic regardless of map iteration order;
+    /// blocks first seen in a late snapshot report fewer folds).
     pub fn snapshots(&self) -> u32 {
-        self.sums.values().next().map_or(0, |&(_, n)| n)
+        self.sums.values().map(|&(_, n)| n).min().unwrap_or(0)
     }
 
     /// Finishes into a [`BurstsMap`] of per-block rounded means.
@@ -243,6 +343,82 @@ mod tests {
         let mem = filled_memory();
         let map = Scheme::Uncompressed.bursts_map(&mem, Mag::GDDR5);
         assert!(map.is_empty());
+    }
+
+    #[test]
+    fn record_sweep_equals_direct_snapshot() {
+        let e = trained();
+        let mem = filled_memory();
+        for scheme in [
+            Scheme::E2mc(e.clone()),
+            Scheme::slc(e.clone(), Mag::GDDR5, 16, SlcVariant::TslcOpt),
+            Scheme::slc(e.clone(), Mag::NARROW_16, 8, SlcVariant::TslcSimp),
+        ] {
+            let mut direct = BurstsAccumulator::new(Mag::GDDR5);
+            direct.snapshot(&scheme, &mem);
+            let snap = SnapshotAnalysis::capture(scheme.e2mc().unwrap(), &mem);
+            let mut swept = BurstsAccumulator::new(Mag::GDDR5);
+            swept.record(&scheme, &snap);
+            assert_eq!(direct.into_map(), swept.into_map());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "different trained table")]
+    fn record_rejects_foreign_tables() {
+        let mem = filled_memory();
+        let snap = SnapshotAnalysis::capture(&trained(), &mem);
+        let scheme = Scheme::E2mc(trained()); // separately trained model
+        BurstsAccumulator::new(Mag::GDDR5).record(&scheme, &snap);
+    }
+
+    #[test]
+    fn snapshot_count_is_min_over_blocks() {
+        let e = trained();
+        let scheme = Scheme::E2mc(e);
+        let small = filled_memory();
+        let mut bigger = filled_memory();
+        let extra = bigger.malloc("late", 256, true, 16);
+        bigger.write_f32(extra, &vec![3.0f32; 64]);
+        let mut acc = BurstsAccumulator::new(Mag::GDDR5);
+        acc.snapshot(&scheme, &small);
+        assert_eq!(acc.snapshots(), 1);
+        acc.snapshot(&scheme, &small);
+        assert_eq!(acc.snapshots(), 2);
+        // Blocks of the extra region have been folded only once; the
+        // deterministic answer is the minimum, never whichever block the
+        // hash map happens to yield first.
+        acc.snapshot(&scheme, &bigger);
+        assert_eq!(acc.snapshots(), 1);
+    }
+
+    #[test]
+    fn stage_analyzed_matches_stage_then_capture() {
+        let e = trained();
+        for scheme in [
+            Scheme::E2mc(e.clone()),
+            Scheme::slc(e.clone(), Mag::GDDR5, 16, SlcVariant::TslcSimp),
+            Scheme::slc(e.clone(), Mag::GDDR5, 16, SlcVariant::TslcPred),
+            Scheme::slc(e.clone(), Mag::GDDR5, 16, SlcVariant::TslcOpt),
+        ] {
+            let mut fused_mem = filled_memory();
+            let snap = scheme.stage_analyzed(&mut fused_mem).expect("scheme has a table");
+            let mut legacy_mem = filled_memory();
+            scheme.stage(&mut legacy_mem);
+            assert_eq!(
+                legacy_mem.read_f32(slc_sim::DevicePtr(0), 256),
+                fused_mem.read_f32(slc_sim::DevicePtr(0), 256),
+                "fused staging must mutate memory identically"
+            );
+            let reference = SnapshotAnalysis::capture(scheme.e2mc().unwrap(), &legacy_mem);
+            assert_eq!(snap.entries().len(), reference.entries().len());
+            for (got, want) in snap.entries().iter().zip(reference.entries()) {
+                assert_eq!(got.addr, want.addr);
+                assert_eq!(got.approximable, want.approximable);
+                assert_eq!(got.analysis, want.analysis, "block {}", got.addr);
+            }
+        }
+        assert!(Scheme::Uncompressed.stage_analyzed(&mut filled_memory()).is_none());
     }
 
     #[test]

@@ -12,8 +12,10 @@ out, and only rows that regressed relative to their peers fail. The
 trade-off: a change that slows every row by the same factor is invisible
 to this gate (pass ``--no-normalize`` for raw cross-machine comparison).
 
-Rows only present on one side are reported but never fail the check, so
-adding or retiring benches does not break CI. The default tolerance of
+Rows only present on one side are reported as warnings but never fail
+the check (nor crash it), so adding or retiring benches does not break
+CI; a trailing summary counts them so a renamed row cannot slip through
+silently as one "new" plus one "retired". The default tolerance of
 30% is deliberately loose: the gate exists to catch lost fast paths and
 accidental asymptotic regressions, not single-digit drift.
 """
@@ -67,12 +69,15 @@ def main():
                   "trusting this pass.")
 
     failures = []
+    one_sided = 0
     for row_id in sorted(base.keys() | cand.keys()):
         if row_id not in base:
-            print(f"  new row (no baseline):      {row_id}")
+            one_sided += 1
+            print(f"  WARN new row (no baseline, not gated):      {row_id}")
             continue
         if row_id not in cand:
-            print(f"  retired row (baseline only): {row_id}")
+            one_sided += 1
+            print(f"  WARN retired row (baseline only, not gated): {row_id}")
             continue
         rel = ratios.get(row_id, 1.0) / pivot
         marker = "FAIL" if rel > limit else "ok"
@@ -81,6 +86,10 @@ def main():
         if rel > limit:
             failures.append((row_id, rel))
 
+    if one_sided:
+        print(f"\nWARNING: {one_sided} row(s) present in only one file — "
+              "regenerate the committed baseline if a bench was added or "
+              "renamed, so future runs gate on it.")
     if failures:
         print(f"\n{len(failures)} row(s) regressed beyond {args.tolerance:.0f}% "
               "relative to the run median:")
