@@ -17,7 +17,13 @@ use crate::BLOCK_BITS;
 
 use super::HEADER_BITS;
 
-/// Per-symbol code lengths and their sum for one analysed block.
+/// Aligned sums of the Fig. 5 adder tree above its leaf level: 32 pair
+/// sums, 16 sums of 4, 8 of 8, 4 of 16, 2 of 32 and the 64-symbol root,
+/// concatenated level by level.
+pub const TREE_SUM_NODES: usize = SYMBOLS_PER_BLOCK - 1;
+
+/// Per-symbol code lengths, the Fig. 5 tree's level sums and their total
+/// for one analysed block.
 ///
 /// Produced by [`E2mc::analyze`](super::E2mc::analyze) in a single pass
 /// over the dense width table; carries **no payload**, only the sizing
@@ -25,16 +31,24 @@ use super::HEADER_BITS;
 /// (`slc-core`'s budget decision and tree selection, burst counts, ratio
 /// accumulators) are deterministic functions of this value, so computing
 /// it once per block and sharing the artifact is bit-identical to
-/// re-deriving it at every consumer.
+/// re-deriving it at every consumer. The adder tree's intermediate sums
+/// are part of the artifact: the hardware computes them anyway while
+/// summing the block size, so every scheme/MAG/threshold sweep that
+/// re-decides over a shared analysis reads the tree instead of rebuilding
+/// it per decision.
 ///
 /// Lengths are stored as bytes (the widest encoding is the escape code
-/// plus 16 raw bits, well under 256), keeping the artifact at 68 bytes so
+/// plus 16 raw bits, well under 256) and tree sums as `u16` (the root is
+/// at most 64 × 255 = 16320 bits), keeping the artifact at 196 bytes so
 /// snapshot-level caches of hundreds of thousands of analyses stay cheap.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BlockAnalysis {
     /// Encoded length of each of the 64 symbols in bits (escape symbols
     /// cost their escape codeword plus 16 raw bits).
     lengths: [u8; SYMBOLS_PER_BLOCK],
+    /// The adder tree's aligned sums above the leaf level, levels
+    /// concatenated bottom-up (see [`TREE_SUM_NODES`]).
+    tree_sums: [u16; TREE_SUM_NODES],
     /// Sum of `lengths` — the data portion of every framing's size.
     total_code_bits: u32,
 }
@@ -43,8 +57,21 @@ impl BlockAnalysis {
     /// Builds an analysis from per-symbol widths as the dense table
     /// stores them (the [`E2mc::analyze`](super::E2mc::analyze) path).
     pub(super) fn from_widths(lengths: [u8; SYMBOLS_PER_BLOCK]) -> Self {
-        let total_code_bits = lengths.iter().map(|&w| u32::from(w)).sum();
-        Self { lengths, total_code_bits }
+        let mut tree_sums = [0u16; TREE_SUM_NODES];
+        for i in 0..SYMBOLS_PER_BLOCK / 2 {
+            tree_sums[i] = u16::from(lengths[2 * i]) + u16::from(lengths[2 * i + 1]);
+        }
+        let (mut prev, mut out, mut width) = (0usize, SYMBOLS_PER_BLOCK / 2, SYMBOLS_PER_BLOCK / 4);
+        while width >= 1 {
+            for i in 0..width {
+                tree_sums[out + i] = tree_sums[prev + 2 * i] + tree_sums[prev + 2 * i + 1];
+            }
+            prev = out;
+            out += width;
+            width /= 2;
+        }
+        let total_code_bits = u32::from(tree_sums[TREE_SUM_NODES - 1]);
+        Self { lengths, tree_sums, total_code_bits }
     }
 
     /// Builds an analysis from raw per-symbol code lengths.
@@ -64,6 +91,13 @@ impl BlockAnalysis {
         Self::from_widths(widths)
     }
 
+    /// Per-symbol code lengths as stored (one byte each) — the zero-copy
+    /// sibling of [`code_lengths`](Self::code_lengths) for consumers that
+    /// widen on the fly.
+    pub fn lengths_u8(&self) -> &[u8; SYMBOLS_PER_BLOCK] {
+        &self.lengths
+    }
+
     /// Per-symbol code lengths — the inputs of the Fig. 5 adder tree.
     pub fn code_lengths(&self) -> [u32; SYMBOLS_PER_BLOCK] {
         let mut out = [0u32; SYMBOLS_PER_BLOCK];
@@ -71,6 +105,15 @@ impl BlockAnalysis {
             *o = u32::from(w);
         }
         out
+    }
+
+    /// The Fig. 5 adder tree's aligned sums above the leaf level, levels
+    /// concatenated bottom-up: 32 pair sums, then 16 sums of 4 symbols,
+    /// 8 of 8, 4 of 16, 2 of 32 and finally the 64-symbol root. Computed
+    /// once at analysis time; `slc-core`'s tree construction copies these
+    /// instead of re-adding 63 nodes per decision.
+    pub fn tree_sums(&self) -> &[u16; TREE_SUM_NODES] {
+        &self.tree_sums
     }
 
     /// Sum of all code lengths (the tree's root, before any header).
@@ -120,5 +163,39 @@ mod tests {
     #[should_panic(expected = "exceeds 255")]
     fn oversized_lengths_are_rejected() {
         BlockAnalysis::from_lengths([256; SYMBOLS_PER_BLOCK]);
+    }
+
+    #[test]
+    fn tree_sums_match_a_scalar_rebuild() {
+        let mut lengths = [0u32; SYMBOLS_PER_BLOCK];
+        for (i, l) in lengths.iter_mut().enumerate() {
+            *l = (i as u32 * 7 + 3) % 29;
+        }
+        let a = BlockAnalysis::from_lengths(lengths);
+        let sums = a.tree_sums();
+        // Level by level: node k of width w sums lengths[k*w..(k+1)*w].
+        let (mut offset, mut width) = (0usize, 2usize);
+        while width <= SYMBOLS_PER_BLOCK {
+            for node in 0..SYMBOLS_PER_BLOCK / width {
+                let want: u32 = lengths[node * width..(node + 1) * width].iter().sum();
+                assert_eq!(
+                    u32::from(sums[offset + node]),
+                    want,
+                    "width {width} node {node}"
+                );
+            }
+            offset += SYMBOLS_PER_BLOCK / width;
+            width *= 2;
+        }
+        assert_eq!(offset, TREE_SUM_NODES);
+        assert_eq!(u32::from(sums[TREE_SUM_NODES - 1]), a.total_code_bits());
+    }
+
+    #[test]
+    fn tree_sums_cannot_overflow_u16() {
+        // The widest per-symbol encoding is 255 bits; the root is 64 × 255.
+        let a = BlockAnalysis::from_lengths([255; SYMBOLS_PER_BLOCK]);
+        assert_eq!(a.total_code_bits(), 255 * SYMBOLS_PER_BLOCK as u32);
+        assert_eq!(u32::from(a.tree_sums()[TREE_SUM_NODES - 1]), 16320);
     }
 }

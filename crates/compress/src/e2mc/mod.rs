@@ -36,7 +36,7 @@ mod analysis;
 mod huffman;
 mod sampler;
 
-pub use analysis::BlockAnalysis;
+pub use analysis::{BlockAnalysis, TREE_SUM_NODES};
 pub use huffman::{CanonicalCode, MAX_CODE_LEN};
 pub use sampler::SymbolSampler;
 

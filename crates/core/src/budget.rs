@@ -93,8 +93,9 @@ impl BudgetDecision {
 
     /// Runs the Fig. 4 flow for a block that has already been analysed:
     /// the lossless compressed size is the SLC header plus the analysis'
-    /// code-length sum, so the decision costs two additions and a few
-    /// compares on top of a shared [`BlockAnalysis`] — no re-encoding.
+    /// precomputed code-length sum (the root of its stored adder tree),
+    /// so the decision is a lookup plus a few compares on top of a shared
+    /// [`BlockAnalysis`] — no re-encoding, no re-summation.
     pub fn for_analysis(analysis: &BlockAnalysis, mag: Mag, threshold_bits: u32) -> Self {
         Self::evaluate(LOSSLESS_HEADER_BITS + analysis.total_code_bits(), mag, threshold_bits)
     }

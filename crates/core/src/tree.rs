@@ -81,11 +81,22 @@ impl CodeLengthTree {
         Self { nodes }
     }
 
-    /// Builds the tree from a shared [`BlockAnalysis`] — the lengths the
-    /// E2MC layer already computed to size the block, so the tree adds
-    /// no second table pass.
+    /// Builds the tree from a shared [`BlockAnalysis`] — both the lengths
+    /// and every intermediate sum were already computed at analysis time
+    /// (the hardware's adder tree produces them while sizing the block),
+    /// so this is a widening copy: no additions, no second table pass,
+    /// and N schemes/MAGs/thresholds sweeping one analysis share one
+    /// summation instead of re-adding 63 nodes per decision.
     pub fn from_analysis(analysis: &BlockAnalysis) -> Self {
-        Self::new(&analysis.code_lengths())
+        const _: () = assert!(NODES - SYMBOLS_PER_BLOCK == slc_compress::e2mc::TREE_SUM_NODES);
+        let mut nodes = [0u32; NODES];
+        for (node, &len) in nodes.iter_mut().zip(analysis.lengths_u8()) {
+            *node = u32::from(len);
+        }
+        for (node, &sum) in nodes[SYMBOLS_PER_BLOCK..].iter_mut().zip(analysis.tree_sums()) {
+            *node = u32::from(sum);
+        }
+        Self { nodes }
     }
 
     /// Sum of all code lengths (the last node of the tree, used as the

@@ -1,0 +1,274 @@
+//! Dense address-indexed storage for per-block state.
+//!
+//! The burst-accounting structures ([`BurstsMap`](crate::mc::BurstsMap),
+//! the workload layer's accumulator) key per-block values by
+//! [`BlockAddr`]. Block addresses come from [`Region::block_addr`]
+//! arithmetic over a handful of contiguous allocations, so the populated
+//! address space is a few dense runs — a hash map pays a hash + probe per
+//! lookup for structure the data does not have. [`DenseAddrMap`] stores
+//! each run as a plain vector behind a compact, sorted *segment
+//! directory*: a lookup is one branchless `partition_point` over a
+//! directory that in practice holds a single segment, then an index —
+//! the same flat-table discipline the hot decode paths already use
+//! (PR 1's LUT Huffman), applied to the per-miss timing loop.
+//!
+//! Sparse address spaces stay compact: an address far from every
+//! existing segment opens a new segment instead of growing one vector
+//! across the gap, and only gaps of at most [`MAX_BRIDGE_GAP`] cells are
+//! bridged with vacant padding.
+//!
+//! [`Region::block_addr`]: crate::mem::Region::block_addr
+//! [`BlockAddr`]: crate::BlockAddr
+
+/// Largest run of missing cells the map will pad with `vacant` values to
+/// keep neighbouring segments fused (64 blocks = 8 KB of address space).
+/// Anything wider becomes a separate directory entry.
+pub const MAX_BRIDGE_GAP: u64 = 64;
+
+/// One contiguous run of cells starting at `start`.
+#[derive(Debug, Clone)]
+struct Segment<T> {
+    start: u64,
+    cells: Vec<T>,
+}
+
+impl<T> Segment<T> {
+    /// One past the last covered address.
+    fn end(&self) -> u64 {
+        self.start + self.cells.len() as u64
+    }
+}
+
+/// A map from `u64` addresses to `T` cells, stored as dense per-run
+/// vectors behind a sorted segment directory.
+///
+/// Every address implicitly holds the `vacant` sentinel until written;
+/// [`get`](Self::get) returns it for uncovered addresses, and cells
+/// holding it are treated as absent by [`iter`](Self::iter) /
+/// [`len`](Self::len). Callers must therefore never store the sentinel
+/// as a live value.
+#[derive(Debug, Clone)]
+pub struct DenseAddrMap<T> {
+    vacant: T,
+    segments: Vec<Segment<T>>,
+}
+
+impl<T: Copy + PartialEq> DenseAddrMap<T> {
+    /// Creates an empty map whose unwritten cells read back as `vacant`.
+    pub fn new(vacant: T) -> Self {
+        Self { vacant, segments: Vec::new() }
+    }
+
+    /// The vacant sentinel.
+    pub fn vacant(&self) -> T {
+        self.vacant
+    }
+
+    /// The cell at `addr` (`vacant` when never written).
+    #[inline]
+    pub fn get(&self, addr: u64) -> T {
+        let idx = self.segments.partition_point(|s| s.start <= addr);
+        if idx == 0 {
+            return self.vacant;
+        }
+        let seg = &self.segments[idx - 1];
+        match seg.cells.get((addr - seg.start) as usize) {
+            Some(&cell) => cell,
+            None => self.vacant,
+        }
+    }
+
+    /// Writes one cell.
+    pub fn set(&mut self, addr: u64, value: T) {
+        self.run_slice(addr, 1)[0] = value;
+    }
+
+    /// Materialises the contiguous cell run `start..start + len` and
+    /// returns it mutably — the bulk path for region-ordered walks, which
+    /// touch every cell of a run without a per-cell directory probe.
+    ///
+    /// Cells never written before read back as `vacant`. Existing
+    /// segments overlapping (or within [`MAX_BRIDGE_GAP`] of) the run are
+    /// fused into it, preserving their contents.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `len` is zero.
+    pub fn run_slice(&mut self, start: u64, len: usize) -> &mut [T] {
+        assert!(len > 0, "empty runs have no slice");
+        let end = start + len as u64;
+        // Directory window the run must fuse with: every segment whose
+        // bridged extent touches [start, end). Both predicates are
+        // monotone over the sorted, disjoint directory.
+        let lo = self.segments.partition_point(|s| s.end().saturating_add(MAX_BRIDGE_GAP) < start);
+        let hi = self.segments.partition_point(|s| s.start <= end.saturating_add(MAX_BRIDGE_GAP));
+        if lo == hi {
+            // Disjoint from every segment: a fresh directory entry.
+            self.segments.insert(lo, Segment { start, cells: vec![self.vacant; len] });
+        } else if lo + 1 == hi && self.segments[lo].start <= start {
+            // Common case: the run lands in (or extends) one segment.
+            let seg = &mut self.segments[lo];
+            if end > seg.end() {
+                let grown = (end - seg.start) as usize;
+                seg.cells.resize(grown, self.vacant);
+            }
+        } else {
+            // General case: fuse the window and the run into one segment.
+            let new_start = self.segments[lo].start.min(start);
+            let new_end = self.segments[hi - 1].end().max(end);
+            let mut cells = vec![self.vacant; (new_end - new_start) as usize];
+            for seg in self.segments.drain(lo..hi) {
+                let off = (seg.start - new_start) as usize;
+                cells[off..off + seg.cells.len()].copy_from_slice(&seg.cells);
+            }
+            self.segments.insert(lo, Segment { start: new_start, cells });
+        }
+        let seg = &mut self.segments[lo];
+        let off = (start - seg.start) as usize;
+        &mut seg.cells[off..off + len]
+    }
+
+    /// Occupied (non-vacant) cells in ascending address order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, T)> + '_ {
+        self.segments.iter().flat_map(move |seg| {
+            seg.cells
+                .iter()
+                .enumerate()
+                .filter(move |&(_, cell)| *cell != self.vacant)
+                .map(move |(i, &cell)| (seg.start + i as u64, cell))
+        })
+    }
+
+    /// Number of occupied cells (a scan — telemetry, not a hot path).
+    pub fn len(&self) -> usize {
+        self.segments
+            .iter()
+            .map(|seg| seg.cells.iter().filter(|&&cell| cell != self.vacant).count())
+            .sum()
+    }
+
+    /// Whether no cell is occupied.
+    pub fn is_empty(&self) -> bool {
+        self.segments.iter().all(|seg| seg.cells.iter().all(|&cell| cell == self.vacant))
+    }
+
+    /// Number of directory entries (contiguity telemetry for tests).
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_map_reads_vacant_everywhere() {
+        let m: DenseAddrMap<u32> = DenseAddrMap::new(u32::MAX);
+        assert_eq!(m.get(0), u32::MAX);
+        assert_eq!(m.get(u64::MAX), u32::MAX);
+        assert_eq!(m.len(), 0);
+        assert!(m.is_empty());
+        assert_eq!(m.iter().count(), 0);
+    }
+
+    #[test]
+    fn set_get_roundtrip_and_overwrite() {
+        let mut m = DenseAddrMap::new(u32::MAX);
+        m.set(10, 3);
+        m.set(11, 4);
+        m.set(10, 5);
+        assert_eq!(m.get(10), 5);
+        assert_eq!(m.get(11), 4);
+        assert_eq!(m.get(9), u32::MAX);
+        assert_eq!(m.get(12), u32::MAX);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.iter().collect::<Vec<_>>(), vec![(10, 5), (11, 4)]);
+    }
+
+    #[test]
+    fn ascending_contiguous_inserts_stay_one_segment() {
+        let mut m = DenseAddrMap::new(0u64);
+        for a in 0..10_000u64 {
+            m.set(a, a + 1);
+        }
+        assert_eq!(m.segment_count(), 1);
+        assert_eq!(m.len(), 10_000);
+        assert_eq!(m.get(9_999), 10_000);
+    }
+
+    #[test]
+    fn small_gaps_bridge_large_gaps_split() {
+        let mut m = DenseAddrMap::new(u32::MAX);
+        m.set(0, 1);
+        m.set(MAX_BRIDGE_GAP, 2); // gap of MAX_BRIDGE_GAP - 1 vacant cells
+        assert_eq!(m.segment_count(), 1, "small gap must bridge");
+        m.set(1_000_000, 3);
+        assert_eq!(m.segment_count(), 2, "distant address must not bridge");
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.get(1), u32::MAX, "bridged padding reads vacant");
+        assert_eq!(
+            m.iter().collect::<Vec<_>>(),
+            vec![(0, 1), (MAX_BRIDGE_GAP, 2), (1_000_000, 3)]
+        );
+    }
+
+    #[test]
+    fn out_of_order_and_overlapping_runs_fuse() {
+        let mut m = DenseAddrMap::new(u32::MAX);
+        for (i, cell) in m.run_slice(100, 4).iter_mut().enumerate() {
+            *cell = 100 + i as u32;
+        }
+        for (i, cell) in m.run_slice(96, 8).iter_mut().enumerate() {
+            if *cell == u32::MAX {
+                *cell = 200 + i as u32;
+            }
+        }
+        assert_eq!(m.segment_count(), 1);
+        // Overlap preserved the first run's contents.
+        assert_eq!(m.get(100), 100);
+        assert_eq!(m.get(103), 103);
+        assert_eq!(m.get(96), 200);
+        assert_eq!(m.get(97), 201);
+    }
+
+    #[test]
+    fn fusing_three_segments_preserves_all_contents() {
+        let mut m = DenseAddrMap::new(u32::MAX);
+        m.set(0, 1);
+        m.set(500, 2);
+        m.set(1000, 3);
+        assert_eq!(m.segment_count(), 3);
+        // A run spanning all three fuses them into one.
+        for cell in m.run_slice(0, 1001).iter_mut() {
+            if *cell == u32::MAX {
+                *cell = 9;
+            }
+        }
+        assert_eq!(m.segment_count(), 1);
+        assert_eq!(m.get(0), 1);
+        assert_eq!(m.get(500), 2);
+        assert_eq!(m.get(1000), 3);
+        assert_eq!(m.get(250), 9);
+        assert_eq!(m.len(), 1001);
+    }
+
+    #[test]
+    fn descending_inserts_remain_correct() {
+        let mut m = DenseAddrMap::new(u32::MAX);
+        for a in (0..1000u64).rev() {
+            m.set(a, a as u32);
+        }
+        assert_eq!(m.len(), 1000);
+        for a in 0..1000u64 {
+            assert_eq!(m.get(a), a as u32);
+        }
+        assert_eq!(m.segment_count(), 1, "adjacent backward inserts fuse");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty runs")]
+    fn zero_length_runs_are_rejected() {
+        DenseAddrMap::new(0u32).run_slice(0, 0);
+    }
+}

@@ -25,6 +25,7 @@
 
 pub mod cache;
 pub mod config;
+pub mod dense;
 pub mod dram;
 pub mod engine;
 pub mod mc;

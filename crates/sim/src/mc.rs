@@ -7,11 +7,11 @@
 
 use crate::cache::{Cache, CacheOutcome};
 use crate::config::GpuConfig;
+use crate::dense::DenseAddrMap;
 use crate::dram::Dram;
 use crate::mdc::{MdcOutcome, MetadataCache};
 use crate::stats::SimStats;
 use crate::BlockAddr;
-use std::collections::HashMap;
 
 /// Supplies the per-block burst count the MDC would hold.
 ///
@@ -33,50 +33,99 @@ impl BurstsSource for UniformBursts {
     }
 }
 
-/// Burst counts from a map, with a default for unmapped blocks.
+/// Sentinel cell value marking a block the map holds no burst count for.
+/// Real burst counts are tiny (1..=4 under every MAG), so the all-ones
+/// word can never be a live value.
+const UNMAPPED: u32 = u32::MAX;
+
+/// Burst counts from a dense address-indexed map, with a default for
+/// unmapped blocks.
+///
+/// Blocks live in a [`DenseAddrMap`]: per-run vectors behind a compact
+/// segment directory, indexed by block ordinal — the timing hot loop
+/// ([`MemorySystem::load`]) resolves a block's burst count with one
+/// directory probe and an index instead of a hash-map probe per L2 miss.
+/// Workload snapshots allocate regions back to back, so the directory
+/// almost always holds a single segment.
 ///
 /// `PartialEq` compares contents (default + the full block→bursts
-/// mapping), which is what "byte-identical burst maps" means for the
-/// analysis-pipeline equivalence tests.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+/// mapping, in block order), which is what "byte-identical burst maps"
+/// means for the analysis-pipeline equivalence tests; vacant padding
+/// inside segments does not participate.
+#[derive(Debug, Clone)]
 pub struct BurstsMap {
     default: u32,
-    map: HashMap<BlockAddr, u32>,
+    cells: DenseAddrMap<u32>,
+}
+
+impl Default for BurstsMap {
+    fn default() -> Self {
+        Self::new(0)
+    }
 }
 
 impl BurstsMap {
     /// Creates a map whose unmapped blocks cost `default` bursts.
     pub fn new(default: u32) -> Self {
-        Self { default, map: HashMap::new() }
+        Self { default, cells: DenseAddrMap::new(UNMAPPED) }
     }
 
     /// Sets the burst count of one block.
+    ///
+    /// # Panics
+    ///
+    /// Panics on `u32::MAX`, which is reserved as the unmapped sentinel
+    /// (real burst counts are 1..=4).
     pub fn insert(&mut self, block: BlockAddr, bursts: u32) {
-        self.map.insert(block, bursts);
+        assert_ne!(bursts, UNMAPPED, "u32::MAX is the unmapped sentinel");
+        self.cells.set(block, bursts);
     }
 
     /// Number of explicitly mapped blocks.
     pub fn len(&self) -> usize {
-        self.map.len()
+        self.cells.len()
     }
 
     /// Whether no block is mapped.
     pub fn is_empty(&self) -> bool {
-        self.map.is_empty()
+        self.cells.is_empty()
+    }
+
+    /// Mapped blocks in ascending block-address order.
+    pub fn iter(&self) -> impl Iterator<Item = (BlockAddr, u32)> + '_ {
+        self.cells.iter()
     }
 
     /// Average bursts over mapped blocks (telemetry).
     pub fn mean_bursts(&self) -> f64 {
-        if self.map.is_empty() {
+        let (mut sum, mut n) = (0u64, 0u64);
+        for (_, bursts) in self.cells.iter() {
+            sum += u64::from(bursts);
+            n += 1;
+        }
+        if n == 0 {
             return f64::from(self.default);
         }
-        self.map.values().map(|&b| f64::from(b)).sum::<f64>() / self.map.len() as f64
+        sum as f64 / n as f64
     }
 }
 
+impl PartialEq for BurstsMap {
+    fn eq(&self, other: &Self) -> bool {
+        self.default == other.default && self.cells.iter().eq(other.cells.iter())
+    }
+}
+
+impl Eq for BurstsMap {}
+
 impl BurstsSource for BurstsMap {
     fn bursts(&self, block: BlockAddr) -> u32 {
-        self.map.get(&block).copied().unwrap_or(self.default)
+        let cell = self.cells.get(block);
+        if cell == UNMAPPED {
+            self.default
+        } else {
+            cell
+        }
     }
 }
 

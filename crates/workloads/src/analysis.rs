@@ -87,6 +87,28 @@ impl SnapshotAnalysis {
         &self.entries
     }
 
+    /// Maximal runs of entries with consecutive block addresses, in entry
+    /// order — the dense-record fast path. Regions are block-contiguous
+    /// and allocated back to back, so a snapshot usually decomposes into
+    /// a single run; a dense accumulator materialises each run's cells
+    /// once and sweeps them by index, with no per-entry map probe of any
+    /// kind.
+    pub fn runs(&self) -> impl Iterator<Item = &[AnalyzedBlock]> + '_ {
+        let entries = &self.entries;
+        let mut pos = 0usize;
+        std::iter::from_fn(move || {
+            if pos >= entries.len() {
+                return None;
+            }
+            let start = pos;
+            pos += 1;
+            while pos < entries.len() && entries[pos].addr == entries[pos - 1].addr + 1 {
+                pos += 1;
+            }
+            Some(&entries[start..pos])
+        })
+    }
+
     /// `true` when the snapshot was analysed with exactly `e2mc`'s
     /// trained table (the `Arc` allocation, not value equality) — the
     /// precondition for feeding it to any scheme built on that table.

@@ -11,6 +11,7 @@ use crate::analysis::{AnalyzedBlock, SnapshotAnalysis};
 use slc_compress::e2mc::{BlockAnalysis, E2mc};
 use slc_compress::{Block, Mag, BLOCK_BYTES};
 use slc_core::slc::{SlcCompressor, SlcConfig, SlcVariant};
+use slc_sim::dense::DenseAddrMap;
 use slc_sim::mc::BurstsMap;
 use slc_sim::GpuMemory;
 
@@ -198,35 +199,50 @@ impl Scheme {
 /// burst map, so the harness snapshots memory at every kernel-boundary
 /// DRAM round-trip and uses the per-block mean, which weights each
 /// kernel's traffic equally.
+///
+/// Accumulation is dense and address-indexed: per-block `(sum, folds)`
+/// cells live in a [`DenseAddrMap`] keyed by block ordinal, and
+/// [`record`](Self::record) sweeps a snapshot's contiguous address runs
+/// ([`SnapshotAnalysis::runs`]) straight through each run's cell slice —
+/// the per-entry hash-and-probe of the old `HashMap` accumulator (the
+/// dominant cost of the eval sweep) is gone entirely.
 #[derive(Debug, Clone)]
 pub struct BurstsAccumulator {
     mag: Mag,
     max: u32,
-    sums: std::collections::HashMap<u64, (u64, u32)>,
+    /// Per-block (burst sum, fold count); vacant cells read (0, 0).
+    cells: DenseAddrMap<(u64, u32)>,
 }
 
 impl BurstsAccumulator {
     /// Creates an accumulator for `mag`.
     pub fn new(mag: Mag) -> Self {
         let max = mag.bursts_for_bytes(BLOCK_BYTES as u32, BLOCK_BYTES as u32);
-        Self { mag, max, sums: std::collections::HashMap::new() }
+        Self { mag, max, cells: DenseAddrMap::new((0, 0)) }
     }
 
     /// Records the burst counts of every region block in `mem` under
     /// `scheme`, borrowing each block in place (no region-table clone,
-    /// no per-block copy).
+    /// no per-block copy). This is the re-encoding reference path; the
+    /// shared pipeline records precomputed analyses via
+    /// [`record`](Self::record).
     pub fn snapshot(&mut self, scheme: &Scheme, mem: &GpuMemory) {
         if matches!(scheme, Scheme::Uncompressed) {
             return;
         }
+        let mag = self.mag;
         for (region, addr, block) in mem.blocks_with_addr() {
-            let bursts = scheme.bursts_for_block(block, self.mag, region.safe_to_approx);
-            self.add(addr, bursts);
+            let bursts = scheme.bursts_for_block(block, mag, region.safe_to_approx);
+            let cell = &mut self.cells.run_slice(addr, 1)[0];
+            cell.0 += u64::from(bursts);
+            cell.1 += 1;
         }
     }
 
     /// Records one already-analysed snapshot under `scheme`: the cheap
-    /// decision sweep of the shared pipeline — no block is re-encoded.
+    /// decision sweep of the shared pipeline — no block is re-encoded,
+    /// and each contiguous address run of the snapshot updates its dense
+    /// cell slice by index (no per-entry map probe).
     ///
     /// # Panics
     ///
@@ -240,28 +256,28 @@ impl BurstsAccumulator {
             snapshot.matches(e2mc),
             "snapshot analysed under a different trained table than the scheme's"
         );
-        for b in snapshot.entries() {
-            self.add(b.addr, scheme.bursts_for_analysis(&b.analysis, self.mag, b.approximable));
+        let mag = self.mag;
+        for run in snapshot.runs() {
+            let cells = self.cells.run_slice(run[0].addr, run.len());
+            for (cell, b) in cells.iter_mut().zip(run) {
+                let bursts = scheme.bursts_for_analysis(&b.analysis, mag, b.approximable);
+                cell.0 += u64::from(bursts);
+                cell.1 += 1;
+            }
         }
     }
 
-    fn add(&mut self, addr: u64, bursts: u32) {
-        let e = self.sums.entry(addr).or_insert((0, 0));
-        e.0 += u64::from(bursts);
-        e.1 += 1;
-    }
-
     /// Number of snapshots folded in: the minimum fold count over all
-    /// recorded blocks (deterministic regardless of map iteration order;
-    /// blocks first seen in a late snapshot report fewer folds).
+    /// recorded blocks (blocks first seen in a late snapshot report
+    /// fewer folds).
     pub fn snapshots(&self) -> u32 {
-        self.sums.values().map(|&(_, n)| n).min().unwrap_or(0)
+        self.cells.iter().map(|(_, (_, n))| n).min().unwrap_or(0)
     }
 
     /// Finishes into a [`BurstsMap`] of per-block rounded means.
     pub fn into_map(self) -> BurstsMap {
         let mut map = BurstsMap::new(self.max);
-        for (addr, (sum, n)) in self.sums {
+        for (addr, (sum, n)) in self.cells.iter() {
             let mean = ((sum as f64 / f64::from(n)).round() as u32).clamp(1, self.max);
             if mean != self.max {
                 map.insert(addr, mean);
