@@ -178,11 +178,7 @@ mod tests {
         while width <= SYMBOLS_PER_BLOCK {
             for node in 0..SYMBOLS_PER_BLOCK / width {
                 let want: u32 = lengths[node * width..(node + 1) * width].iter().sum();
-                assert_eq!(
-                    u32::from(sums[offset + node]),
-                    want,
-                    "width {width} node {node}"
-                );
+                assert_eq!(u32::from(sums[offset + node]), want, "width {width} node {node}");
             }
             offset += SYMBOLS_PER_BLOCK / width;
             width *= 2;

@@ -207,10 +207,7 @@ mod tests {
         assert_eq!(m.segment_count(), 2, "distant address must not bridge");
         assert_eq!(m.len(), 3);
         assert_eq!(m.get(1), u32::MAX, "bridged padding reads vacant");
-        assert_eq!(
-            m.iter().collect::<Vec<_>>(),
-            vec![(0, 1), (MAX_BRIDGE_GAP, 2), (1_000_000, 3)]
-        );
+        assert_eq!(m.iter().collect::<Vec<_>>(), vec![(0, 1), (MAX_BRIDGE_GAP, 2), (1_000_000, 3)]);
     }
 
     #[test]

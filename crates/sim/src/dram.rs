@@ -8,7 +8,24 @@
 //! `free_at` horizon.
 
 use crate::config::GpuConfig;
+use crate::mdc::MetadataCache;
 use crate::BlockAddr;
+
+/// First block address of the metadata region.
+///
+/// Compression metadata (the 2-bit burst counts, packed 128 blocks to a
+/// 32 B line) lives in DRAM like any other data, but **not** in the data
+/// blocks' rows: metadata line `l` resides at block address
+/// `META_BLOCK_BASE + l` and is routed through the ordinary channel
+/// interleaving — its *own* address picks its channel, bank and row,
+/// exactly like any other DRAM resident. Consequently a metadata-line
+/// access opens a metadata row (it can never turn the following data
+/// access into a free row hit), consecutive lines spread round-robin
+/// over all channels instead of hot-spotting the requester's channel,
+/// and a metadata fetch may cross channels — the unified controller
+/// model reads the line from wherever it lives. Data blocks stay far
+/// below this base (2^40 blocks = 128 TiB).
+pub const META_BLOCK_BASE: u64 = 1 << 40;
 
 /// One DRAM bank: open row + availability horizon.
 #[derive(Debug, Clone, Copy, Default)]
@@ -113,8 +130,23 @@ impl Dram {
 
     /// Services an access, returning its completion and row outcome.
     pub fn access(&mut self, block: BlockAddr, bursts: u32, at: f64) -> DramAccess {
+        debug_assert!(block < META_BLOCK_BASE, "data block collides with the metadata region");
         let (ch, local) = self.map(block);
         self.channels[ch].access(local, bursts, at)
+    }
+
+    /// Services the one-burst fetch of the 32 B metadata line covering
+    /// `block`, returning its completion and row outcome.
+    ///
+    /// The line lives at [`META_BLOCK_BASE`]` + `[`MetadataCache::line_of`]
+    /// and takes the ordinary interleaved path: its own address picks the
+    /// channel, bank and row (see [`META_BLOCK_BASE`]), so the burst
+    /// contends with that channel's data bus and row machinery like any
+    /// other access, and it never pre-opens the data block's row.
+    pub fn access_metadata(&mut self, block: BlockAddr, at: f64) -> DramAccess {
+        let meta = META_BLOCK_BASE + MetadataCache::line_of(block);
+        let (ch, local) = self.map(meta);
+        self.channels[ch].access(local, 1, at)
     }
 
     /// Latest data-bus horizon over all channels.

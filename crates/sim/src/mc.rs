@@ -96,7 +96,12 @@ impl BurstsMap {
         self.cells.iter()
     }
 
-    /// Average bursts over mapped blocks (telemetry).
+    /// Average bursts over the mapped blocks, i.e. the map's full known
+    /// population — accumulator-built maps record **every** snapshot
+    /// block (see `BurstsAccumulator::into_map` in `slc-workloads`), so
+    /// two schemes' means over the same memory image average the same
+    /// block set and compare apples to apples. An empty map reports the
+    /// default (telemetry).
     pub fn mean_bursts(&self) -> f64 {
         let (mut sum, mut n) = (0u64, 0u64);
         for (_, bursts) in self.cells.iter() {
@@ -170,13 +175,21 @@ impl<'a> MemorySystem<'a> {
         self.bursts.bursts(block).clamp(1, self.max_bursts)
     }
 
-    /// Fetches `block` from DRAM (L2 already missed); returns completion.
-    fn dram_fetch(&mut self, block: BlockAddr, at: u64) -> u64 {
-        let bursts = self.clamped_bursts(block);
-        let compressed = bursts < self.max_bursts;
-        // MDC tells the MC how many bursts to fetch; a miss first pulls
-        // the 32 B metadata line from the block's channel.
-        let start = match self.mdc.access(block) {
+    /// Resolves the MDC lookup for `block` at time `at`: on a miss the
+    /// 32 B metadata line is fetched from DRAM — a real
+    /// [`Dram::access_metadata`] in the dedicated metadata address range,
+    /// so it occupies a channel's data bus and opens a metadata row
+    /// (never the data row) — and the returned start time is the fetch's
+    /// completion.
+    ///
+    /// Row-outcome policy: **every** DRAM access command counts in
+    /// `row_hits`/`row_misses`, metadata lines included — the counters
+    /// feed the row-activation energy term, and a metadata activate
+    /// costs the same row cycle as a data activate. Both the fetch and
+    /// writeback paths share this helper, so the policy cannot drift
+    /// between them.
+    fn mdc_lookup(&mut self, block: BlockAddr, at: u64) -> f64 {
+        match self.mdc.access(block) {
             MdcOutcome::Hit => {
                 self.stats.mdc_hits += 1;
                 at as f64
@@ -184,15 +197,30 @@ impl<'a> MemorySystem<'a> {
             MdcOutcome::Miss => {
                 self.stats.mdc_misses += 1;
                 self.stats.metadata_bursts += 1;
-                self.dram.access(block, 1, at as f64).done
+                let meta = self.dram.access_metadata(block, at as f64);
+                self.count_row(meta.row_hit);
+                meta.done
             }
-        };
-        let access = self.dram.access(block, bursts, start);
-        if access.row_hit {
+        }
+    }
+
+    fn count_row(&mut self, row_hit: bool) {
+        if row_hit {
             self.stats.row_hits += 1;
         } else {
             self.stats.row_misses += 1;
         }
+    }
+
+    /// Fetches `block` from DRAM (L2 already missed); returns completion.
+    fn dram_fetch(&mut self, block: BlockAddr, at: u64) -> u64 {
+        let bursts = self.clamped_bursts(block);
+        let compressed = bursts < self.max_bursts;
+        // MDC tells the MC how many bursts to fetch; a miss first pulls
+        // the 32 B metadata line, which delays the data transfer.
+        let start = self.mdc_lookup(block, at);
+        let access = self.dram.access(block, bursts, start);
+        self.count_row(access.row_hit);
         self.stats.dram_reads += 1;
         self.stats.read_bursts += u64::from(bursts);
         let mut done = access.done.ceil() as u64;
@@ -207,25 +235,17 @@ impl<'a> MemorySystem<'a> {
     fn dram_writeback(&mut self, block: BlockAddr, at: u64) {
         let bursts = self.clamped_bursts(block);
         let compressed = bursts < self.max_bursts;
-        let mut start = at;
+        let mut at = at;
         if compressed {
             self.stats.compressed_blocks += 1;
-            start += self.compress_latency;
+            at += self.compress_latency;
         }
-        // Keep the metadata line resident for the updated burst count.
-        match self.mdc.access(block) {
-            MdcOutcome::Hit => self.stats.mdc_hits += 1,
-            MdcOutcome::Miss => {
-                self.stats.mdc_misses += 1;
-                self.stats.metadata_bursts += 1;
-            }
-        }
-        let access = self.dram.access(block, bursts, start as f64);
-        if access.row_hit {
-            self.stats.row_hits += 1;
-        } else {
-            self.stats.row_misses += 1;
-        }
+        // Keep the metadata line resident for the updated burst count; a
+        // miss pays the metadata fetch on the channel — exactly like the
+        // fetch path — and delays the data transfer behind it.
+        let start = self.mdc_lookup(block, at);
+        let access = self.dram.access(block, bursts, start);
+        self.count_row(access.row_hit);
         self.stats.dram_writes += 1;
         self.stats.write_bursts += u64::from(bursts);
     }
@@ -360,6 +380,64 @@ mod tests {
         assert_eq!(map.bursts(11), 4);
         assert_eq!(map.len(), 1);
         assert!((map.mean_bursts() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn metadata_fetch_does_not_open_the_data_row() {
+        let cfg = cfg();
+        let u = UniformBursts(2);
+        let mut m = MemorySystem::new(&cfg, &u);
+        // First load: MDC miss. The metadata line opens a *metadata* row,
+        // so the data access that follows still pays its own activate —
+        // two row misses, never a free data-row hit.
+        m.load(0, 0);
+        assert_eq!(m.stats().row_misses, 2, "metadata line + data row both activate");
+        assert_eq!(m.stats().row_hits, 0);
+        // Same-channel neighbour (channel stride apart): MDC hits, and the
+        // open *data* row from the first access now hits for real.
+        let stride = 12; // GpuConfig::default() has 12 channels
+        let done = m.load(stride, 100_000);
+        assert!(done > 100_000);
+        assert_eq!(m.stats().mdc_hits, 1);
+        assert_eq!(m.stats().row_hits, 1, "data-row locality survives the metadata fix");
+        assert_eq!(m.stats().row_misses, 2);
+    }
+
+    #[test]
+    fn writeback_mdc_miss_issues_the_metadata_access() {
+        let cfg = cfg();
+        let u = UniformBursts(2);
+        let mut m = MemorySystem::new(&cfg, &u);
+        m.store(3, 0);
+        let horizon = m.flush(100);
+        // The write-back's MDC miss first moves the 32 B metadata line
+        // (row miss + one burst on the line's own channel — line 0 maps
+        // to channel 4, while block 3 lives on channel 3), and only when
+        // it returns does the two-burst data transfer start on the data
+        // block's cold channel, paying its own activate. The horizon
+        // must include the full serial chain.
+        let meta_done = cfg.row_miss_sm_cycles() + cfg.burst_sm_cycles();
+        let expect = 100.0 + meta_done + cfg.row_miss_sm_cycles() + 2.0 * cfg.burst_sm_cycles();
+        assert_eq!(horizon, expect.ceil() as u64);
+        assert_eq!(m.stats().metadata_bursts, 1);
+        assert_eq!(m.stats().row_misses, 2);
+        assert_eq!(m.stats().dram_writes, 1);
+    }
+
+    #[test]
+    fn writeback_metadata_hit_skips_the_metadata_access() {
+        // Two dirty blocks sharing a metadata line: the second write-back
+        // hits the MDC and pays no metadata burst, finishing earlier than
+        // a cold write-back of the same shape would.
+        let cfg = cfg();
+        let u = UniformBursts(2);
+        let mut m = MemorySystem::new(&cfg, &u);
+        m.store(3, 0);
+        m.store(15, 0); // same metadata line (line 0), different channel
+        m.flush(100);
+        assert_eq!(m.stats().mdc_misses, 1);
+        assert_eq!(m.stats().mdc_hits, 1);
+        assert_eq!(m.stats().metadata_bursts, 1, "one line serves both write-backs");
     }
 
     #[test]

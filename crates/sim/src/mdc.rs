@@ -4,7 +4,8 @@
 //! Metadata lives in DRAM: one 32 B metadata line packs the 2-bit burst
 //! counts of 128 consecutive blocks (16 KB of data). The MDC caches those
 //! lines in the memory controller; a miss costs one extra metadata burst
-//! on the block's channel.
+//! on the channel the line's own DRAM address maps to (see
+//! `slc_sim::dram::META_BLOCK_BASE` for the addressing scheme).
 
 use crate::BlockAddr;
 

@@ -42,9 +42,12 @@ pub struct SimStats {
     pub decompressed_blocks: u64,
     /// Blocks that paid the compression latency.
     pub compressed_blocks: u64,
-    /// DRAM row-buffer hits.
+    /// DRAM row-buffer hits, over every access command issued to a
+    /// channel — data blocks *and* metadata lines (an activate costs the
+    /// same row cycle either way, and these counters feed the
+    /// row-activation energy term).
     pub row_hits: u64,
-    /// DRAM row-buffer misses.
+    /// DRAM row-buffer misses (same population as `row_hits`).
     pub row_misses: u64,
     /// Sum over read requests of (completion - issue), for latency stats.
     pub read_latency_sum: u64,

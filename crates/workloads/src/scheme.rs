@@ -275,13 +275,19 @@ impl BurstsAccumulator {
     }
 
     /// Finishes into a [`BurstsMap`] of per-block rounded means.
+    ///
+    /// **Every** recorded block is mapped, including those whose mean
+    /// rounds to the uncompressed maximum (they resolve to the same
+    /// burst count either way, so timing is unaffected) — the map then
+    /// knows the full recorded population and
+    /// [`BurstsMap::mean_bursts`] is a well-defined mean over *all*
+    /// blocks of the snapshots, comparable across schemes that compress
+    /// different subsets.
     pub fn into_map(self) -> BurstsMap {
         let mut map = BurstsMap::new(self.max);
         for (addr, (sum, n)) in self.cells.iter() {
             let mean = ((sum as f64 / f64::from(n)).round() as u32).clamp(1, self.max);
-            if mean != self.max {
-                map.insert(addr, mean);
-            }
+            map.insert(addr, mean);
         }
         map
     }

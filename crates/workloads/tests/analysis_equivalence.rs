@@ -12,7 +12,7 @@ use proptest::prelude::*;
 use slc_compress::e2mc::{E2mc, E2mcConfig};
 use slc_compress::{Block, Mag, BLOCK_BYTES};
 use slc_core::slc::SlcVariant;
-use slc_sim::mc::BurstsMap;
+use slc_sim::mc::{BurstsMap, BurstsSource};
 use slc_sim::GpuMemory;
 use slc_workloads::analysis::SnapshotAnalysis;
 use slc_workloads::scheme::{BurstsAccumulator, Scheme};
@@ -163,6 +163,79 @@ proptest! {
                 lossless.bursts_for_analysis(&analysis, mag, approximable),
                 lossless.bursts_for_block(&block, mag, approximable)
             );
+        }
+    }
+}
+
+/// The retired `HashMap` accumulator, kept as the reference the dense
+/// address-indexed path must reproduce bit-for-bit: per-block (sum,
+/// folds) keyed by address, folded into rounded means over the **full**
+/// recorded population, in ascending address order.
+fn hashmap_reference(scheme: &Scheme, snapshots: &[SnapshotAnalysis], mag: Mag) -> Vec<(u64, u32)> {
+    use std::collections::HashMap;
+    let max = mag.bursts_for_bytes(BLOCK_BYTES as u32, BLOCK_BYTES as u32);
+    let mut sums: HashMap<u64, (u64, u32)> = HashMap::new();
+    for snap in snapshots {
+        for b in snap.entries() {
+            let e = sums.entry(b.addr).or_insert((0, 0));
+            e.0 += u64::from(scheme.bursts_for_analysis(&b.analysis, mag, b.approximable));
+            e.1 += 1;
+        }
+    }
+    let mut rows: Vec<(u64, u32)> = sums
+        .into_iter()
+        .map(|(addr, (sum, n))| (addr, ((sum as f64 / f64::from(n)).round() as u32).clamp(1, max)))
+        .collect();
+    rows.sort_unstable();
+    rows
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The dense accumulator/map must be bit-identical to the HashMap
+    /// accumulation it replaced: same mapped addresses, same per-block
+    /// means, same burst answers, same population mean — across random
+    /// multi-snapshot folds, schemes, MAGs and thresholds.
+    #[test]
+    fn prop_dense_accumulator_matches_hashmap_reference(
+        seed in any::<u64>(),
+        regions in proptest::collection::vec((any::<bool>(), 1u8..=4), 1..4),
+        snapshots in 1usize..=3,
+        threshold_sel in 0usize..4,
+    ) {
+        let e2mc = trained();
+        for mag in [Mag::NARROW_16, Mag::GDDR5, Mag::WIDE_64] {
+            let threshold = [0, 4, mag.bytes() / 2, mag.bytes()][threshold_sel];
+            let mut schemes = vec![Scheme::E2mc(e2mc.clone())];
+            for variant in [SlcVariant::TslcSimp, SlcVariant::TslcPred, SlcVariant::TslcOpt] {
+                schemes.push(Scheme::slc(e2mc.clone(), mag, threshold, variant));
+            }
+            // Same region layout, different contents per snapshot: the
+            // evolving-memory shape the harness folds across kernels.
+            let snaps: Vec<SnapshotAnalysis> = (0..snapshots)
+                .map(|s| {
+                    let mem = build_memory(&regions, seed ^ ((s as u64) << 48));
+                    SnapshotAnalysis::capture(&e2mc, &mem)
+                })
+                .collect();
+            for scheme in &schemes {
+                let mut acc = BurstsAccumulator::new(mag);
+                for snap in &snaps {
+                    acc.record(scheme, snap);
+                }
+                let map = acc.into_map();
+                let reference = hashmap_reference(scheme, &snaps, mag);
+                let dense: Vec<(u64, u32)> = map.iter().collect();
+                prop_assert_eq!(&dense, &reference, "mapped content diverged");
+                prop_assert_eq!(map.len(), reference.len(), "population diverged");
+                let mean: f64 = reference.iter().map(|&(_, b)| f64::from(b)).sum::<f64>()
+                    / reference.len() as f64;
+                prop_assert!((map.mean_bursts() - mean).abs() < 1e-12);
+                for &(addr, bursts) in &reference {
+                    prop_assert_eq!(map.bursts(addr), bursts, "addr {}", addr);
+                }
+            }
         }
     }
 }

@@ -18,6 +18,13 @@ CI; a trailing summary counts them so a renamed row cannot slip through
 silently as one "new" plus one "retired". The default tolerance of
 30% is deliberately loose: the gate exists to catch lost fast paths and
 accidental asymptotic regressions, not single-digit drift.
+
+``--require-rows MANIFEST`` closes the loophole the warnings leave: the
+manifest (one row id per line, ``#`` comments allowed) lists the rows
+that must exist in the *candidate* run, and any missing one fails the
+check — a silently dropped or renamed bench can no longer pass CI as a
+mere warning. Retiring a bench on purpose means editing the manifest in
+the same change, which is exactly the review-visible signal we want.
 """
 
 import argparse
@@ -40,11 +47,29 @@ def main():
                     help="allowed relative slowdown in percent (default: 30)")
     ap.add_argument("--no-normalize", action="store_true",
                     help="compare raw ns/iter instead of median-normalised ratios")
+    ap.add_argument("--require-rows", metavar="MANIFEST",
+                    help="file listing row ids (one per line, # comments) that "
+                         "must be present in CANDIDATE; missing rows fail")
     args = ap.parse_args()
 
     base = load_rows(args.baseline)
     cand = load_rows(args.candidate)
     limit = 1.0 + args.tolerance / 100.0
+
+    if args.require_rows:
+        with open(args.require_rows) as fh:
+            required = [line.strip() for line in fh
+                        if line.strip() and not line.lstrip().startswith("#")]
+        missing = [row_id for row_id in required if row_id not in cand]
+        if missing:
+            print(f"{len(missing)} required row(s) missing from {args.candidate} "
+                  f"(manifest: {args.require_rows}):")
+            for row_id in missing:
+                print(f"  MISSING {row_id}")
+            print("a bench was dropped or renamed without updating the manifest")
+            return 1
+        print(f"all {len(required)} required rows present "
+              f"(manifest: {args.require_rows})")
 
     shared = sorted(k for k in base.keys() & cand.keys() if base[k] > 0)
     ratios = {k: cand[k] / base[k] for k in shared}
