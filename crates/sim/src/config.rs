@@ -1,5 +1,6 @@
 //! Simulator configuration (paper Table II, GTX580-like).
 
+use crate::dram::sched::SchedPolicy;
 use slc_compress::Mag;
 
 /// Full GPU configuration.
@@ -57,6 +58,17 @@ pub struct GpuConfig {
     pub t_rcd: f64,
     /// Row precharge in memory cycles.
     pub t_rp: f64,
+    /// Channel request-scheduling policy (see [`SchedPolicy`]).
+    pub sched_policy: SchedPolicy,
+    /// FR-FCFS write-buffer entries per channel (the high watermark; a
+    /// full buffer drains to half capacity). Ignored under `InOrder`.
+    pub write_buffer_entries: usize,
+    /// FR-FCFS starvation cap in SM cycles: at every channel event (read
+    /// or write arrival) a buffered write older than this is serviced
+    /// first, ahead of row hits and the arriving request — arbitration
+    /// never reorders past the cap while traffic flows. Ignored under
+    /// `InOrder`.
+    pub sched_age_cap: u64,
 
     /// Compression latency in SM cycles added on the write path
     /// (§IV-A: 46 for E2MC, 60 for TSLC, 0 for no compression).
@@ -67,6 +79,11 @@ pub struct GpuConfig {
     /// Metadata cache entries (each entry covers one 32 B metadata line =
     /// 128 blocks = 16 KB of data).
     pub mdc_entries: usize,
+    /// Whether the memory controller has an MDC at all. A GPU without
+    /// compression has none — the NOCOMP baseline must neither consult it
+    /// nor move metadata over the pins (every block costs the maximum
+    /// burst count unconditionally). Disabled via [`Self::without_mdc`].
+    pub mdc_enabled: bool,
 }
 
 impl Default for GpuConfig {
@@ -95,9 +112,13 @@ impl Default for GpuConfig {
             t_cas: 12.0,
             t_rcd: 12.0,
             t_rp: 12.0,
+            sched_policy: SchedPolicy::InOrder,
+            write_buffer_entries: 16,
+            sched_age_cap: 1000,
             compress_latency: 0,
             decompress_latency: 0,
             mdc_entries: 512,
+            mdc_enabled: true,
         }
     }
 }
@@ -177,6 +198,20 @@ impl GpuConfig {
     pub fn with_codec_latency(mut self, compress: u64, decompress: u64) -> Self {
         self.compress_latency = compress;
         self.decompress_latency = decompress;
+        self
+    }
+
+    /// Selects the channel scheduling policy.
+    pub fn with_sched_policy(mut self, policy: SchedPolicy) -> Self {
+        self.sched_policy = policy;
+        self
+    }
+
+    /// Removes the metadata cache: the memory controller of a GPU without
+    /// compression hardware. Every block moves at the full burst count and
+    /// no metadata traffic ever reaches the pins.
+    pub fn without_mdc(mut self) -> Self {
+        self.mdc_enabled = false;
         self
     }
 }

@@ -1,15 +1,42 @@
-//! GDDR5 channel timing model.
+//! GDDR5 channel timing model with a per-channel request scheduler.
 //!
 //! Each 32-bit channel has its own command/data bus and banks with open
 //! rows. A block access pays the row-hit (CAS) or row-miss
 //! (precharge + activate + CAS) latency, then occupies the data bus for
 //! `bursts × burst_time`. Bandwidth contention — the effect SLC exploits —
-//! emerges from the data-bus occupancy; queueing delay from the
-//! `free_at` horizon.
+//! emerges from the data-bus occupancy; queueing delay from the bus
+//! horizon and the write buffer.
+//!
+//! # Scheduling
+//!
+//! The channel arbitrates under a [`sched::SchedPolicy`] chosen by
+//! [`GpuConfig::sched_policy`]:
+//!
+//! * [`InOrder`](sched::SchedPolicy::InOrder) — the legacy model: every
+//!   request (read or write) is serviced immediately at arrival, so a
+//!   write occupies the bus ahead of any younger read. Kept bit-exact so
+//!   refactors can land verified against it before behaviour changes.
+//! * [`FrFcfs`](sched::SchedPolicy::FrFcfs) — reads are serviced at
+//!   arrival with read-over-write priority; writes buffer in a bounded
+//!   per-channel [`sched::WriteQueue`] and drain row-hit-first
+//!   (oldest-first among equals) when the high watermark is reached, when
+//!   the bus is idle at the next arrival (read-idle drain), and fully at
+//!   end of kernel. A starvation cap ([`GpuConfig::sched_age_cap`])
+//!   promotes any write older than the cap over every row hit — and over
+//!   an arriving read — so no request is reordered past its age bound.
+//!
+//! Row outcomes and queueing delay are counted **here**, at the moment a
+//! request is actually serviced (under FR-FCFS a write's row outcome is
+//! only decided at drain time); the memory controller harvests
+//! [`ChannelTelemetry`] into `SimStats` rather than keeping parallel
+//! counters.
+
+pub mod sched;
 
 use crate::config::GpuConfig;
 use crate::mdc::MetadataCache;
 use crate::BlockAddr;
+use sched::{PendingWrite, SchedPolicy, WriteQueue};
 
 /// First block address of the metadata region.
 ///
@@ -43,6 +70,40 @@ pub struct DramAccess {
     pub row_hit: bool,
 }
 
+/// Counters a channel accumulates while servicing requests.
+///
+/// Row outcomes are counted per serviced access command — data blocks
+/// *and* metadata lines (an activate costs the same row cycle either way,
+/// and the counters feed the row-activation energy term).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ChannelTelemetry {
+    /// Accesses that found their row open.
+    pub row_hits: u64,
+    /// Accesses that paid precharge + activate.
+    pub row_misses: u64,
+    /// SM cycles requests spent waiting on a busy bank or data bus beyond
+    /// the pure access latency (queueing delay; buffered writes count
+    /// from their arrival).
+    pub queue_wait: f64,
+    /// Writes serviced out of the FR-FCFS write buffer.
+    pub write_drains: u64,
+    /// Of [`write_drains`](Self::write_drains), those forced by the high
+    /// watermark or the starvation age cap rather than an idle bus or the
+    /// end-of-kernel drain.
+    pub write_drain_forced: u64,
+}
+
+impl ChannelTelemetry {
+    /// Folds another channel's counters into this one.
+    pub fn add(&mut self, other: &ChannelTelemetry) {
+        self.row_hits += other.row_hits;
+        self.row_misses += other.row_misses;
+        self.queue_wait += other.queue_wait;
+        self.write_drains += other.write_drains;
+        self.write_drain_forced += other.write_drain_forced;
+    }
+}
+
 /// One GDDR5 channel.
 #[derive(Debug, Clone)]
 pub struct Channel {
@@ -53,11 +114,20 @@ pub struct Channel {
     row_hit_cycles: f64,
     row_miss_cycles: f64,
     row_blocks: u64,
+    policy: SchedPolicy,
+    writes: WriteQueue,
+    write_capacity: usize,
+    age_cap: f64,
+    telemetry: ChannelTelemetry,
 }
 
 impl Channel {
     /// Creates a channel from the GPU configuration.
     pub fn new(cfg: &GpuConfig) -> Self {
+        assert!(
+            cfg.sched_policy == SchedPolicy::InOrder || cfg.write_buffer_entries >= 2,
+            "FR-FCFS write buffer needs room to buffer and drain"
+        );
         Self {
             banks: vec![Bank::default(); cfg.banks_per_channel],
             free_at: 0.0,
@@ -65,6 +135,11 @@ impl Channel {
             row_hit_cycles: cfg.row_hit_sm_cycles(),
             row_miss_cycles: cfg.row_miss_sm_cycles(),
             row_blocks: cfg.row_blocks,
+            policy: cfg.sched_policy,
+            writes: WriteQueue::new(),
+            write_capacity: cfg.write_buffer_entries,
+            age_cap: cfg.sched_age_cap as f64,
+            telemetry: ChannelTelemetry::default(),
         }
     }
 
@@ -76,9 +151,11 @@ impl Channel {
         (bank, row)
     }
 
-    /// Services an access of `bursts` bursts to channel-local block
-    /// `local_block`, arriving at time `at` (SM cycles).
-    pub fn access(&mut self, local_block: u64, bursts: u32, at: f64) -> DramAccess {
+    /// Services one request *now*: the bank opens the row (hit or miss),
+    /// the data bus is granted once free, and the channel state advances.
+    /// This is the legacy in-order arithmetic, shared verbatim by both
+    /// policies — FR-FCFS only changes *which* request is serviced next.
+    fn service(&mut self, local_block: u64, bursts: u32, at: f64) -> DramAccess {
         let (bank_idx, row) = self.locate(local_block);
         let bank = &mut self.banks[bank_idx];
         let start = at.max(bank.ready_at);
@@ -95,12 +172,113 @@ impl Channel {
         if !row_hit {
             bank.ready_at = start + (self.row_miss_cycles - self.row_hit_cycles);
         }
+        if row_hit {
+            self.telemetry.row_hits += 1;
+        } else {
+            self.telemetry.row_misses += 1;
+        }
+        self.telemetry.queue_wait += data_start - at - access_latency;
         DramAccess { done, row_hit }
+    }
+
+    /// Picks the next buffered write by FR-FCFS arbitration and services
+    /// it at its arrival time (bank/bus maxima handle the waiting).
+    fn service_next_write(&mut self, now: f64, forced: bool) {
+        let banks = &self.banks;
+        let Some(i) = self.writes.select(now, self.age_cap, |b| banks[b].open_row) else {
+            return;
+        };
+        let w = self.writes.remove(i);
+        self.service(w.local_block, w.bursts, w.arrival);
+        self.telemetry.write_drains += 1;
+        if forced {
+            self.telemetry.write_drain_forced += 1;
+        }
+    }
+
+    /// Drains buffered writes that must or may go ahead of a read
+    /// arriving at `at`: overage writes first (starvation cap), then
+    /// opportunistic drains while the bus is idle before the arrival.
+    fn drain_before(&mut self, at: f64) {
+        while self.writes.oldest_overage(at, self.age_cap) {
+            self.service_next_write(at, true);
+        }
+        // Read-idle drain: the bus has been idle since `free_at`, so
+        // buffered writes soak up the dead time. The last one may overrun
+        // slightly past `at` — the controller cannot see a future read
+        // coming — which is exactly the overrun a real scheduler risks.
+        while self.free_at < at && !self.writes.is_empty() {
+            self.service_next_write(at, false);
+        }
+    }
+
+    /// Services a read of `bursts` bursts to channel-local block
+    /// `local_block`, arriving at time `at` (SM cycles). Reads resolve at
+    /// arrival under both policies; under FR-FCFS they bypass every
+    /// buffered write younger than the age cap.
+    pub fn read(&mut self, local_block: u64, bursts: u32, at: f64) -> DramAccess {
+        if self.policy == SchedPolicy::FrFcfs {
+            self.drain_before(at);
+        }
+        self.service(local_block, bursts, at)
+    }
+
+    /// Accepts a write of `bursts` bursts to `local_block` at time `at`.
+    ///
+    /// Under `InOrder` the write is serviced immediately (legacy
+    /// behaviour) and its outcome returned; under `FrFcfs` it buffers in
+    /// the write queue — draining to half capacity first when the queue
+    /// is at its high watermark — and `None` is returned (row outcome and
+    /// bus occupancy materialise at drain time).
+    pub fn write(&mut self, local_block: u64, bursts: u32, at: f64) -> Option<DramAccess> {
+        match self.policy {
+            SchedPolicy::InOrder => Some(self.service(local_block, bursts, at)),
+            SchedPolicy::FrFcfs => {
+                // The starvation cap is enforced at *every* channel event,
+                // not just read arrivals: overage writes leave first.
+                while self.writes.oldest_overage(at, self.age_cap) {
+                    self.service_next_write(at, true);
+                }
+                while self.free_at < at && !self.writes.is_empty() {
+                    self.service_next_write(at, false);
+                }
+                let (bank, row) = self.locate(local_block);
+                self.writes.push(PendingWrite { local_block, bursts, arrival: at, bank, row });
+                if self.writes.len() >= self.write_capacity {
+                    while self.writes.len() > self.write_capacity / 2 {
+                        self.service_next_write(at, true);
+                    }
+                }
+                None
+            }
+        }
+    }
+
+    /// Drains every buffered write (end of kernel), in FR-FCFS order.
+    pub fn drain_writes(&mut self, now: f64) {
+        while !self.writes.is_empty() {
+            self.service_next_write(now, false);
+        }
+    }
+
+    /// Buffered writes not yet serviced.
+    pub fn pending_writes(&self) -> usize {
+        self.writes.len()
+    }
+
+    /// Arrival time of the oldest buffered write, if any.
+    pub fn oldest_pending_arrival(&self) -> Option<f64> {
+        self.writes.oldest_arrival()
     }
 
     /// The data-bus horizon (for utilisation telemetry).
     pub fn free_at(&self) -> f64 {
         self.free_at
+    }
+
+    /// Counters accumulated so far.
+    pub fn telemetry(&self) -> &ChannelTelemetry {
+        &self.telemetry
     }
 }
 
@@ -128,11 +306,19 @@ impl Dram {
         ((block % n) as usize, block / n)
     }
 
-    /// Services an access, returning its completion and row outcome.
-    pub fn access(&mut self, block: BlockAddr, bursts: u32, at: f64) -> DramAccess {
+    /// Services a read, returning its completion and row outcome.
+    pub fn read(&mut self, block: BlockAddr, bursts: u32, at: f64) -> DramAccess {
         debug_assert!(block < META_BLOCK_BASE, "data block collides with the metadata region");
         let (ch, local) = self.map(block);
-        self.channels[ch].access(local, bursts, at)
+        self.channels[ch].read(local, bursts, at)
+    }
+
+    /// Hands a write to its channel's scheduler (serviced immediately
+    /// under `InOrder`, buffered under `FrFcfs`).
+    pub fn write(&mut self, block: BlockAddr, bursts: u32, at: f64) -> Option<DramAccess> {
+        debug_assert!(block < META_BLOCK_BASE, "data block collides with the metadata region");
+        let (ch, local) = self.map(block);
+        self.channels[ch].write(local, bursts, at)
     }
 
     /// Services the one-burst fetch of the 32 B metadata line covering
@@ -143,13 +329,46 @@ impl Dram {
     /// channel, bank and row (see [`META_BLOCK_BASE`]), so the burst
     /// contends with that channel's data bus and row machinery like any
     /// other access, and it never pre-opens the data block's row.
-    pub fn access_metadata(&mut self, block: BlockAddr, at: f64) -> DramAccess {
+    pub fn read_metadata(&mut self, block: BlockAddr, at: f64) -> DramAccess {
         let meta = META_BLOCK_BASE + MetadataCache::line_of(block);
         let (ch, local) = self.map(meta);
-        self.channels[ch].access(local, 1, at)
+        self.channels[ch].read(local, 1, at)
+    }
+
+    /// Hands the one-burst write-back of metadata line `line` to the
+    /// line's own channel (dirty MDC eviction). Routed exactly like
+    /// [`read_metadata`](Self::read_metadata), just on the write path.
+    pub fn write_metadata_line(&mut self, line: u64, at: f64) -> Option<DramAccess> {
+        let meta = META_BLOCK_BASE + line;
+        let (ch, local) = self.map(meta);
+        self.channels[ch].write(local, 1, at)
+    }
+
+    /// Drains every channel's buffered writes (end of kernel).
+    pub fn drain_writes(&mut self, now: f64) {
+        for ch in &mut self.channels {
+            ch.drain_writes(now);
+        }
+    }
+
+    /// Buffered writes not yet serviced, over all channels.
+    pub fn pending_writes(&self) -> usize {
+        self.channels.iter().map(Channel::pending_writes).sum()
+    }
+
+    /// Summed counters over all channels.
+    pub fn telemetry(&self) -> ChannelTelemetry {
+        let mut total = ChannelTelemetry::default();
+        for ch in &self.channels {
+            total.add(ch.telemetry());
+        }
+        total
     }
 
     /// Latest data-bus horizon over all channels.
+    ///
+    /// Meaningful as an end-of-run horizon only once buffered writes are
+    /// drained ([`drain_writes`](Self::drain_writes)).
     pub fn horizon(&self) -> f64 {
         self.channels.iter().map(Channel::free_at).fold(0.0, f64::max)
     }
@@ -163,30 +382,38 @@ mod tests {
         GpuConfig::default()
     }
 
+    fn cfg_with(policy: SchedPolicy) -> GpuConfig {
+        GpuConfig { sched_policy: policy, ..GpuConfig::default() }
+    }
+
     #[test]
     fn first_access_pays_row_miss() {
-        let mut ch = Channel::new(&cfg());
-        let a = ch.access(0, 4, 0.0);
-        assert!(!a.row_hit);
-        let expect = cfg().row_miss_sm_cycles() + 4.0 * cfg().burst_sm_cycles();
-        assert!((a.done - expect).abs() < 1e-9);
+        for policy in [SchedPolicy::InOrder, SchedPolicy::FrFcfs] {
+            let mut ch = Channel::new(&cfg_with(policy));
+            let a = ch.read(0, 4, 0.0);
+            assert!(!a.row_hit);
+            let expect = cfg().row_miss_sm_cycles() + 4.0 * cfg().burst_sm_cycles();
+            assert!((a.done - expect).abs() < 1e-9);
+        }
     }
 
     #[test]
     fn same_row_hits_after_open() {
         let mut ch = Channel::new(&cfg());
-        ch.access(0, 4, 0.0);
-        let a = ch.access(1, 4, 1000.0);
+        ch.read(0, 4, 0.0);
+        let a = ch.read(1, 4, 1000.0);
         assert!(a.row_hit, "block 1 lives in the same 2 KB row");
+        assert_eq!(ch.telemetry().row_hits, 1);
+        assert_eq!(ch.telemetry().row_misses, 1);
     }
 
     #[test]
     fn different_row_same_bank_misses() {
         let mut ch = Channel::new(&cfg());
-        ch.access(0, 4, 0.0);
+        ch.read(0, 4, 0.0);
         // Same bank reappears after banks * row_blocks blocks.
         let stride = cfg().banks_per_channel as u64 * cfg().row_blocks;
-        let a = ch.access(stride, 4, 1000.0);
+        let a = ch.read(stride, 4, 1000.0);
         assert!(!a.row_hit);
     }
 
@@ -195,19 +422,138 @@ mod tests {
         let mut ch = Channel::new(&cfg());
         // Two simultaneous accesses to different banks: second waits for
         // the data bus.
-        let a = ch.access(0, 4, 0.0);
-        let b = ch.access(16, 4, 0.0); // different bank (row group 1)
+        let a = ch.read(0, 4, 0.0);
+        let b = ch.read(16, 4, 0.0); // different bank (row group 1)
         assert!(b.done >= a.done + 4.0 * cfg().burst_sm_cycles() - 1e-9);
+        assert!(ch.telemetry().queue_wait > 0.0, "the second read queued on the bus");
     }
 
     #[test]
     fn fewer_bursts_finish_sooner() {
         let mut ch1 = Channel::new(&cfg());
         let mut ch4 = Channel::new(&cfg());
-        let t1 = ch1.access(0, 1, 0.0).done;
-        let t4 = ch4.access(0, 4, 0.0).done;
+        let t1 = ch1.read(0, 1, 0.0).done;
+        let t4 = ch4.read(0, 4, 0.0).done;
         assert!(t1 < t4);
         assert!((t4 - t1 - 3.0 * cfg().burst_sm_cycles()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn inorder_services_writes_immediately() {
+        let mut ch = Channel::new(&cfg_with(SchedPolicy::InOrder));
+        let a = ch.write(0, 4, 0.0).expect("InOrder writes are serviced at arrival");
+        assert!(!a.row_hit);
+        assert_eq!(ch.pending_writes(), 0);
+        assert!(ch.free_at() > 0.0);
+    }
+
+    #[test]
+    fn frfcfs_buffers_writes_until_drained() {
+        let mut ch = Channel::new(&cfg_with(SchedPolicy::FrFcfs));
+        assert!(ch.write(0, 4, 0.0).is_none(), "FR-FCFS buffers the write");
+        assert_eq!(ch.pending_writes(), 1);
+        assert_eq!(ch.free_at(), 0.0, "nothing has touched the bus yet");
+        ch.drain_writes(0.0);
+        assert_eq!(ch.pending_writes(), 0);
+        assert!(ch.free_at() > 0.0);
+        assert_eq!(ch.telemetry().write_drains, 1);
+        assert_eq!(ch.telemetry().write_drain_forced, 0);
+    }
+
+    #[test]
+    fn read_bypasses_buffered_writes() {
+        // A queued write to a far row must not delay a younger read under
+        // FR-FCFS; under InOrder the write occupies the bus first.
+        let far = cfg().banks_per_channel as u64 * cfg().row_blocks;
+        let in_order = {
+            let mut ch = Channel::new(&cfg_with(SchedPolicy::InOrder));
+            ch.write(far, 4, 0.0);
+            ch.read(0, 4, 0.0).done
+        };
+        let frfcfs = {
+            let mut ch = Channel::new(&cfg_with(SchedPolicy::FrFcfs));
+            ch.write(far, 4, 0.0);
+            ch.read(0, 4, 0.0).done
+        };
+        assert!(
+            frfcfs < in_order,
+            "read-over-write priority must shorten the read: {frfcfs} vs {in_order}"
+        );
+    }
+
+    #[test]
+    fn watermark_drains_to_half_capacity() {
+        let cfg = cfg_with(SchedPolicy::FrFcfs);
+        let mut ch = Channel::new(&cfg);
+        for i in 0..cfg.write_buffer_entries {
+            ch.write(i as u64, 4, 0.0);
+        }
+        assert_eq!(
+            ch.pending_writes(),
+            cfg.write_buffer_entries / 2,
+            "hitting the high watermark drains to half capacity"
+        );
+        assert!(ch.telemetry().write_drain_forced > 0);
+    }
+
+    #[test]
+    fn age_cap_forces_stale_writes_ahead_of_reads() {
+        let cfg = cfg_with(SchedPolicy::FrFcfs);
+        let mut ch = Channel::new(&cfg);
+        // Saturate the bus so the idle drain never triggers: the write
+        // can only leave via the starvation cap.
+        for i in 0..400u64 {
+            ch.read(i * 2, 4, 0.0);
+        }
+        assert!(ch.free_at() > cfg.sched_age_cap as f64 + 100.0);
+        ch.write(1, 4, 10.0);
+        // Just under the cap: reads keep bypassing the buffered write.
+        ch.read(3, 4, 10.0 + cfg.sched_age_cap as f64 - 1.0);
+        assert_eq!(ch.pending_writes(), 1);
+        // Past the cap: the stale write is forced out ahead of the read.
+        ch.read(5, 4, 11.0 + cfg.sched_age_cap as f64);
+        assert_eq!(ch.pending_writes(), 0);
+        assert_eq!(ch.telemetry().write_drain_forced, 1);
+    }
+
+    #[test]
+    fn idle_bus_drains_writes_before_a_read() {
+        let cfg = cfg_with(SchedPolicy::FrFcfs);
+        let mut ch = Channel::new(&cfg);
+        ch.write(0, 4, 0.0);
+        // The bus is idle between 0 and the read's arrival (which stays
+        // inside the age cap), so the write drains opportunistically (not
+        // force-counted) and the read still starts unobstructed.
+        let at = 500.0;
+        assert!(at < cfg.sched_age_cap as f64);
+        let read = ch.read(16, 4, at);
+        assert_eq!(ch.pending_writes(), 0);
+        assert_eq!(ch.telemetry().write_drains, 1);
+        assert_eq!(ch.telemetry().write_drain_forced, 0);
+        let expect = at + cfg.row_miss_sm_cycles() + 4.0 * cfg.burst_sm_cycles();
+        assert!((read.done - expect).abs() < 1e-9, "read unobstructed: {}", read.done);
+    }
+
+    #[test]
+    fn drain_groups_row_hits() {
+        // Writes ping-ponging between two rows of one bank: buffered
+        // FR-FCFS drain groups them per row, the in-order service
+        // activates on every single write.
+        let far = cfg().banks_per_channel as u64 * cfg().row_blocks;
+        let mut in_order = Channel::new(&cfg_with(SchedPolicy::InOrder));
+        let mut frfcfs = Channel::new(&cfg_with(SchedPolicy::FrFcfs));
+        for i in 0..6u64 {
+            let block = if i % 2 == 0 { i / 2 } else { far + i / 2 };
+            in_order.write(block, 4, 0.0);
+            frfcfs.write(block, 4, 0.0);
+        }
+        frfcfs.drain_writes(0.0);
+        assert_eq!(in_order.telemetry().row_misses, 6, "ping-pong activates every time");
+        assert!(
+            frfcfs.telemetry().row_misses < 6,
+            "row-hit-first drain must group rows: {} activates",
+            frfcfs.telemetry().row_misses
+        );
     }
 
     #[test]
@@ -224,10 +570,21 @@ mod tests {
     #[test]
     fn parallel_channels_do_not_serialise() {
         let mut dram = Dram::new(&cfg());
-        let a = dram.access(0, 4, 0.0);
-        let b = dram.access(1, 4, 0.0);
+        let a = dram.read(0, 4, 0.0);
+        let b = dram.read(1, 4, 0.0);
         // Different channels: both finish at the single-access time.
         assert!((a.done - b.done).abs() < 1e-9);
+    }
+
+    #[test]
+    fn metadata_writeback_routes_by_line_address() {
+        let mut dram = Dram::new(&cfg_with(SchedPolicy::FrFcfs));
+        dram.write_metadata_line(0, 0.0);
+        assert_eq!(dram.pending_writes(), 1);
+        dram.drain_writes(0.0);
+        assert_eq!(dram.pending_writes(), 0);
+        let t = dram.telemetry();
+        assert_eq!(t.row_misses, 1, "the line's own row activates");
     }
 
     #[test]
@@ -239,7 +596,7 @@ mod tests {
         let accesses = 10_000u64;
         let mut done = 0.0;
         for i in 0..accesses {
-            done = ch.access(i, 4, 0.0).done;
+            done = ch.read(i, 4, 0.0).done;
         }
         let bytes = accesses as f64 * 128.0;
         let per_cycle = bytes / done;

@@ -65,29 +65,18 @@ impl Engine {
                 heap.push(Reverse((sm.time(), i)));
             }
         }
-        let mut stats = SimStats::new();
+        // End-of-kernel: drain dirty L2 lines and the channel write
+        // buffers; execution ends when the last SM retires *and* the last
+        // write-back leaves the pins.
+        let end = sms.iter().map(SmState::time).max().unwrap_or(0);
+        let horizon = mem.flush(end);
+        // The memory system's counters are the starting point (no
+        // field-by-field copy to drift); SM-side counters fold in on top.
+        let mut stats = mem.into_stats();
         for sm in &sms {
             sm.accumulate(&mut stats);
         }
-        // End-of-kernel: drain dirty L2 lines; execution ends when the
-        // last SM retires *and* the last write-back leaves the pins.
-        let horizon = mem.flush(stats.cycles);
         stats.cycles = stats.cycles.max(horizon);
-        let mem_stats = mem.into_stats();
-        stats.l2_hits = mem_stats.l2_hits;
-        stats.l2_misses = mem_stats.l2_misses;
-        stats.dram_reads = mem_stats.dram_reads;
-        stats.dram_writes = mem_stats.dram_writes;
-        stats.read_bursts = mem_stats.read_bursts;
-        stats.write_bursts = mem_stats.write_bursts;
-        stats.metadata_bursts = mem_stats.metadata_bursts;
-        stats.mdc_hits = mem_stats.mdc_hits;
-        stats.mdc_misses = mem_stats.mdc_misses;
-        stats.decompressed_blocks = mem_stats.decompressed_blocks;
-        stats.compressed_blocks = mem_stats.compressed_blocks;
-        stats.row_hits = mem_stats.row_hits;
-        stats.row_misses = mem_stats.row_misses;
-        stats.read_latency_sum = mem_stats.read_latency_sum;
         stats
     }
 }

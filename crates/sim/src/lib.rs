@@ -36,6 +36,7 @@ pub mod stats;
 pub mod trace;
 
 pub use config::GpuConfig;
+pub use dram::sched::SchedPolicy;
 pub use engine::Engine;
 pub use mc::{BurstsMap, BurstsSource};
 pub use mem::{DevicePtr, GpuMemory, Region};

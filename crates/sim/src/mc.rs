@@ -137,7 +137,11 @@ impl BurstsSource for BurstsMap {
 /// L2 + memory controllers + DRAM: everything behind the interconnect.
 pub struct MemorySystem<'a> {
     l2: Cache,
-    mdc: MetadataCache,
+    /// `None` when the configuration disables the MDC
+    /// ([`GpuConfig::mdc_enabled`] = false): the controller of a GPU
+    /// without compression hardware — every block costs `max_bursts` and
+    /// no metadata traffic exists.
+    mdc: Option<MetadataCache>,
     dram: Dram,
     bursts: &'a dyn BurstsSource,
     stats: SimStats,
@@ -159,7 +163,7 @@ impl<'a> MemorySystem<'a> {
     pub fn new(cfg: &GpuConfig, bursts: &'a dyn BurstsSource) -> Self {
         Self {
             l2: Cache::new(cfg.l2_kb, cfg.l2_assoc),
-            mdc: MetadataCache::new(cfg.mdc_entries.next_power_of_two()),
+            mdc: cfg.mdc_enabled.then(|| MetadataCache::new(cfg.mdc_entries.next_power_of_two())),
             dram: Dram::new(cfg),
             bursts,
             stats: SimStats::new(),
@@ -172,43 +176,39 @@ impl<'a> MemorySystem<'a> {
     }
 
     fn clamped_bursts(&self, block: BlockAddr) -> u32 {
+        if self.mdc.is_none() {
+            // No MDC ⇒ the controller cannot know a per-block burst
+            // count; every block moves at the uncompressed maximum.
+            return self.max_bursts;
+        }
         self.bursts.bursts(block).clamp(1, self.max_bursts)
     }
 
     /// Resolves the MDC lookup for `block` at time `at`: on a miss the
     /// 32 B metadata line is fetched from DRAM — a real
-    /// [`Dram::access_metadata`] in the dedicated metadata address range,
+    /// [`Dram::read_metadata`] in the dedicated metadata address range,
     /// so it occupies a channel's data bus and opens a metadata row
     /// (never the data row) — and the returned start time is the fetch's
-    /// completion.
+    /// completion. With the MDC disabled there is no metadata machinery
+    /// at all and the request proceeds at `at`.
     ///
-    /// Row-outcome policy: **every** DRAM access command counts in
-    /// `row_hits`/`row_misses`, metadata lines included — the counters
-    /// feed the row-activation energy term, and a metadata activate
-    /// costs the same row cycle as a data activate. Both the fetch and
-    /// writeback paths share this helper, so the policy cannot drift
-    /// between them.
+    /// Hit/miss accounting lives inside [`MetadataCache`] — the single
+    /// source of truth, surfaced into `SimStats` at harvest time — and
+    /// row outcomes are counted by the channel servicing each access
+    /// command (metadata lines included; see
+    /// [`crate::dram::ChannelTelemetry`]). Both
+    /// the fetch and writeback paths share this helper, so neither
+    /// policy can drift between them.
     fn mdc_lookup(&mut self, block: BlockAddr, at: u64) -> f64 {
-        match self.mdc.access(block) {
-            MdcOutcome::Hit => {
-                self.stats.mdc_hits += 1;
-                at as f64
-            }
+        let Some(mdc) = &mut self.mdc else {
+            return at as f64;
+        };
+        match mdc.access(block) {
+            MdcOutcome::Hit => at as f64,
             MdcOutcome::Miss => {
-                self.stats.mdc_misses += 1;
                 self.stats.metadata_bursts += 1;
-                let meta = self.dram.access_metadata(block, at as f64);
-                self.count_row(meta.row_hit);
-                meta.done
+                self.dram.read_metadata(block, at as f64).done
             }
-        }
-    }
-
-    fn count_row(&mut self, row_hit: bool) {
-        if row_hit {
-            self.stats.row_hits += 1;
-        } else {
-            self.stats.row_misses += 1;
         }
     }
 
@@ -219,8 +219,7 @@ impl<'a> MemorySystem<'a> {
         // MDC tells the MC how many bursts to fetch; a miss first pulls
         // the 32 B metadata line, which delays the data transfer.
         let start = self.mdc_lookup(block, at);
-        let access = self.dram.access(block, bursts, start);
-        self.count_row(access.row_hit);
+        let access = self.dram.read(block, bursts, start);
         self.stats.dram_reads += 1;
         self.stats.read_bursts += u64::from(bursts);
         let mut done = access.done.ceil() as u64;
@@ -231,7 +230,8 @@ impl<'a> MemorySystem<'a> {
         done
     }
 
-    /// Writes `block` back to DRAM (fire-and-forget).
+    /// Writes `block` back to DRAM (fire-and-forget; the channel
+    /// scheduler decides when the write actually occupies the bus).
     fn dram_writeback(&mut self, block: BlockAddr, at: u64) {
         let bursts = self.clamped_bursts(block);
         let compressed = bursts < self.max_bursts;
@@ -244,8 +244,7 @@ impl<'a> MemorySystem<'a> {
         // miss pays the metadata fetch on the channel — exactly like the
         // fetch path — and delays the data transfer behind it.
         let start = self.mdc_lookup(block, at);
-        let access = self.dram.access(block, bursts, start);
-        self.count_row(access.row_hit);
+        self.dram.write(block, bursts, start);
         self.stats.dram_writes += 1;
         self.stats.write_bursts += u64::from(bursts);
     }
@@ -287,23 +286,44 @@ impl<'a> MemorySystem<'a> {
         }
     }
 
-    /// Flushes all dirty L2 lines at end of kernel; returns the DRAM
-    /// horizon after the flush.
+    /// Flushes all dirty L2 lines at end of kernel, drains every
+    /// channel's buffered writes, and returns the DRAM horizon after the
+    /// drain.
     pub fn flush(&mut self, at: u64) -> u64 {
         for victim in self.l2.flush_dirty() {
             self.dram_writeback(victim, at);
         }
+        self.dram.drain_writes(at as f64);
         self.dram.horizon().ceil() as u64
+    }
+
+    /// Folds the distributed counters (MDC hit/miss, per-channel row
+    /// outcomes and scheduler telemetry) into `base` — the one place the
+    /// single-source counters surface as `SimStats`.
+    fn harvest(&self, mut base: SimStats) -> SimStats {
+        if let Some(mdc) = &self.mdc {
+            base.mdc_hits = mdc.hits();
+            base.mdc_misses = mdc.misses();
+        }
+        let t = self.dram.telemetry();
+        base.row_hits = t.row_hits;
+        base.row_misses = t.row_misses;
+        base.queue_wait_cycles = t.queue_wait as u64;
+        base.write_drains = t.write_drains;
+        base.write_drain_forced = t.write_drain_forced;
+        base
     }
 
     /// Consumes the system, yielding its statistics.
     pub fn into_stats(self) -> SimStats {
-        self.stats
+        let base = self.stats.clone();
+        self.harvest(base)
     }
 
-    /// Statistics so far.
-    pub fn stats(&self) -> &SimStats {
-        &self.stats
+    /// Statistics so far. Note buffered writes' row outcomes materialise
+    /// only once serviced (watermark/idle drains or [`Self::flush`]).
+    pub fn stats(&self) -> SimStats {
+        self.harvest(self.stats.clone())
     }
 }
 

@@ -34,6 +34,9 @@ pub struct SimStats {
     pub write_bursts: u64,
     /// Extra bursts spent fetching compression metadata on MDC misses.
     pub metadata_bursts: u64,
+    /// Bursts spent writing dirty metadata lines back to DRAM (MDC
+    /// evictions and the end-of-kernel drain).
+    pub metadata_writeback_bursts: u64,
     /// Metadata cache hits.
     pub mdc_hits: u64,
     /// Metadata cache misses.
@@ -51,6 +54,17 @@ pub struct SimStats {
     pub row_misses: u64,
     /// Sum over read requests of (completion - issue), for latency stats.
     pub read_latency_sum: u64,
+    /// SM cycles DRAM requests spent queued on a busy bank or data bus
+    /// beyond the pure access latency (buffered writes count from
+    /// arrival), summed over all channels and truncated to whole cycles.
+    pub queue_wait_cycles: u64,
+    /// Writes serviced out of the FR-FCFS write buffers (0 under the
+    /// `InOrder` policy, where writes never buffer).
+    pub write_drains: u64,
+    /// Of [`write_drains`](Self::write_drains), those forced by a full
+    /// buffer (high watermark) or the starvation age cap rather than an
+    /// idle bus or the end-of-kernel drain.
+    pub write_drain_forced: u64,
 }
 
 impl SimStats {
@@ -59,9 +73,10 @@ impl SimStats {
         Self::default()
     }
 
-    /// Total data bursts (reads + writes + metadata).
+    /// Total bursts over the pins (reads + writes + metadata fetches +
+    /// metadata write-backs).
     pub fn total_bursts(&self) -> u64 {
-        self.read_bursts + self.write_bursts + self.metadata_bursts
+        self.read_bursts + self.write_bursts + self.metadata_bursts + self.metadata_writeback_bursts
     }
 
     /// Bytes moved over the DRAM pins, given the MAG in bytes.
