@@ -134,8 +134,8 @@ fn ablate_mdc(c: &mut Criterion) {
         let mut mdc = MetadataCache::new(entries);
         // Two interleaved streams, as in a load+store kernel.
         for i in 0..32_768u64 {
-            mdc.access(i);
-            mdc.access(1 << 20 | i);
+            mdc.access(i, false);
+            mdc.access(1 << 20 | i, false);
         }
         println!("{entries:>10} {:>9.2}%", mdc.hit_rate() * 100.0);
     }
@@ -144,7 +144,7 @@ fn ablate_mdc(c: &mut Criterion) {
         let mut i = 0u64;
         b.iter(|| {
             i += 1;
-            mdc.access(i)
+            mdc.access(i, false)
         })
     });
 }

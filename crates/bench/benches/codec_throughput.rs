@@ -22,7 +22,8 @@ use slc_compress::e2mc::{E2mc, E2mcConfig};
 use slc_compress::fpc::Fpc;
 use slc_compress::{Block, BlockCompressor, Mag, BLOCK_BYTES};
 use slc_core::slc::{SlcCompressor, SlcConfig, SlcVariant};
-use slc_sim::GpuMemory;
+use slc_sim::dram::Channel;
+use slc_sim::{GpuConfig, GpuMemory, SchedPolicy};
 use slc_workloads::analysis::SnapshotAnalysis;
 use slc_workloads::scheme::{BurstsAccumulator, Scheme};
 
@@ -215,6 +216,42 @@ fn bench_eval_paths(c: &mut Criterion) {
     g.finish();
 }
 
+/// The timing simulator's channel hot loop: one FR-FCFS channel
+/// servicing a mixed request pattern — streaming row hits, periodic far
+/// rows (bank conflicts), ~1/4 buffered writes — then draining. This is
+/// the code every L2 miss of every timing pass runs through;
+/// `sim/channel_frfcfs` guards the scheduler's arbitration cost.
+fn bench_sim_paths(c: &mut Criterion) {
+    let cfg = GpuConfig::default().with_sched_policy(SchedPolicy::FrFcfs);
+    let ops: Vec<(u64, u32, f64, bool)> = (0..64u64)
+        .map(|i| {
+            let block = if i % 8 == 7 { 2048 + i } else { i * 2 };
+            let bursts = 1 + (i % 4) as u32;
+            (block, bursts, i as f64 * 4.0, i % 4 == 3)
+        })
+        .collect();
+    let mut g = c.benchmark_group("sim");
+    g.bench_function("channel_frfcfs", |b| {
+        let proto = Channel::new(&cfg);
+        b.iter_batched(
+            || proto.clone(),
+            |mut ch| {
+                for &(block, bursts, at, write) in &ops {
+                    if write {
+                        ch.write(block, bursts, at);
+                    } else {
+                        ch.read(block, bursts, at);
+                    }
+                }
+                ch.drain_writes(256.0);
+                ch.free_at()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
 /// Serialises results as the `BENCH_codec.json` baseline.
 fn write_baseline(c: &Criterion) {
     let path = std::env::var("BENCH_CODEC_JSON")
@@ -241,5 +278,6 @@ fn main() {
     bench_codecs(&mut c);
     bench_slc_paths(&mut c);
     bench_eval_paths(&mut c);
+    bench_sim_paths(&mut c);
     write_baseline(&c);
 }

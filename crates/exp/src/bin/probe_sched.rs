@@ -1,0 +1,60 @@
+//! Diagnostic: timing under the scheduler-policy matrix. Not a paper
+//! figure — the tuning aid that attributes PR 5's model changes.
+//!
+//! For every benchmark, NOCOMP cycles under {InOrder, FR-FCFS} × {MDC,
+//! no MDC} (the pre-PR baseline is InOrder + MDC; the fixed baseline is
+//! FR-FCFS without an MDC) and E2MC cycles under both policies, plus the
+//! FR-FCFS write-drain telemetry of the E2MC run.
+
+use slc_sim::mc::UniformBursts;
+use slc_sim::{Engine, SchedPolicy};
+use slc_workloads::{all_workloads, Harness, Scale, Scheme};
+
+fn main() {
+    let scale = Scale::from_env();
+    let h = Harness::new(scale);
+    println!("NOCOMP cycles per policy x MDC, E2MC cycles per policy (scale {scale:?})");
+    println!(
+        "{:>6} {:>12} {:>12} {:>12} {:>12} {:>10} {:>10} {:>8} {:>8}",
+        "bench",
+        "no_in_mdc",
+        "no_in",
+        "no_fr_mdc",
+        "no_fr",
+        "e2mc_in",
+        "e2mc_fr",
+        "drains",
+        "forced"
+    );
+    for w in all_workloads(scale) {
+        let a = h.prepare(w.as_ref());
+        let max = h.config.max_bursts();
+        let nocomp = |policy: SchedPolicy, mdc: bool| {
+            let mut cfg = h.config.clone().with_sched_policy(policy);
+            if !mdc {
+                cfg = cfg.without_mdc();
+            }
+            Engine::new(cfg).run(&a.trace, &UniformBursts(max)).cycles
+        };
+        let e2mc = Scheme::E2mc(a.e2mc.clone());
+        let run_e2mc = |policy: SchedPolicy| {
+            let h2 = h.clone().with_config(h.config.clone().with_sched_policy(policy));
+            let f = h2.run_functional(w.as_ref(), &a, &e2mc);
+            h2.run_timing(&a, &f, &e2mc).stats
+        };
+        let e2mc_in = run_e2mc(SchedPolicy::InOrder);
+        let e2mc_fr = run_e2mc(SchedPolicy::FrFcfs);
+        println!(
+            "{:>6} {:>12} {:>12} {:>12} {:>12} {:>10} {:>10} {:>8} {:>8}",
+            a.name,
+            nocomp(SchedPolicy::InOrder, true),
+            nocomp(SchedPolicy::InOrder, false),
+            nocomp(SchedPolicy::FrFcfs, true),
+            nocomp(SchedPolicy::FrFcfs, false),
+            e2mc_in.cycles,
+            e2mc_fr.cycles,
+            e2mc_fr.write_drains,
+            e2mc_fr.write_drain_forced
+        );
+    }
+}

@@ -112,7 +112,7 @@ impl Default for GpuConfig {
             t_cas: 12.0,
             t_rcd: 12.0,
             t_rp: 12.0,
-            sched_policy: SchedPolicy::InOrder,
+            sched_policy: SchedPolicy::FrFcfs,
             write_buffer_entries: 16,
             sched_age_cap: 1000,
             compress_latency: 0,

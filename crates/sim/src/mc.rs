@@ -192,6 +192,13 @@ impl<'a> MemorySystem<'a> {
     /// completion. With the MDC disabled there is no metadata machinery
     /// at all and the request proceeds at `at`.
     ///
+    /// `dirty` marks the line updated (the write-back path changes the
+    /// block's burst count); evicting a dirty line issues the 32 B store
+    /// of the victim to DRAM — a real [`Dram::write_metadata_line`] the
+    /// channel scheduler sequences like any other write — counted in
+    /// `metadata_writeback_bursts`. The victim's store never delays this
+    /// request: the controller services the demand fetch first.
+    ///
     /// Hit/miss accounting lives inside [`MetadataCache`] — the single
     /// source of truth, surfaced into `SimStats` at harvest time — and
     /// row outcomes are counted by the channel servicing each access
@@ -199,15 +206,23 @@ impl<'a> MemorySystem<'a> {
     /// [`crate::dram::ChannelTelemetry`]). Both
     /// the fetch and writeback paths share this helper, so neither
     /// policy can drift between them.
-    fn mdc_lookup(&mut self, block: BlockAddr, at: u64) -> f64 {
+    fn mdc_lookup(&mut self, block: BlockAddr, at: u64, dirty: bool) -> f64 {
         let Some(mdc) = &mut self.mdc else {
             return at as f64;
         };
-        match mdc.access(block) {
+        match mdc.access(block, dirty) {
             MdcOutcome::Hit => at as f64,
-            MdcOutcome::Miss => {
+            MdcOutcome::Miss { evicted_dirty_line } => {
+                // Demand fetch first: the victim's store is handed to the
+                // scheduler only after the fetch holds the bus, so it can
+                // never delay the miss it was evicted for.
                 self.stats.metadata_bursts += 1;
-                self.dram.read_metadata(block, at as f64).done
+                let done = self.dram.read_metadata(block, at as f64).done;
+                if let Some(line) = evicted_dirty_line {
+                    self.stats.metadata_writeback_bursts += 1;
+                    self.dram.write_metadata_line(line, at as f64);
+                }
+                done
             }
         }
     }
@@ -218,7 +233,7 @@ impl<'a> MemorySystem<'a> {
         let compressed = bursts < self.max_bursts;
         // MDC tells the MC how many bursts to fetch; a miss first pulls
         // the 32 B metadata line, which delays the data transfer.
-        let start = self.mdc_lookup(block, at);
+        let start = self.mdc_lookup(block, at, false);
         let access = self.dram.read(block, bursts, start);
         self.stats.dram_reads += 1;
         self.stats.read_bursts += u64::from(bursts);
@@ -240,10 +255,11 @@ impl<'a> MemorySystem<'a> {
             self.stats.compressed_blocks += 1;
             at += self.compress_latency;
         }
-        // Keep the metadata line resident for the updated burst count; a
-        // miss pays the metadata fetch on the channel — exactly like the
-        // fetch path — and delays the data transfer behind it.
-        let start = self.mdc_lookup(block, at);
+        // Keep the metadata line resident for the updated burst count
+        // (dirtying it); a miss pays the metadata fetch on the channel —
+        // exactly like the fetch path — and delays the data transfer
+        // behind it.
+        let start = self.mdc_lookup(block, at, true);
         self.dram.write(block, bursts, start);
         self.stats.dram_writes += 1;
         self.stats.write_bursts += u64::from(bursts);
@@ -286,12 +302,18 @@ impl<'a> MemorySystem<'a> {
         }
     }
 
-    /// Flushes all dirty L2 lines at end of kernel, drains every
-    /// channel's buffered writes, and returns the DRAM horizon after the
-    /// drain.
+    /// Flushes all dirty L2 lines at end of kernel, streams the dirty
+    /// metadata lines still resident in the MDC back to DRAM (their
+    /// burst-count updates must land), drains every channel's buffered
+    /// writes, and returns the DRAM horizon after the drain.
     pub fn flush(&mut self, at: u64) -> u64 {
         for victim in self.l2.flush_dirty() {
             self.dram_writeback(victim, at);
+        }
+        let dirty_lines = self.mdc.as_mut().map(MetadataCache::drain_dirty).unwrap_or_default();
+        for line in dirty_lines {
+            self.stats.metadata_writeback_bursts += 1;
+            self.dram.write_metadata_line(line, at as f64);
         }
         self.dram.drain_writes(at as f64);
         self.dram.horizon().ceil() as u64
@@ -458,6 +480,68 @@ mod tests {
         assert_eq!(m.stats().mdc_misses, 1);
         assert_eq!(m.stats().mdc_hits, 1);
         assert_eq!(m.stats().metadata_bursts, 1, "one line serves both write-backs");
+    }
+
+    #[test]
+    fn disabled_mdc_runs_metadata_free() {
+        // The NOCOMP controller: no MDC, no metadata traffic, every block
+        // at the uncompressed maximum — even when the burst source claims
+        // blocks compress (there is no metadata to say so in hardware).
+        let cfg = cfg().without_mdc();
+        let one = UniformBursts(1);
+        let mut m = MemorySystem::new(&cfg, &one);
+        m.load(0, 0);
+        m.store(3, 10);
+        m.flush(100_000);
+        let s = m.stats();
+        assert_eq!(s.mdc_hits + s.mdc_misses, 0, "no MDC to hit or miss");
+        assert_eq!(s.metadata_bursts, 0);
+        assert_eq!(s.metadata_writeback_bursts, 0);
+        assert_eq!(s.read_bursts, 4, "max bursts, ignoring the burst source");
+        assert_eq!(s.write_bursts, 4);
+        assert_eq!(s.decompressed_blocks, 0);
+        assert_eq!(s.compressed_blocks, 0);
+    }
+
+    #[test]
+    fn dirty_mdc_eviction_writes_the_line_back() {
+        // A one-entry MDC: the second write-back's metadata line evicts
+        // the first, whose burst-count update must be stored to DRAM (one
+        // metadata write-back burst), and the survivor drains at flush
+        // (the second).
+        let mut cfg = cfg();
+        cfg.mdc_entries = 1;
+        let u = UniformBursts(2);
+        let mut m = MemorySystem::new(&cfg, &u);
+        m.store(0, 0); // metadata line 0
+        m.store(crate::mdc::BLOCKS_PER_META_LINE, 0); // metadata line 1
+        let s = m.stats();
+        assert_eq!(s.metadata_writeback_bursts, 0, "write-back: nothing leaves yet");
+        m.flush(100);
+        let s = m.stats();
+        assert_eq!(s.mdc_misses, 2);
+        assert_eq!(s.metadata_bursts, 2, "both lines fetched");
+        assert_eq!(
+            s.metadata_writeback_bursts, 2,
+            "one dirty eviction + one dirty line at the final drain"
+        );
+        assert_eq!(s.total_bursts(), 2 + 2 + 2 * 2, "write-backs count on the pins");
+    }
+
+    #[test]
+    fn clean_metadata_lines_never_write_back() {
+        // Read-only traffic dirties nothing: evictions and the final
+        // drain stay silent however small the MDC.
+        let mut cfg = cfg();
+        cfg.mdc_entries = 1;
+        let u = UniformBursts(2);
+        let mut m = MemorySystem::new(&cfg, &u);
+        m.load(0, 0);
+        m.load(crate::mdc::BLOCKS_PER_META_LINE, 50_000); // evicts line 0
+        m.flush(100_000);
+        let s = m.stats();
+        assert_eq!(s.mdc_misses, 2);
+        assert_eq!(s.metadata_writeback_bursts, 0);
     }
 
     #[test]

@@ -6,6 +6,14 @@
 //! lines in the memory controller; a miss costs one extra metadata burst
 //! on the channel the line's own DRAM address maps to (see
 //! `slc_sim::dram::META_BLOCK_BASE` for the addressing scheme).
+//!
+//! Write-backs *update* metadata (the block's burst count changes with
+//! its newly compressed size), so lines track a dirty bit: evicting a
+//! dirty line must store the 32 B line back to DRAM — dropping it would
+//! lose the update — and whatever is dirty at end of kernel drains then.
+//! The cache is also the single source of truth for its own hit/miss
+//! counters; `SimStats` surfaces them at harvest time instead of keeping
+//! a parallel tally.
 
 use crate::BlockAddr;
 
@@ -17,14 +25,26 @@ pub const BLOCKS_PER_META_LINE: u64 = 128;
 pub enum MdcOutcome {
     /// Metadata line resident: burst count known immediately.
     Hit,
-    /// Metadata line absent: one metadata burst must be fetched.
-    Miss,
+    /// Metadata line absent: one metadata burst must be fetched, and a
+    /// dirty victim (if any) must be written back to DRAM first.
+    Miss {
+        /// Line index of the evicted entry whose update would otherwise
+        /// be lost; `None` when the slot was empty or clean.
+        evicted_dirty_line: Option<u64>,
+    },
 }
 
-/// Direct-mapped metadata cache.
+/// One resident metadata line.
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    line: u64,
+    dirty: bool,
+}
+
+/// Direct-mapped metadata cache with per-line dirty state.
 #[derive(Debug, Clone)]
 pub struct MetadataCache {
-    tags: Vec<Option<u64>>,
+    entries: Vec<Option<Entry>>,
     hits: u64,
     misses: u64,
 }
@@ -37,7 +57,7 @@ impl MetadataCache {
     /// Panics unless `entries` is a power of two.
     pub fn new(entries: usize) -> Self {
         assert!(entries.is_power_of_two(), "MDC entries must be a power of two");
-        Self { tags: vec![None; entries], hits: 0, misses: 0 }
+        Self { entries: vec![None; entries], hits: 0, misses: 0 }
     }
 
     /// Metadata line index of a block.
@@ -46,17 +66,36 @@ impl MetadataCache {
     }
 
     /// Looks up the metadata line covering `block`, installing it on miss.
-    pub fn access(&mut self, block: BlockAddr) -> MdcOutcome {
+    /// `dirty` marks the line as updated (a write-back changed the
+    /// block's burst count); fetch-path lookups pass `false`.
+    pub fn access(&mut self, block: BlockAddr, dirty: bool) -> MdcOutcome {
         let line = Self::line_of(block);
-        let idx = (line as usize) & (self.tags.len() - 1);
-        if self.tags[idx] == Some(line) {
-            self.hits += 1;
-            MdcOutcome::Hit
-        } else {
-            self.tags[idx] = Some(line);
-            self.misses += 1;
-            MdcOutcome::Miss
+        let idx = (line as usize) & (self.entries.len() - 1);
+        if let Some(entry) = &mut self.entries[idx] {
+            if entry.line == line {
+                self.hits += 1;
+                entry.dirty |= dirty;
+                return MdcOutcome::Hit;
+            }
         }
+        let evicted_dirty_line =
+            self.entries[idx].filter(|victim| victim.dirty).map(|victim| victim.line);
+        self.entries[idx] = Some(Entry { line, dirty });
+        self.misses += 1;
+        MdcOutcome::Miss { evicted_dirty_line }
+    }
+
+    /// Marks every resident line clean and returns the lines that were
+    /// dirty, in slot order — the end-of-kernel metadata drain.
+    pub fn drain_dirty(&mut self) -> Vec<u64> {
+        let mut dirty = Vec::new();
+        for entry in self.entries.iter_mut().flatten() {
+            if entry.dirty {
+                entry.dirty = false;
+                dirty.push(entry.line);
+            }
+        }
+        dirty
     }
 
     /// Hits so far.
@@ -84,31 +123,80 @@ impl MetadataCache {
 mod tests {
     use super::*;
 
+    fn miss(outcome: MdcOutcome) -> bool {
+        matches!(outcome, MdcOutcome::Miss { .. })
+    }
+
     #[test]
     fn blocks_share_metadata_lines() {
         let mut mdc = MetadataCache::new(64);
-        assert_eq!(mdc.access(0), MdcOutcome::Miss);
+        assert!(miss(mdc.access(0, false)));
         // The next 127 blocks share the same line.
         for b in 1..BLOCKS_PER_META_LINE {
-            assert_eq!(mdc.access(b), MdcOutcome::Hit, "block {b}");
+            assert_eq!(mdc.access(b, false), MdcOutcome::Hit, "block {b}");
         }
-        assert_eq!(mdc.access(BLOCKS_PER_META_LINE), MdcOutcome::Miss);
+        assert!(miss(mdc.access(BLOCKS_PER_META_LINE, false)));
         assert_eq!(mdc.misses(), 2);
     }
 
     #[test]
     fn direct_mapped_conflicts_evict() {
         let mut mdc = MetadataCache::new(2);
-        assert_eq!(mdc.access(0), MdcOutcome::Miss); // line 0 -> idx 0
-        assert_eq!(mdc.access(2 * BLOCKS_PER_META_LINE), MdcOutcome::Miss); // line 2 -> idx 0
-        assert_eq!(mdc.access(0), MdcOutcome::Miss, "line 0 was evicted");
+        assert!(miss(mdc.access(0, false))); // line 0 -> idx 0
+        assert!(miss(mdc.access(2 * BLOCKS_PER_META_LINE, false))); // line 2 -> idx 0
+        assert!(miss(mdc.access(0, false)), "line 0 was evicted");
+    }
+
+    #[test]
+    fn clean_evictions_write_nothing_back() {
+        let mut mdc = MetadataCache::new(2);
+        assert_eq!(mdc.access(0, false), MdcOutcome::Miss { evicted_dirty_line: None });
+        assert_eq!(
+            mdc.access(2 * BLOCKS_PER_META_LINE, false),
+            MdcOutcome::Miss { evicted_dirty_line: None },
+            "the victim was never written"
+        );
+    }
+
+    #[test]
+    fn dirty_eviction_surfaces_the_victim_line() {
+        let mut mdc = MetadataCache::new(2);
+        mdc.access(0, true); // line 0 dirty
+        assert_eq!(
+            mdc.access(2 * BLOCKS_PER_META_LINE, false),
+            MdcOutcome::Miss { evicted_dirty_line: Some(0) }
+        );
+        // The replacement installed clean: evicting it again is silent.
+        assert_eq!(mdc.access(0, false), MdcOutcome::Miss { evicted_dirty_line: None });
+    }
+
+    #[test]
+    fn hits_accumulate_dirtiness() {
+        let mut mdc = MetadataCache::new(2);
+        mdc.access(0, false); // clean install
+        assert_eq!(mdc.access(1, true), MdcOutcome::Hit, "same line");
+        assert_eq!(
+            mdc.access(2 * BLOCKS_PER_META_LINE, false),
+            MdcOutcome::Miss { evicted_dirty_line: Some(0) },
+            "the hit dirtied the resident line"
+        );
+    }
+
+    #[test]
+    fn drain_returns_each_dirty_line_once() {
+        let mut mdc = MetadataCache::new(4);
+        mdc.access(0, true); // line 0
+        mdc.access(BLOCKS_PER_META_LINE, false); // line 1, clean
+        mdc.access(2 * BLOCKS_PER_META_LINE, true); // line 2
+        assert_eq!(mdc.drain_dirty(), vec![0, 2]);
+        assert_eq!(mdc.drain_dirty(), Vec::<u64>::new(), "drain cleans the lines");
     }
 
     #[test]
     fn streaming_hit_rate_is_high() {
         let mut mdc = MetadataCache::new(512);
         for b in 0..10_000u64 {
-            mdc.access(b);
+            mdc.access(b, false);
         }
         assert!(mdc.hit_rate() > 0.99, "got {}", mdc.hit_rate());
     }

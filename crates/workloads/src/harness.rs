@@ -270,6 +270,12 @@ impl Harness {
     }
 
     /// Step 4: the timing pass.
+    ///
+    /// The NOCOMP baseline runs with the MDC removed
+    /// ([`GpuConfig::without_mdc`]): a GPU without compression hardware
+    /// has no metadata cache, so the baseline must pay neither MDC
+    /// lookups nor metadata DRAM traffic — every block simply moves at
+    /// the MAG's maximum burst count.
     pub fn run_timing(
         &self,
         artifacts: &BenchmarkArtifacts,
@@ -277,7 +283,10 @@ impl Harness {
         scheme: &Scheme,
     ) -> TimingOutcome {
         let (compress, decompress) = scheme.codec_latency();
-        let cfg = self.config.clone().with_codec_latency(compress, decompress);
+        let mut cfg = self.config.clone().with_codec_latency(compress, decompress);
+        if matches!(scheme, Scheme::Uncompressed) {
+            cfg = cfg.without_mdc();
+        }
         let stats = Engine::new(cfg).run(&artifacts.trace, &functional.bursts);
         TimingOutcome { kind: scheme.kind(), stats }
     }
@@ -385,6 +394,29 @@ mod tests {
             "SLC must cut traffic: {} vs {}",
             f_lossy.bursts.mean_bursts(),
             f_lossless.bursts.mean_bursts()
+        );
+    }
+
+    #[test]
+    fn nocomp_baseline_pays_no_metadata() {
+        // A GPU without compression has no MDC: the NOCOMP timing run
+        // must record zero MDC activity and zero metadata traffic, while
+        // a compressed scheme on the same trace pays real metadata
+        // fetches *and* write-backs (its stores update burst counts).
+        let h = harness();
+        let nn = Nn::new(Scale::Tiny);
+        let artifacts = h.prepare(&nn);
+        let (_, t) = h.evaluate(&nn, &artifacts, &Scheme::Uncompressed);
+        assert_eq!(t.stats.mdc_hits + t.stats.mdc_misses, 0, "NOCOMP has no MDC");
+        assert_eq!(t.stats.metadata_bursts, 0);
+        assert_eq!(t.stats.metadata_writeback_bursts, 0);
+        let lossless = Scheme::E2mc(artifacts.e2mc.clone());
+        let (_, tc) = h.evaluate(&nn, &artifacts, &lossless);
+        assert!(tc.stats.mdc_hits + tc.stats.mdc_misses > 0);
+        assert!(tc.stats.metadata_bursts > 0);
+        assert!(
+            tc.stats.metadata_writeback_bursts > 0,
+            "write-heavy run must store updated metadata lines"
         );
     }
 
