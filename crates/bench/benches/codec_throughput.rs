@@ -23,7 +23,7 @@ use slc_compress::fpc::Fpc;
 use slc_compress::{Block, BlockCompressor, Mag, BLOCK_BYTES};
 use slc_core::slc::{SlcCompressor, SlcConfig, SlcVariant};
 use slc_sim::dram::Channel;
-use slc_sim::{GpuConfig, GpuMemory, SchedPolicy};
+use slc_sim::{FaultConfig, FaultMap, FaultPattern, GpuConfig, GpuMemory, SchedPolicy};
 use slc_workloads::analysis::SnapshotAnalysis;
 use slc_workloads::scheme::{BurstsAccumulator, Scheme};
 
@@ -248,6 +248,26 @@ fn bench_sim_paths(c: &mut Criterion) {
             },
             BatchSize::SmallInput,
         )
+    });
+    // The degradation ladder's per-block hot query: every block of every
+    // snapshot asks the fault map "are you faulty, and what budget do I
+    // get?". `sim/fault_sweep` guards the hash-chain lookup cost that
+    // multiplies into every fault-injected functional run.
+    let fault_cfg =
+        GpuConfig::default().with_faults(FaultConfig::new(FaultPattern::RandomRows, 0.1, 7));
+    let map = FaultMap::from_config(&fault_cfg).expect("fault config is set");
+    g.bench_function("fault_sweep", |b| {
+        b.iter(|| {
+            let mut faulty = 0u64;
+            let mut budget = 0u64;
+            for addr in 0..4096u64 {
+                if let Some(bits) = map.block_budget_bits(addr) {
+                    faulty += 1;
+                    budget += u64::from(bits);
+                }
+            }
+            (faulty, budget)
+        })
     });
     g.finish();
 }

@@ -81,5 +81,5 @@ pub mod slc;
 pub mod tree;
 
 pub use budget::{BudgetDecision, ModeChoice};
-pub use slc::{SlcCompressed, SlcCompressor, SlcConfig, SlcVariant, StoredKind};
+pub use slc::{FitOutcome, SlcCompressed, SlcCompressor, SlcConfig, SlcVariant, StoredKind};
 pub use tree::{CodeLengthTree, Selection};

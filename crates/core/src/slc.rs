@@ -7,7 +7,7 @@
 //! the block, filling truncated symbols via the configured predictor.
 
 use crate::budget::{BudgetDecision, ModeChoice};
-use crate::header::{SlcHeader, LOSSY_HEADER_DELTA};
+use crate::header::{SlcHeader, LOSSLESS_HEADER_BITS, LOSSY_HEADER_DELTA};
 use crate::predict::{fill_approximated, PredictorKind};
 use crate::tree::{CodeLengthTree, Selection};
 use slc_compress::bitstream::{BitReader, BitWriter};
@@ -96,6 +96,43 @@ impl SlcConfig {
     pub fn predictor(&self) -> PredictorKind {
         self.predictor
     }
+}
+
+/// Verdict of fitting one approximable block into a constrained bit
+/// budget — the fault-tolerance degradation ladder's per-block decision
+/// (see [`SlcCompressor::fit_within_with`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FitOutcome {
+    /// The fault-free stored form already fits the budget: store it
+    /// unchanged (no escalation).
+    Natural {
+        /// Stored size in bits, identical to
+        /// [`SlcCompressor::stored_bits_with`].
+        bits: u32,
+        /// Whether that natural form is lossy.
+        lossy: bool,
+    },
+    /// The full lossless stream fits the budget even though the
+    /// fault-free pipeline stores this block verbatim (compressing saved
+    /// no bursts at full row capacity — it saves the row now). No data
+    /// loss; encode with [`SlcCompressor::compress_lossless_with`].
+    Lossless {
+        /// Stored size in bits (the lossless E2MC size under SLC
+        /// framing), `<= budget_bits`.
+        bits: u32,
+    },
+    /// A *deeper* lossy truncation than the fault-free decision fits the
+    /// budget — encode with [`SlcCompressor::compress_degraded`].
+    Degraded {
+        /// Stored size in bits, `<= budget_bits`.
+        bits: u32,
+        /// The Fig. 5 selection that frees enough codewords.
+        selection: Selection,
+    },
+    /// No stored form fits: even the deepest truncation the tree offers
+    /// overshoots the budget. The block must be remapped (or counted
+    /// uncorrectable).
+    Unstorable,
 }
 
 /// How a block was stored.
@@ -272,6 +309,87 @@ impl SlcCompressor {
     /// skipped entirely (the MDC's max burst count identifies it).
     fn lossless_saves_nothing(&self, bits: u32) -> bool {
         self.config.mag.round_up_bits(bits) >= BLOCK_BITS
+    }
+
+    /// Fits an approximable block into a hard bit budget (a faulty DRAM
+    /// row's surviving capacity): the graceful-degradation ladder's
+    /// per-block decision, a pure function of the cached analysis — no
+    /// re-encoding anywhere.
+    ///
+    /// The rungs, in order: the *natural* stored form (whatever
+    /// [`stored_bits_with`](Self::stored_bits_with) picks — verbatim,
+    /// lossless or threshold-bounded lossy) if it fits; otherwise a
+    /// deeper Fig. 5 truncation freeing at least
+    /// `comp_size + LOSSY_HEADER_DELTA - budget_bits` codeword bits;
+    /// otherwise [`FitOutcome::Unstorable`]. A `Degraded` verdict's
+    /// `bits` is guaranteed `<= budget_bits` and matches what
+    /// [`compress_degraded`](Self::compress_degraded) actually encodes.
+    pub fn fit_within_with(&self, analysis: &BlockAnalysis, budget_bits: u32) -> FitOutcome {
+        let (bits, lossy) = self.stored_bits_with(analysis);
+        if bits <= budget_bits {
+            return FitOutcome::Natural { bits, lossy };
+        }
+        let comp = LOSSLESS_HEADER_BITS + analysis.total_code_bits();
+        if comp <= budget_bits {
+            // Only reachable from the verbatim corner (the natural form
+            // overshot, so it must be the 1024-bit raw block while the
+            // lossless stream is smaller): compress for capacity even
+            // though it buys no bursts.
+            debug_assert!(comp < BLOCK_BITS);
+            return FitOutcome::Lossless { bits: comp };
+        }
+        let needed = comp + LOSSY_HEADER_DELTA - budget_bits;
+        let tree = CodeLengthTree::from_analysis(analysis);
+        match tree.select(needed, self.config.variant.uses_opt_nodes()) {
+            Some(selection) => {
+                let bits = comp - selection.freed_bits + LOSSY_HEADER_DELTA;
+                debug_assert!(bits <= budget_bits);
+                FitOutcome::Degraded { bits, selection }
+            }
+            None => FitOutcome::Unstorable,
+        }
+    }
+
+    /// Encodes the stored form a [`FitOutcome::Lossless`] verdict from
+    /// [`fit_within_with`](Self::fit_within_with) promised: the block's
+    /// full lossless stream under SLC framing, bypassing the
+    /// burst-saving check that would store it verbatim at full capacity.
+    /// Round-trips exactly.
+    pub fn compress_lossless_with(&self, block: &Block, analysis: &BlockAnalysis) -> SlcCompressed {
+        let comp = LOSSLESS_HEADER_BITS + analysis.total_code_bits();
+        let decision = BudgetDecision {
+            comp_size_bits: comp,
+            bit_budget: comp,
+            extra_bits: 0,
+            mode: ModeChoice::Lossless,
+        };
+        self.store_lossless(block, decision)
+    }
+
+    /// Encodes the stored form a [`FitOutcome::Degraded`] verdict from
+    /// [`fit_within_with`](Self::fit_within_with) promised: the block with
+    /// `selection`'s symbols truncated, under a synthetic budget decision
+    /// whose bit budget is the faulty row's surviving capacity.
+    ///
+    /// `analysis` must be this block's (same contract as
+    /// [`compress_with`](Self::compress_with)), and `selection` must come
+    /// from a `Degraded` verdict at this `budget_bits` — the encoded
+    /// stream is asserted to fit it.
+    pub fn compress_degraded(
+        &self,
+        block: &Block,
+        analysis: &BlockAnalysis,
+        selection: Selection,
+        budget_bits: u32,
+    ) -> SlcCompressed {
+        let comp = LOSSLESS_HEADER_BITS + analysis.total_code_bits();
+        let decision = BudgetDecision {
+            comp_size_bits: comp,
+            bit_budget: budget_bits,
+            extra_bits: comp.saturating_sub(budget_bits),
+            mode: ModeChoice::Lossy,
+        };
+        self.store_lossy(block, decision, selection)
     }
 
     /// Compresses one block.
@@ -673,6 +791,116 @@ mod tests {
                 assert_eq!(c_with.kind(), c.kind());
                 assert_eq!(c_with.bursts(), c.bursts());
                 assert_eq!(c_with.decision(), c.decision());
+            }
+        }
+    }
+
+    #[test]
+    fn fit_within_full_budget_is_always_natural() {
+        let s = slc(SlcVariant::TslcOpt);
+        for k in 0..96 {
+            let block = float_block(k as f32 * 1.7, 0.125 + (k % 7) as f32 * 0.05);
+            let a = s.analysis(&block);
+            let (bits, lossy) = s.stored_bits_with(&a);
+            assert_eq!(
+                s.fit_within_with(&a, BLOCK_BITS),
+                FitOutcome::Natural { bits, lossy },
+                "a full-block budget must never escalate"
+            );
+        }
+    }
+
+    #[test]
+    fn degraded_blocks_fit_encode_and_confine_error() {
+        let s = slc(SlcVariant::TslcOpt);
+        let mut degraded_seen = 0;
+        for k in 0..256 {
+            let block = float_block(k as f32 * 1.7, 0.125 + (k % 7) as f32 * 0.05);
+            let a = s.analysis(&block);
+            // Probe a ladder of shrinking budgets so the sweep exercises
+            // the Degraded rung whatever this block's natural size is.
+            let (natural_bits, _) = s.stored_bits_with(&a);
+            let budget = natural_bits.saturating_sub(16).max(crate::header::LOSSY_HEADER_BITS);
+            if let FitOutcome::Degraded { bits, selection } = s.fit_within_with(&a, budget) {
+                degraded_seen += 1;
+                assert!(bits <= budget);
+                let c = s.compress_degraded(&block, &a, selection, budget);
+                assert_eq!(c.size_bits(), bits, "promised size must match the encoding");
+                assert!(c.is_lossy());
+                // Error stays confined to the truncated hole.
+                let out = s.decompress(&c);
+                let in_syms = block_to_symbols(&block);
+                let out_syms = block_to_symbols(&out);
+                for i in 0..SYMBOLS_PER_BLOCK {
+                    let in_hole =
+                        (selection.start..selection.start + selection.symbols).contains(&i);
+                    if !in_hole {
+                        assert_eq!(in_syms[i], out_syms[i], "symbol {i} corrupted outside hole");
+                    }
+                }
+            }
+        }
+        assert!(degraded_seen > 0, "48 B budget never forced a degradation in 256 blocks");
+    }
+
+    #[test]
+    fn verbatim_blocks_squeeze_lossless_under_budget() {
+        // A block whose lossless stream saves no bursts is stored
+        // verbatim fault-free; under a budget between its lossless size
+        // and 1024 bits the ladder must take the lossless rung exactly.
+        let s = slc(SlcVariant::TslcOpt);
+        let mut squeezed = 0;
+        for k in 0..256 {
+            let block = float_block(k as f32 * 1.7, 0.125 + (k % 7) as f32 * 0.05);
+            let a = s.analysis(&block);
+            let comp = s.e2mc().size_bits(&block);
+            let (natural, _) = s.stored_bits_with(&a);
+            if natural == BLOCK_BITS && comp < BLOCK_BITS {
+                let verdict = s.fit_within_with(&a, comp.max(BLOCK_BITS - 8));
+                assert_eq!(verdict, FitOutcome::Lossless { bits: comp });
+                let c = s.compress_lossless_with(&block, &a);
+                assert_eq!(c.size_bits(), comp);
+                assert_eq!(s.decompress(&c), block, "the lossless rung must round-trip");
+                squeezed += 1;
+            }
+        }
+        assert!(squeezed > 0, "no verbatim-but-compressible block in scan");
+    }
+
+    #[test]
+    fn hopeless_budgets_are_unstorable() {
+        let s = slc(SlcVariant::TslcOpt);
+        for k in 0..64 {
+            let block = float_block(k as f32 * 1.7, 0.125);
+            let a = s.analysis(&block);
+            // A budget below the lossy header can hold nothing.
+            assert_eq!(s.fit_within_with(&a, 16), FitOutcome::Unstorable);
+        }
+    }
+
+    #[test]
+    fn fit_verdicts_weakly_improve_with_budget() {
+        // A bigger surviving capacity can never make a block's verdict
+        // worse (Unstorable -> Degraded -> Natural) nor its size larger
+        // within the Degraded rung.
+        let rank = |f: &FitOutcome| match f {
+            FitOutcome::Unstorable => 0,
+            FitOutcome::Degraded { .. } => 1,
+            FitOutcome::Lossless { .. } => 2,
+            FitOutcome::Natural { .. } => 3,
+        };
+        let s = slc(SlcVariant::TslcOpt);
+        for k in 0..96 {
+            let block = float_block(k as f32 * 1.9, 0.15 + (k % 5) as f32 * 0.04);
+            let a = s.analysis(&block);
+            let mut last = s.fit_within_with(&a, 8);
+            for budget_bytes in [16u32, 32, 48, 64, 96, 128] {
+                let next = s.fit_within_with(&a, budget_bytes * 8);
+                assert!(
+                    rank(&next) >= rank(&last),
+                    "block {k}: verdict worsened from {last:?} to {next:?}"
+                );
+                last = next;
             }
         }
     }

@@ -1,0 +1,51 @@
+//! A present-but-zero-density fault map must leave every figure
+//! byte-identical: the fault subsystem, when it has nothing to inject,
+//! is indistinguishable from its absence across the full evaluation
+//! pipeline (harness caches bypassed included).
+
+use slc_core::slc::SlcVariant;
+use slc_exp::eval::evaluate;
+use slc_sim::{FaultConfig, FaultPattern};
+use slc_workloads::{Harness, Scale};
+
+#[test]
+fn figures_are_byte_identical_under_a_zero_density_fault_map() {
+    let scale = Scale::Tiny;
+    let plain = Harness::new(scale);
+    let zero = plain.clone().with_config(plain.config.clone().with_faults(FaultConfig::new(
+        FaultPattern::RandomRows,
+        0.0,
+        42,
+    )));
+    let variants = [SlcVariant::TslcOpt];
+    let eval_plain = evaluate(scale, &plain, 16, &variants);
+    let eval_zero = evaluate(scale, &zero, 16, &variants);
+    assert_eq!(
+        eval_plain.render_fig7(),
+        eval_zero.render_fig7(),
+        "Fig. 7 must not notice a zero-density fault map"
+    );
+    assert_eq!(
+        eval_plain.render_fig8(),
+        eval_zero.render_fig8(),
+        "Fig. 8 must not notice a zero-density fault map"
+    );
+}
+
+#[test]
+fn evaluation_is_deterministic_with_faults_injected() {
+    // The figure pipeline itself must replay exactly under a fixed
+    // fault seed (the sweep binaries rely on it).
+    let scale = Scale::Tiny;
+    let h =
+        Harness::new(scale).with_config(Harness::new(scale).config.with_faults(FaultConfig::new(
+            FaultPattern::ChannelSkew,
+            0.15,
+            5,
+        )));
+    let variants = [SlcVariant::TslcOpt];
+    let a = evaluate(scale, &h, 16, &variants);
+    let b = evaluate(scale, &h, 16, &variants);
+    assert_eq!(a.render_fig7(), b.render_fig7());
+    assert_eq!(a.render_fig8(), b.render_fig8());
+}

@@ -6,6 +6,7 @@
 //! the laggard, which bounds reordering to one op.
 
 use crate::config::GpuConfig;
+use crate::fault::FaultPlan;
 use crate::mc::{BurstsSource, MemorySystem};
 use crate::sm::SmState;
 use crate::stats::SimStats;
@@ -33,12 +34,22 @@ use std::collections::BinaryHeap;
 #[derive(Debug, Clone)]
 pub struct Engine {
     cfg: GpuConfig,
+    fault: Option<FaultPlan>,
 }
 
 impl Engine {
     /// Creates an engine for the given configuration.
     pub fn new(cfg: GpuConfig) -> Self {
-        Self { cfg }
+        Self { cfg, fault: None }
+    }
+
+    /// Attaches the functional fault ladder's verdicts (see
+    /// [`crate::fault`]): remapped blocks pay their indirection through
+    /// the DRAM model and the ladder counters surface in the run's
+    /// [`SimStats`].
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault = Some(plan);
+        self
     }
 
     /// The configuration.
@@ -52,7 +63,7 @@ impl Engine {
     /// use [`crate::mc::UniformBursts`] with the MAG's maximum for the
     /// no-compression baseline.
     pub fn run(&self, trace: &Trace, bursts: &dyn BurstsSource) -> SimStats {
-        let mut mem = MemorySystem::new(&self.cfg, bursts);
+        let mut mem = MemorySystem::with_fault_plan(&self.cfg, bursts, self.fault.as_ref());
         let mut sms: Vec<SmState> = (0..trace.sms()).map(|_| SmState::new(&self.cfg)).collect();
         // Min-heap over (local time, sm index): always step the laggard.
         let mut heap: BinaryHeap<Reverse<(u64, usize)>> = (0..trace.sms())

@@ -28,6 +28,7 @@ pub mod config;
 pub mod dense;
 pub mod dram;
 pub mod engine;
+pub mod fault;
 pub mod mc;
 pub mod mdc;
 pub mod mem;
@@ -38,6 +39,7 @@ pub mod trace;
 pub use config::GpuConfig;
 pub use dram::sched::SchedPolicy;
 pub use engine::Engine;
+pub use fault::{FaultConfig, FaultMap, FaultPattern, FaultPlan};
 pub use mc::{BurstsMap, BurstsSource};
 pub use mem::{DevicePtr, GpuMemory, Region};
 pub use stats::SimStats;

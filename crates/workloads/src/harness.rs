@@ -13,12 +13,13 @@
 //!    simulator with the scheme's codec latencies.
 
 use crate::analysis::SnapshotAnalysis;
+use crate::ladder::LadderState;
 use crate::metrics;
 use crate::scheme::{BurstsAccumulator, Scheme, SchemeKind};
 use crate::suite::{Scale, Workload};
 use slc_compress::e2mc::{E2mc, E2mcConfig};
 use slc_sim::mc::BurstsMap;
-use slc_sim::{Engine, GpuConfig, GpuMemory, SimStats, Trace};
+use slc_sim::{Engine, FaultPlan, GpuConfig, GpuMemory, SimStats, Trace};
 use std::sync::OnceLock;
 
 /// Per-benchmark reusable artifacts (exact run, trained table, trace).
@@ -111,8 +112,18 @@ pub struct FunctionalOutcome {
     /// Uniform mean-relative-error in percent (the paper's cross-
     /// benchmark GM, §V-A).
     pub mre_pct: f64,
+    /// Peak signal-to-noise ratio in dB against the exact output
+    /// ([`metrics::psnr`]); infinite for exact reproductions. The
+    /// fault-capacity curves plot this against fault density.
+    pub psnr_db: f64,
+    /// Largest absolute output deviation ([`metrics::max_abs_error`]).
+    pub max_abs_err: f64,
     /// Burst count per block for the timing pass.
     pub bursts: BurstsMap,
+    /// The fault ladder's verdict when the config injects faults
+    /// ([`GpuConfig::fault`]): the remap table the timing pass replays
+    /// plus the final counters. `None` on every fault-free path.
+    pub fault: Option<FaultPlan>,
 }
 
 /// Result of one timing pass.
@@ -206,13 +217,22 @@ impl Harness {
         artifacts: &BenchmarkArtifacts,
         scheme: &Scheme,
     ) -> FunctionalOutcome {
+        if self.config.fault.is_some() {
+            // Faulty DRAM invalidates every cached shortcut below: the
+            // ladder must walk each snapshot to count escalations and
+            // assign spare slots, whatever the scheme.
+            return self.run_functional_faulty(w, artifacts, scheme);
+        }
         let mag = self.config.mag();
         if matches!(scheme, Scheme::Uncompressed) {
             return FunctionalOutcome {
                 kind: scheme.kind(),
                 error_pct: 0.0,
                 mre_pct: 0.0,
+                psnr_db: f64::INFINITY,
+                max_abs_err: 0.0,
                 bursts: BurstsAccumulator::new(mag).into_map(),
+                fault: None,
             };
         }
         let shares_artifact_table = scheme.e2mc().is_some_and(|e| {
@@ -234,7 +254,10 @@ impl Harness {
                 kind: scheme.kind(),
                 error_pct: w.error(&artifacts.exact_output, &artifacts.exact_output),
                 mre_pct: metrics::mre(&artifacts.exact_output, &artifacts.exact_output) * 100.0,
+                psnr_db: f64::INFINITY,
+                max_abs_err: 0.0,
                 bursts: accumulator.into_map(),
+                fault: None,
             };
         }
         self.run_functional_direct(w, artifacts, scheme)
@@ -265,7 +288,48 @@ impl Harness {
             kind: scheme.kind(),
             error_pct,
             mre_pct,
+            psnr_db: metrics::psnr(&artifacts.exact_output, &output),
+            max_abs_err: metrics::max_abs_error(&artifacts.exact_output, &output),
             bursts: accumulator.into_map(),
+            fault: None,
+        }
+    }
+
+    /// The fault-aware functional pass: replays the kernels with the
+    /// graceful-degradation ladder ([`crate::ladder`]) resolving every
+    /// block at every kernel-boundary staging point, and packages the
+    /// resulting [`FaultPlan`] for the timing side.
+    ///
+    /// Runs for *every* scheme when [`GpuConfig::fault`] is set — the
+    /// cached lossless shortcut of [`run_functional`](Self::run_functional)
+    /// cannot count ladder decisions, and even the uncompressed scheme
+    /// must walk the snapshots to tally uncorrectable blocks.
+    fn run_functional_faulty(
+        &self,
+        w: &dyn Workload,
+        artifacts: &BenchmarkArtifacts,
+        scheme: &Scheme,
+    ) -> FunctionalOutcome {
+        let mut ladder =
+            LadderState::new(&self.config).expect("caller checked that config.fault is set");
+        let mut accumulator = BurstsAccumulator::new(self.config.mag());
+        let output = {
+            let mut mem = w.build(self.seed);
+            let mut stage =
+                |m: &mut GpuMemory| ladder.stage_and_record(scheme, m, &mut accumulator);
+            w.execute(&mut mem, &mut stage);
+            w.output(&mem)
+        };
+        let error_pct = w.error(&artifacts.exact_output, &output);
+        let mre_pct = metrics::mre(&artifacts.exact_output, &output) * 100.0;
+        FunctionalOutcome {
+            kind: scheme.kind(),
+            error_pct,
+            mre_pct,
+            psnr_db: metrics::psnr(&artifacts.exact_output, &output),
+            max_abs_err: metrics::max_abs_error(&artifacts.exact_output, &output),
+            bursts: accumulator.into_map(),
+            fault: Some(ladder.into_plan()),
         }
     }
 
@@ -287,7 +351,11 @@ impl Harness {
         if matches!(scheme, Scheme::Uncompressed) {
             cfg = cfg.without_mdc();
         }
-        let stats = Engine::new(cfg).run(&artifacts.trace, &functional.bursts);
+        let mut engine = Engine::new(cfg);
+        if let Some(plan) = &functional.fault {
+            engine = engine.with_fault_plan(plan.clone());
+        }
+        let stats = engine.run(&artifacts.trace, &functional.bursts);
         TimingOutcome { kind: scheme.kind(), stats }
     }
 

@@ -24,17 +24,22 @@
 //! [`analysis`] holds the snapshot-level cache of per-block E2MC analyses
 //! (one `E2mc::analyze` pass per memory snapshot, swept by any number of
 //! schemes, MAGs and thresholds — the shared pipeline described in the
-//! `slc-core` crate docs).
+//! `slc-core` crate docs). [`ladder`] adds the graceful-degradation
+//! ladder that lets every scheme run on DRAM with permanently failed
+//! regions ([`slc_sim::fault`]): exact → lossless → lossy → spare-pool
+//! remap → uncorrectable, resolved deterministically per snapshot.
 
 pub mod analysis;
 pub mod benchmarks;
 pub mod gen;
 pub mod harness;
+pub mod ladder;
 pub mod metrics;
 pub mod scheme;
 pub mod suite;
 
 pub use analysis::{AnalyzedBlock, SnapshotAnalysis};
 pub use harness::{BenchmarkArtifacts, FunctionalOutcome, Harness, TimingOutcome};
+pub use ladder::{LadderState, LadderVerdict};
 pub use scheme::{Scheme, SchemeKind};
 pub use suite::{all_workloads, workload_by_name, Scale, Workload};

@@ -101,6 +101,53 @@ pub fn nrmse(exact: &[f32], approx: &[f32]) -> f64 {
     mse.sqrt() / range
 }
 
+/// Peak signal-to-noise ratio in dB, with the exact output's value
+/// range as the peak (the convention the fault-capacity curves report).
+/// [`f64::INFINITY`] when the outputs are identical; non-finite
+/// approximations count as a full-range miss, as in [`nrmse`].
+pub fn psnr(exact: &[f32], approx: &[f32]) -> f64 {
+    check(exact, approx);
+    let n = exact.len() as f64;
+    let min = exact.iter().cloned().fold(f32::INFINITY, f32::min);
+    let max = exact.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let range = (f64::from(max) - f64::from(min)).max(0.0);
+    // A constant exact output has no range; fall back to unit peak so a
+    // miss still registers as finite (and identity as infinite).
+    let peak = if range > 0.0 { range } else { 1.0 };
+    let mse: f64 = exact
+        .iter()
+        .zip(approx)
+        .map(|(&e, &a)| {
+            let d = if a.is_finite() { f64::from(a) - f64::from(e) } else { peak };
+            d * d
+        })
+        .sum::<f64>()
+        / n;
+    if mse == 0.0 {
+        return f64::INFINITY;
+    }
+    10.0 * (peak * peak / mse).log10()
+}
+
+/// Largest absolute output deviation; [`f64::INFINITY`] when the
+/// approximation produced NaN/Inf.
+pub fn max_abs_error(exact: &[f32], approx: &[f32]) -> f64 {
+    check(exact, approx);
+    exact
+        .iter()
+        .zip(approx)
+        .map(
+            |(&e, &a)| {
+                if a.is_finite() {
+                    (f64::from(a) - f64::from(e)).abs()
+                } else {
+                    f64::INFINITY
+                }
+            },
+        )
+        .fold(0.0, f64::max)
+}
+
 /// Fraction of decisions that differ; outputs are booleans stored as
 /// 0.0 / 1.0 floats.
 pub fn miss_rate(exact: &[f32], approx: &[f32]) -> f64 {
@@ -148,6 +195,25 @@ mod tests {
         let exact = vec![5.0f32; 4];
         assert_eq!(nrmse(&exact, &exact), 0.0);
         assert_eq!(nrmse(&exact, &[5.0, 5.0, 5.0, 6.0]), 1.0);
+    }
+
+    #[test]
+    fn psnr_is_infinite_on_identity_and_drops_with_noise() {
+        let exact: Vec<f32> = (0..64).map(|i| i as f32).collect();
+        assert_eq!(psnr(&exact, &exact), f64::INFINITY);
+        let small: Vec<f32> = exact.iter().map(|v| v + 0.1).collect();
+        let big: Vec<f32> = exact.iter().map(|v| v + 1.0).collect();
+        assert!(psnr(&exact, &small) > psnr(&exact, &big));
+        // Uniform +1 error: mse = 1, peak = range = 63.
+        assert!((psnr(&exact, &big) - 10.0 * (63.0f64 * 63.0).log10()).abs() < 1e-9);
+        assert!(psnr(&exact, &[vec![f32::NAN], exact[1..].to_vec()].concat()).is_finite());
+    }
+
+    #[test]
+    fn max_abs_error_tracks_the_worst_output() {
+        assert_eq!(max_abs_error(&[1.0, 2.0], &[1.5, 2.0]), 0.5);
+        assert_eq!(max_abs_error(&[1.0, 2.0], &[1.0, 2.0]), 0.0);
+        assert!(max_abs_error(&[1.0], &[f32::NAN]).is_infinite());
     }
 
     #[test]

@@ -13,7 +13,7 @@ use slc_compress::{Block, Mag, BLOCK_BYTES};
 use slc_core::slc::{SlcCompressor, SlcConfig, SlcVariant};
 use slc_sim::dense::DenseAddrMap;
 use slc_sim::mc::BurstsMap;
-use slc_sim::GpuMemory;
+use slc_sim::{BlockAddr, GpuMemory};
 
 /// Identifies a scheme in figures and tables.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -219,6 +219,21 @@ impl BurstsAccumulator {
     pub fn new(mag: Mag) -> Self {
         let max = mag.bursts_for_bytes(BLOCK_BYTES as u32, BLOCK_BYTES as u32);
         Self { mag, max, cells: DenseAddrMap::new((0, 0)) }
+    }
+
+    /// The MAG the accumulator was created for.
+    pub fn mag(&self) -> Mag {
+        self.mag
+    }
+
+    /// Folds one block's burst count in directly — the fault ladder's
+    /// entry point ([`crate::ladder`]), whose per-block verdicts can
+    /// override the plain scheme decision (a degraded block stores a
+    /// deeper truncation than [`Scheme::bursts_for_analysis`] assumes).
+    pub fn record_one(&mut self, addr: BlockAddr, bursts: u32) {
+        let cell = &mut self.cells.run_slice(addr, 1)[0];
+        cell.0 += u64::from(bursts);
+        cell.1 += 1;
     }
 
     /// Records the burst counts of every region block in `mem` under

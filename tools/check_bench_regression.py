@@ -33,10 +33,24 @@ import statistics
 import sys
 
 
+def die(message):
+    """One-line diagnostic on stderr, then the CI-visible failure exit."""
+    print(f"check_bench_regression: {message}", file=sys.stderr)
+    raise SystemExit(1)
+
+
 def load_rows(path):
-    with open(path) as fh:
-        doc = json.load(fh)
-    return {r["id"]: float(r["ns_per_iter"]) for r in doc["results"]}
+    try:
+        with open(path) as fh:
+            doc = json.load(fh)
+        return {r["id"]: float(r["ns_per_iter"]) for r in doc["results"]}
+    except OSError as exc:
+        die(f"cannot read {path}: {exc}")
+    except json.JSONDecodeError as exc:
+        die(f"{path} is not valid JSON: {exc}")
+    except (KeyError, TypeError, ValueError) as exc:
+        die(f"{path} is not a codec_throughput baseline "
+            f"(expected {{'results': [{{'id', 'ns_per_iter'}}, ...]}}): {exc!r}")
 
 
 def main():
@@ -57,9 +71,12 @@ def main():
     limit = 1.0 + args.tolerance / 100.0
 
     if args.require_rows:
-        with open(args.require_rows) as fh:
-            required = [line.strip() for line in fh
-                        if line.strip() and not line.lstrip().startswith("#")]
+        try:
+            with open(args.require_rows) as fh:
+                required = [line.strip() for line in fh
+                            if line.strip() and not line.lstrip().startswith("#")]
+        except OSError as exc:
+            die(f"cannot read manifest {args.require_rows}: {exc}")
         missing = [row_id for row_id in required if row_id not in cand]
         if missing:
             print(f"{len(missing)} required row(s) missing from {args.candidate} "
