@@ -1,7 +1,9 @@
 //! Microbenchmarks: per-block compress/decompress throughput of every
-//! codec, SLC's size-only fast path (the hardware's tree adder), and the
+//! codec, SLC's size-only fast path (the hardware's tree adder), the
 //! evaluation layer's shared-analysis burst-map sweep vs the per-scheme
-//! re-encode it replaced.
+//! re-encode it replaced, and the batch engine's end-to-end GB/s rows
+//! ([`slc_bench::bench_engine_e2e`], shared with the `eval_pipeline`
+//! bench).
 //!
 //! The sample set mixes the block archetypes GPU traffic exhibits — zero
 //! blocks, repeated values, integer ramps, small integers, smooth float
@@ -272,32 +274,12 @@ fn bench_sim_paths(c: &mut Criterion) {
     g.finish();
 }
 
-/// Serialises results as the `BENCH_codec.json` baseline.
-fn write_baseline(c: &Criterion) {
-    let path = std::env::var("BENCH_CODEC_JSON")
-        .unwrap_or_else(|_| format!("{}/../../BENCH_codec.json", env!("CARGO_MANIFEST_DIR")));
-    let mut json = String::from(
-        "{\n  \"bench\": \"codec_throughput\",\n  \"unit\": \"ns_per_iter\",\n  \"results\": [\n",
-    );
-    for (i, r) in c.results().iter().enumerate() {
-        let sep = if i + 1 == c.results().len() { "" } else { "," };
-        json.push_str(&format!(
-            "    {{\"id\": \"{}\", \"ns_per_iter\": {:.1}, \"iterations\": {}}}{}\n",
-            r.id, r.ns_per_iter, r.iterations, sep
-        ));
-    }
-    json.push_str("  ]\n}\n");
-    match std::fs::write(&path, json) {
-        Ok(()) => println!("baseline written to {path}"),
-        Err(e) => eprintln!("could not write {path}: {e}"),
-    }
-}
-
 fn main() {
     let mut c = Criterion::default();
     bench_codecs(&mut c);
     bench_slc_paths(&mut c);
     bench_eval_paths(&mut c);
     bench_sim_paths(&mut c);
-    write_baseline(&c);
+    slc_bench::bench_engine_e2e(&mut c);
+    slc_bench::write_baseline(&c, "codec_throughput", "BENCH_CODEC_JSON", "BENCH_codec.json");
 }

@@ -1,7 +1,120 @@
 //! Benchmark-only crate.
 //!
 //! Hosts the Criterion benches that regenerate every table and figure of
-//! the paper (see `benches/`). The library itself only re-exports the
-//! pieces the benches share.
+//! the paper (see `benches/`). The library re-exports the pieces the
+//! benches share: the batch-engine end-to-end rows (measured by both
+//! `codec_throughput` and `eval_pipeline`) and the JSON baseline writer
+//! every custom bench `main` funnels through.
+
+use criterion::Criterion;
+use slc_compress::bdi::Bdi;
+use slc_engine::{Engine, Threads};
+use std::sync::Arc;
 
 pub use slc_exp as exp;
+
+/// Byte size of the end-to-end engine corpus: large enough that one
+/// iteration amortises thread-pool hand-off and the ns/iter ↔ GB/s
+/// conversion is stable, small enough for CI's measurement window.
+pub const ENGINE_CORPUS_BYTES: usize = 4 << 20;
+
+/// Mixed-compressibility corpus for the engine rows: three blocks of
+/// smooth f32 ramp (codec material) to every block of raw noise, so the
+/// engine exercises both coded and raw chunk storage like real snapshot
+/// traffic would.
+pub fn engine_corpus(len: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(len + 8);
+    let mut i = 0u32;
+    let mut state = 0x9e37_79b9_7f4a_7c15u64;
+    while out.len() < len {
+        if (out.len() / 128) % 4 == 3 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            out.extend_from_slice(&state.to_le_bytes());
+        } else {
+            out.extend_from_slice(&(((i * 3) % 257) as f32).to_le_bytes());
+            i += 1;
+        }
+    }
+    out.truncate(len);
+    out
+}
+
+/// End-to-end batch-engine throughput: compress/decompress a 4 MiB
+/// stream into/from the framed container, parallel (`Threads::Auto`) and
+/// serial, on the BDI substrate (the fastest codec, so the rows guard
+/// the engine's own sharding/framing overhead rather than codec inner
+/// loops — those have their own `compress_block`/`decompress_block`
+/// rows). A fixed corpus size makes ns/iter read directly as GB/s
+/// (bytes ÷ ns), printed alongside the rows.
+pub fn bench_engine_e2e(c: &mut Criterion) {
+    let data = engine_corpus(ENGINE_CORPUS_BYTES);
+    let engine = Engine::new(Arc::new(Bdi::new()));
+    let container = engine.compress(&data);
+    assert_eq!(
+        engine.decompress(&container).expect("bench container roundtrips"),
+        data,
+        "engine must roundtrip before being timed"
+    );
+    let mut g = c.benchmark_group("engine");
+    g.bench_function("compress_e2e", |b| {
+        b.iter(|| engine.compress_threads(&data, Threads::Auto).len())
+    });
+    g.bench_function("compress_e2e_serial", |b| {
+        b.iter(|| engine.compress_threads(&data, Threads::Serial).len())
+    });
+    g.bench_function("decompress_e2e", |b| {
+        b.iter(|| engine.decompress_threads(&container, Threads::Auto).expect("valid").len())
+    });
+    g.bench_function("decompress_e2e_serial", |b| {
+        b.iter(|| engine.decompress_threads(&container, Threads::Serial).expect("valid").len())
+    });
+    g.finish();
+    for r in c.results() {
+        if r.id.starts_with("engine/") {
+            // 1 byte/ns == 1 GB/s, so GB/s is simply bytes ÷ ns.
+            let gbps = ENGINE_CORPUS_BYTES as f64 / r.ns_per_iter;
+            println!("{:<44} {:>10.2} GB/s end-to-end", r.id, gbps);
+        }
+    }
+}
+
+/// Serialises `c`'s results as a regression-gate baseline
+/// (`tools/check_bench_regression.py` format). The output path is
+/// `env_var` when set, else `<repo root>/<default_file>`.
+pub fn write_baseline(c: &Criterion, bench: &str, env_var: &str, default_file: &str) {
+    let path = std::env::var(env_var)
+        .unwrap_or_else(|_| format!("{}/../../{default_file}", env!("CARGO_MANIFEST_DIR")));
+    let mut json =
+        format!("{{\n  \"bench\": \"{bench}\",\n  \"unit\": \"ns_per_iter\",\n  \"results\": [\n");
+    for (i, r) in c.results().iter().enumerate() {
+        let sep = if i + 1 == c.results().len() { "" } else { "," };
+        json.push_str(&format!(
+            "    {{\"id\": \"{}\", \"ns_per_iter\": {:.1}, \"iterations\": {}}}{}\n",
+            r.id, r.ns_per_iter, r.iterations, sep
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    match std::fs::write(&path, json) {
+        Ok(()) => println!("baseline written to {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_is_exact_length_and_mixed() {
+        let corpus = engine_corpus(100_000);
+        assert_eq!(corpus.len(), 100_000);
+        // Both compressible and noisy stripes must be present: the BDI
+        // container should be smaller than raw but nowhere near the
+        // all-ramp best case.
+        let engine = Engine::new(Arc::new(Bdi::new()));
+        let container = engine.compress(&corpus);
+        assert!(container.len() < corpus.len(), "corpus must compress overall");
+        assert!(container.len() > corpus.len() / 8, "corpus must not be trivially uniform");
+        assert_eq!(engine.decompress(&container).unwrap(), corpus);
+    }
+}

@@ -1,0 +1,140 @@
+//! Chunk-oriented codec dispatch for the batch engine.
+//!
+//! The `slc-engine` crate shards a byte stream into chunks and hands each
+//! chunk's blocks to *some* codec behind a trait object. Two things make
+//! that possible without the engine naming concrete types:
+//!
+//! * [`BlockCodec`] — the object-safe surface the engine compresses
+//!   through. It is [`BlockCompressor`] plus the `Send + Sync` bounds a
+//!   parallel fan-out needs, with a blanket impl, so every existing codec
+//!   (and every future one) is a `BlockCodec` automatically.
+//! * [`CodecId`] — the stable one-byte wire identity written into a
+//!   container header, so a decoder can verify it was handed the codec
+//!   the stream was encoded with. Wire values are append-only: retiring
+//!   a codec retires its number, it is never reused.
+
+use crate::BlockCompressor;
+
+/// Stable wire identity of a block codec (one byte in container headers).
+///
+/// The discriminants are the on-disk format: they must never be renumbered,
+/// only appended to. [`CodecId::name`] round-trips with
+/// [`BlockCompressor::name`] via [`CodecId::from_name`], which is how the
+/// engine derives the header byte from whatever codec it was built with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum CodecId {
+    /// Base-Delta-Immediate.
+    Bdi = 0,
+    /// Frequent Pattern Compression.
+    Fpc = 1,
+    /// C-PACK.
+    Cpack = 2,
+    /// Bit-Plane Compression.
+    Bpc = 3,
+    /// Entropy-encoding based memory compression (trained).
+    E2mc = 4,
+    /// Statistical cache compression (trained).
+    Sc2 = 5,
+    /// HyComp with its FP-H floating-point path (trained).
+    HyComp = 6,
+}
+
+impl CodecId {
+    /// Every codec id, in wire order.
+    pub const ALL: [CodecId; 7] = [
+        CodecId::Bdi,
+        CodecId::Fpc,
+        CodecId::Cpack,
+        CodecId::Bpc,
+        CodecId::E2mc,
+        CodecId::Sc2,
+        CodecId::HyComp,
+    ];
+
+    /// The header byte.
+    pub fn as_u8(self) -> u8 {
+        self as u8
+    }
+
+    /// Parses a header byte; `None` for values no codec owns (a corrupt
+    /// or future-format container).
+    pub fn from_u8(v: u8) -> Option<Self> {
+        Self::ALL.get(v as usize).copied()
+    }
+
+    /// The codec's [`BlockCompressor::name`].
+    pub fn name(self) -> &'static str {
+        match self {
+            CodecId::Bdi => "bdi",
+            CodecId::Fpc => "fpc",
+            CodecId::Cpack => "cpack",
+            CodecId::Bpc => "bpc",
+            CodecId::E2mc => "e2mc",
+            CodecId::Sc2 => "sc2",
+            CodecId::HyComp => "hycomp",
+        }
+    }
+
+    /// Inverse of [`name`](Self::name); `None` for unknown names (e.g.
+    /// `"fp-h"`, HyComp's internal sub-codec, which is not a standalone
+    /// container codec).
+    pub fn from_name(name: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|id| id.name() == name)
+    }
+}
+
+/// The object-safe codec surface of the batch engine: a block codec that
+/// can be shared across the engine's worker threads.
+///
+/// Blanket-implemented for every `BlockCompressor + Send + Sync`, so the
+/// seven codecs need no per-type opt-in and the engine takes
+/// `Arc<dyn BlockCodec>` without caring which one it holds.
+pub trait BlockCodec: BlockCompressor + Send + Sync {}
+
+impl<T: BlockCompressor + Send + Sync + ?Sized> BlockCodec for T {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_values_are_stable() {
+        // These are the on-disk format: renumbering them would silently
+        // invalidate every existing container.
+        let expected = [
+            ("bdi", 0u8),
+            ("fpc", 1),
+            ("cpack", 2),
+            ("bpc", 3),
+            ("e2mc", 4),
+            ("sc2", 5),
+            ("hycomp", 6),
+        ];
+        for (name, wire) in expected {
+            let id = CodecId::from_name(name).expect(name);
+            assert_eq!(id.as_u8(), wire, "{name}");
+            assert_eq!(CodecId::from_u8(wire), Some(id));
+            assert_eq!(id.name(), name);
+        }
+    }
+
+    #[test]
+    fn unknown_bytes_and_names_are_rejected() {
+        assert_eq!(CodecId::from_u8(7), None);
+        assert_eq!(CodecId::from_u8(255), None);
+        assert_eq!(CodecId::from_name("fp-h"), None, "sub-codec, not a container codec");
+        assert_eq!(CodecId::from_name(""), None);
+    }
+
+    #[test]
+    fn every_codec_is_a_block_codec() {
+        // Compile-time: the blanket impl covers the stateless codecs and
+        // trait objects alike.
+        fn takes(_: &dyn BlockCodec) {}
+        takes(&crate::bdi::Bdi::new());
+        takes(&crate::fpc::Fpc::new());
+        let boxed: Box<dyn BlockCodec> = Box::new(crate::cpack::Cpack::new());
+        assert_eq!(boxed.name(), "cpack");
+    }
+}

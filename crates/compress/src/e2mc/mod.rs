@@ -384,6 +384,25 @@ impl E2mc {
     pub fn lossless_size_bits(&self, block: &Block) -> u32 {
         self.analyze(block).lossless_size_bits()
     }
+
+    /// The E2MC stored size of `block` — `min(header + Σ code lengths,`
+    /// [`BLOCK_BITS`]`)` — as one running sum over the dense width table,
+    /// with no per-symbol length array or adder-tree sums materialised.
+    ///
+    /// Pinned equal to `analyze(block).e2mc_size_bits()` by a unit test;
+    /// the point is the footprint, not the value: consumers that only
+    /// ever read the stored size (the E2MC-baseline burst sweep, the
+    /// batch engine's skip-incompressible hint) capture a 4-byte number
+    /// per block instead of the 196 B [`BlockAnalysis`] artifact — the
+    /// slim size-only snapshot cache in `slc-workloads` is built on this.
+    pub fn stored_size_bits(&self, block: &Block) -> u32 {
+        let symbols = block_to_symbols(block);
+        let mut total = 0u32;
+        for s in symbols {
+            total += u32::from(self.table.bits[s as usize]);
+        }
+        (HEADER_BITS + total).min(BLOCK_BITS)
+    }
 }
 
 impl BlockCompressor for E2mc {
@@ -441,7 +460,7 @@ impl BlockCompressor for E2mc {
     }
 
     fn size_bits(&self, block: &Block) -> u32 {
-        self.lossless_size_bits(block).min(BLOCK_BITS)
+        self.stored_size_bits(block)
     }
 }
 
@@ -513,6 +532,25 @@ mod tests {
             assert_eq!(a.total_code_bits(), a.code_lengths().iter().sum::<u32>());
             assert_eq!(a.lossless_size_bits(), e.lossless_size_bits(&block));
             assert_eq!(a.e2mc_size_bits(), e.size_bits(&block));
+        }
+    }
+
+    #[test]
+    fn stored_size_direct_sum_equals_the_analysis_path() {
+        // The slim-cache capture path must agree bit-for-bit with the
+        // full artifact it replaces, including the incompressible cap.
+        let e = trained();
+        for seed in 0..32u32 {
+            let block = block_from_u32s(|i| {
+                let x = seed.wrapping_mul(2654435761) ^ (i as u32).wrapping_mul(0x9e3779b9);
+                if seed % 4 == 3 {
+                    x // out of distribution: exercises the BLOCK_BITS cap
+                } else {
+                    x % 400
+                }
+            });
+            assert_eq!(e.stored_size_bits(&block), e.analyze(&block).e2mc_size_bits());
+            assert_eq!(e.stored_size_bits(&block), e.size_bits(&block));
         }
     }
 

@@ -100,6 +100,7 @@
 pub mod bdi;
 pub mod bitstream;
 pub mod bpc;
+pub mod codec;
 pub mod cpack;
 pub mod e2mc;
 pub mod fpc;
@@ -109,6 +110,7 @@ pub mod ratio;
 pub mod sc2;
 pub mod symbols;
 
+pub use codec::{BlockCodec, CodecId};
 pub use mag::Mag;
 
 /// Size of an uncompressed memory block in bytes (typical GPU block size).

@@ -1,0 +1,595 @@
+//! Batch/streaming compression engine over the block codecs.
+//!
+//! Every codec in `slc-compress` works one 128 B block at a time — the
+//! granularity GPU memory-compression hardware sees. This crate is the
+//! batch front end above them: an [`Engine`] takes an arbitrary byte (or
+//! `f32`) stream, shards it into fixed-size chunks, compresses the
+//! chunks in parallel via `slc-par`, and emits the self-describing
+//! framed container of [`container`] (magic + version + codec id +
+//! chunk geometry + a per-chunk `(offset, encoded_bits, storage_mode)`
+//! directory). Decode is the mirror image: parse + validate the frame
+//! once, then decode chunks in parallel, each seeking straight to its
+//! payload span — no scan dependency between chunks, the gap-array trick
+//! of GPU Huffman decoders applied at chunk granularity.
+//!
+//! # In-chunk block framing
+//!
+//! A `Coded` chunk is a byte-aligned sequence of blocks, each:
+//!
+//! ```text
+//! tag: u16 LE = size_bits (15 bits) | coded_flag << 15
+//! body: ceil(size_bits / 8) bytes (the codec payload, or the raw block
+//!       when coded_flag is clear — size_bits is then exactly 1024)
+//! ```
+//!
+//! A chunk whose coded form would be at least its raw size is stored
+//! `Raw` (verbatim bytes, no tags), so containers never blow up on
+//! incompressible data. A ragged tail block (stream length not a block
+//! multiple) is zero-padded for the codec; the decoder truncates back
+//! to the header's exact `total_len`.
+//!
+//! # Determinism and safety contracts
+//!
+//! * Parallel and serial compress produce **byte-identical** containers
+//!   (`slc-par` is order-preserving and chunks are independent), and
+//!   parallel decode is byte-identical to serial decode — both pinned by
+//!   property tests across every codec.
+//! * [`Engine::decompress`] never panics on arbitrary input: the frame
+//!   is fully validated before any chunk decodes, every payload index is
+//!   pre-bounded, and codec guard-panics on corrupt block streams are
+//!   caught per chunk and returned as
+//!   [`ContainerError::ChunkCorrupt`].
+//! * [`Engine::compress_with_sizes`] is the no-re-analysis path for
+//!   callers that already know each block's stored size (the harness'
+//!   cached snapshot analyses — see `slc_workloads::engine` for the
+//!   sharing contract): blocks whose stored size says "incompressible"
+//!   skip the codec entirely and the output is byte-identical to
+//!   [`Engine::compress`].
+
+pub mod container;
+
+pub use container::{ContainerError, DirEntry, Frame, Header, StorageMode};
+pub use container::{DIR_ENTRY_BYTES, HEADER_BYTES, MAGIC, MAX_CHUNK_BYTES, VERSION};
+
+use slc_compress::{Block, BlockCodec, CodecId, Compressed, BLOCK_BITS, BLOCK_BYTES};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+/// Tag bit marking a block stored in coded (compressed) form.
+const TAG_CODED: u16 = 1 << 15;
+
+/// How a batch call fans out across threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Threads {
+    /// `slc-par`'s default: hardware parallelism, `SLC_PAR_THREADS`-capped.
+    Auto,
+    /// One thread, no pool.
+    Serial,
+    /// Exactly this many workers (still clamped to the chunk count) —
+    /// how tests exercise the threaded path on single-core hosts.
+    Exact(usize),
+}
+
+/// A batch compression/decompression engine bound to one block codec.
+///
+/// Cloning an `Engine` clones the `Arc`, not the codec (for trained
+/// codecs that is the same refcount-bump contract as `E2mc::clone`).
+#[derive(Clone)]
+pub struct Engine {
+    codec: Arc<dyn BlockCodec>,
+    id: CodecId,
+    chunk_bytes: usize,
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("codec", &self.id.name())
+            .field("chunk_bytes", &self.chunk_bytes)
+            .finish()
+    }
+}
+
+impl Engine {
+    /// Default chunk size: 64 KiB = 512 blocks, coarse enough to amortise
+    /// the pool hand-off, fine enough that a snapshot fans out widely.
+    pub const DEFAULT_CHUNK_BYTES: usize = 64 * 1024;
+
+    /// Builds an engine around `codec` at the default chunk size.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the codec's [`name`](slc_compress::BlockCompressor::name)
+    /// has no [`CodecId`] — only registered codecs can be named in a
+    /// container header.
+    pub fn new(codec: Arc<dyn BlockCodec>) -> Self {
+        let id = CodecId::from_name(codec.name()).unwrap_or_else(|| {
+            panic!("codec {:?} has no container CodecId; register it first", codec.name())
+        });
+        Self { codec, id, chunk_bytes: Self::DEFAULT_CHUNK_BYTES }
+    }
+
+    /// Overrides the chunk size.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `chunk_bytes` is a non-zero multiple of
+    /// [`BLOCK_BYTES`] no larger than [`MAX_CHUNK_BYTES`] (what
+    /// [`Frame::parse`] will accept back).
+    pub fn with_chunk_bytes(mut self, chunk_bytes: usize) -> Self {
+        assert!(
+            chunk_bytes > 0
+                && chunk_bytes.is_multiple_of(BLOCK_BYTES)
+                && chunk_bytes <= MAX_CHUNK_BYTES,
+            "chunk_bytes {chunk_bytes} must be a non-zero multiple of {BLOCK_BYTES} \
+             at most {MAX_CHUNK_BYTES}"
+        );
+        self.chunk_bytes = chunk_bytes;
+        self
+    }
+
+    /// The wire identity of the engine's codec.
+    pub fn codec_id(&self) -> CodecId {
+        self.id
+    }
+
+    /// The configured chunk size in bytes.
+    pub fn chunk_bytes(&self) -> usize {
+        self.chunk_bytes
+    }
+
+    /// Compresses `bytes` into a framed container ([`Threads::Auto`]).
+    pub fn compress(&self, bytes: &[u8]) -> Vec<u8> {
+        self.compress_threads(bytes, Threads::Auto)
+    }
+
+    /// [`compress`](Self::compress) with an explicit thread policy.
+    /// Output bytes are identical whatever the policy.
+    pub fn compress_threads(&self, bytes: &[u8], threads: Threads) -> Vec<u8> {
+        self.compress_impl(bytes, None, threads)
+    }
+
+    /// Compresses a block-aligned stream whose per-block stored sizes are
+    /// already known, skipping the codec for every block the sizes call
+    /// incompressible (`>= BLOCK_BITS` → stored verbatim).
+    ///
+    /// The contract: `stored_bits[i]` must equal the codec's own
+    /// `size_bits` for block `i` — then the output is **byte-identical**
+    /// to [`compress`](Self::compress) (pinned by tests). This is how the
+    /// workload harness feeds its cached `SnapshotAnalysis` sizes through
+    /// the engine without re-analysing a single block; lying sizes
+    /// produce a valid container whose raw/coded split is merely
+    /// suboptimal for `< BLOCK_BITS` lies, or wrong (expanded verbatim
+    /// blocks) for `>= BLOCK_BITS` lies about compressible data.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `bytes` is not block-aligned or `stored_bits` has a
+    /// different block count.
+    pub fn compress_with_sizes(
+        &self,
+        bytes: &[u8],
+        stored_bits: &[u32],
+        threads: Threads,
+    ) -> Vec<u8> {
+        assert_eq!(bytes.len() % BLOCK_BYTES, 0, "sized compression needs block-aligned input");
+        assert_eq!(
+            stored_bits.len(),
+            bytes.len() / BLOCK_BYTES,
+            "one stored size per block required"
+        );
+        self.compress_impl(bytes, Some(stored_bits), threads)
+    }
+
+    fn compress_impl(&self, bytes: &[u8], hints: Option<&[u32]>, threads: Threads) -> Vec<u8> {
+        let blocks_per_chunk = self.chunk_bytes / BLOCK_BYTES;
+        let codec = &*self.codec;
+        let chunks: Vec<(usize, &[u8])> = bytes.chunks(self.chunk_bytes).enumerate().collect();
+        let encoded: Vec<(Vec<u8>, StorageMode)> = map_threads(chunks, threads, |(ci, chunk)| {
+            let chunk_hints = hints.map(|h| {
+                let lo = ci * blocks_per_chunk;
+                &h[lo..lo + chunk.len().div_ceil(BLOCK_BYTES)]
+            });
+            encode_chunk(codec, chunk, chunk_hints)
+        });
+        let mut dir_bytes = Vec::with_capacity(encoded.len() * DIR_ENTRY_BYTES);
+        let mut payload_len = 0u64;
+        let mut header = Vec::with_capacity(HEADER_BYTES);
+        for (data, mode) in &encoded {
+            let entry = DirEntry {
+                offset: payload_len,
+                encoded_bits: (data.len() * 8) as u32,
+                mode: *mode,
+            };
+            entry.write_to(&mut dir_bytes);
+            payload_len += data.len() as u64;
+        }
+        Header {
+            codec: self.id,
+            chunk_bytes: self.chunk_bytes as u32,
+            chunk_count: encoded.len() as u32,
+            total_len: bytes.len() as u64,
+        }
+        .write_to(&mut header);
+        let mut out = Vec::with_capacity(HEADER_BYTES + dir_bytes.len() + payload_len as usize);
+        out.extend_from_slice(&header);
+        out.extend_from_slice(&dir_bytes);
+        for (data, _) in &encoded {
+            out.extend_from_slice(data);
+        }
+        out
+    }
+
+    /// Decompresses a framed container ([`Threads::Auto`]).
+    ///
+    /// Never panics on arbitrary input — see the crate docs.
+    pub fn decompress(&self, container: &[u8]) -> Result<Vec<u8>, ContainerError> {
+        self.decompress_threads(container, Threads::Auto)
+    }
+
+    /// [`decompress`](Self::decompress) with an explicit thread policy.
+    /// Output bytes are identical whatever the policy.
+    pub fn decompress_threads(
+        &self,
+        container: &[u8],
+        threads: Threads,
+    ) -> Result<Vec<u8>, ContainerError> {
+        let frame = Frame::parse(container)?;
+        if frame.header.codec != self.id {
+            return Err(ContainerError::CodecMismatch {
+                container: frame.header.codec,
+                engine: self.id,
+            });
+        }
+        let mut out = vec![0u8; frame.header.total_len as usize];
+        let chunk_bytes = frame.header.chunk_bytes as usize;
+        let payload = frame.payload;
+        let codec = &*self.codec;
+        // Frame::parse pinned chunk_count == ceil(total_len / chunk_bytes),
+        // so the zip below is exact: one directory entry per output chunk.
+        let work: Vec<(usize, DirEntry, &mut [u8])> = out
+            .chunks_mut(chunk_bytes)
+            .zip(frame.directory.iter())
+            .enumerate()
+            .map(|(i, (dst, &entry))| (i, entry, dst))
+            .collect();
+        let results = map_threads(work, threads, |(i, entry, dst)| {
+            decode_chunk(codec, payload, entry, dst, i)
+        });
+        for r in results {
+            r?;
+        }
+        Ok(out)
+    }
+
+    /// [`compress`](Self::compress) over an `f32` stream (little-endian
+    /// byte view — the layout `GpuMemory` stores).
+    pub fn compress_f32(&self, values: &[f32]) -> Vec<u8> {
+        let mut bytes = Vec::with_capacity(values.len() * 4);
+        for v in values {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        self.compress(&bytes)
+    }
+
+    /// [`decompress`](Self::decompress) back into an `f32` stream; errors
+    /// with [`ContainerError::ElementMisaligned`] when the decoded length
+    /// is not a multiple of 4.
+    pub fn decompress_f32(&self, container: &[u8]) -> Result<Vec<f32>, ContainerError> {
+        let bytes = self.decompress(container)?;
+        if bytes.len() % 4 != 0 {
+            return Err(ContainerError::ElementMisaligned {
+                total_len: bytes.len() as u64,
+                element_bytes: 4,
+            });
+        }
+        Ok(bytes
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes")))
+            .collect())
+    }
+}
+
+/// Summary of one container's frame, for reports and probes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameInfo {
+    /// Codec named by the header.
+    pub codec: CodecId,
+    /// Chunk size in bytes.
+    pub chunk_bytes: u32,
+    /// Number of chunks.
+    pub chunk_count: u32,
+    /// Decoded length in bytes.
+    pub total_len: u64,
+    /// Payload section length in bytes.
+    pub payload_bytes: u64,
+    /// Whole container length in bytes (header + directory + payload).
+    pub container_bytes: u64,
+    /// Chunks stored verbatim.
+    pub raw_chunks: u32,
+    /// Chunks stored coded.
+    pub coded_chunks: u32,
+}
+
+impl FrameInfo {
+    /// End-to-end compression ratio (decoded / container bytes, > 1 is
+    /// a win); 0 for an empty stream.
+    pub fn ratio(&self) -> f64 {
+        if self.container_bytes == 0 {
+            return 0.0;
+        }
+        self.total_len as f64 / self.container_bytes as f64
+    }
+}
+
+/// Parses a container's frame without decoding any chunk.
+pub fn frame_info(container: &[u8]) -> Result<FrameInfo, ContainerError> {
+    let frame = Frame::parse(container)?;
+    let coded = frame.directory.iter().filter(|e| e.mode == StorageMode::Coded).count() as u32;
+    Ok(FrameInfo {
+        codec: frame.header.codec,
+        chunk_bytes: frame.header.chunk_bytes,
+        chunk_count: frame.header.chunk_count,
+        total_len: frame.header.total_len,
+        payload_bytes: frame.payload.len() as u64,
+        container_bytes: container.len() as u64,
+        raw_chunks: frame.header.chunk_count - coded,
+        coded_chunks: coded,
+    })
+}
+
+fn map_threads<T: Send, U: Send>(
+    items: Vec<T>,
+    threads: Threads,
+    f: impl Fn(T) -> U + Sync,
+) -> Vec<U> {
+    match threads {
+        Threads::Serial => items.into_iter().map(f).collect(),
+        Threads::Auto => slc_par::par_map(items, f),
+        Threads::Exact(workers) => slc_par::par_map_workers(items, f, workers),
+    }
+}
+
+/// Encodes one chunk: per-block tag + body, with a raw fallback when the
+/// coded stream does not beat the chunk's verbatim bytes.
+fn encode_chunk(
+    codec: &dyn BlockCodec,
+    chunk: &[u8],
+    hints: Option<&[u32]>,
+) -> (Vec<u8>, StorageMode) {
+    let nblocks = chunk.len().div_ceil(BLOCK_BYTES);
+    let mut coded = Vec::with_capacity(chunk.len() + 2 * nblocks);
+    for (i, raw) in chunk.chunks(BLOCK_BYTES).enumerate() {
+        let mut block = [0u8; BLOCK_BYTES];
+        block[..raw.len()].copy_from_slice(raw);
+        // A hint of >= BLOCK_BITS means "stored verbatim": identical to
+        // what the codec would decide, minus the encode work.
+        let skip = hints.is_some_and(|h| h[i] >= BLOCK_BITS);
+        let c = if skip { Compressed::uncompressed(&block) } else { codec.compress(&block) };
+        // Defensive: the tag has 15 size bits and every codec caps at the
+        // verbatim block; store raw if one ever misbehaves.
+        let c = if c.size_bits() > BLOCK_BITS { Compressed::uncompressed(&block) } else { c };
+        let tag = (c.size_bits() as u16) | if c.is_compressed() { TAG_CODED } else { 0 };
+        coded.extend_from_slice(&tag.to_le_bytes());
+        coded.extend_from_slice(&c.payload()[..c.size_bytes() as usize]);
+    }
+    if coded.len() >= chunk.len() {
+        (chunk.to_vec(), StorageMode::Raw)
+    } else {
+        (coded, StorageMode::Coded)
+    }
+}
+
+/// Decodes one chunk into its output slice.
+///
+/// `entry`'s payload span was bounds-checked by [`Frame::parse`]; block
+/// tags and bodies are re-validated here (the span being in bounds says
+/// nothing about its contents), and codec guard-panics on corrupt block
+/// streams are caught and mapped to [`ContainerError::ChunkCorrupt`] so
+/// the engine's decode path never unwinds out of a worker.
+fn decode_chunk(
+    codec: &dyn BlockCodec,
+    payload: &[u8],
+    entry: DirEntry,
+    dst: &mut [u8],
+    chunk: usize,
+) -> Result<(), ContainerError> {
+    let src = &payload[entry.offset as usize..(entry.offset + entry.encoded_bytes()) as usize];
+    match entry.mode {
+        StorageMode::Raw => {
+            // Frame::parse pinned the raw length to the chunk's exact
+            // raw length, which is dst's length by construction.
+            debug_assert_eq!(src.len(), dst.len());
+            dst.copy_from_slice(src);
+            Ok(())
+        }
+        StorageMode::Coded => {
+            let nblocks = dst.len().div_ceil(BLOCK_BYTES);
+            let outcome = catch_unwind(AssertUnwindSafe(|| -> Result<(), &'static str> {
+                let mut pos = 0usize;
+                for b in 0..nblocks {
+                    if pos + 2 > src.len() {
+                        return Err("block tag past end of chunk");
+                    }
+                    let tag = u16::from_le_bytes([src[pos], src[pos + 1]]);
+                    pos += 2;
+                    let bits = u32::from(tag & !TAG_CODED);
+                    let is_coded = tag & TAG_CODED != 0;
+                    if bits > BLOCK_BITS || (!is_coded && bits != BLOCK_BITS) {
+                        return Err("invalid block tag");
+                    }
+                    let body_len = bits.div_ceil(8) as usize;
+                    if pos + body_len > src.len() {
+                        return Err("block body past end of chunk");
+                    }
+                    let body = &src[pos..pos + body_len];
+                    pos += body_len;
+                    let block: Block = if is_coded {
+                        codec.decompress(&Compressed::new(bits, body.to_vec()))
+                    } else {
+                        body.try_into().expect("verbatim body is exactly one block")
+                    };
+                    let lo = b * BLOCK_BYTES;
+                    let n = (dst.len() - lo).min(BLOCK_BYTES);
+                    dst[lo..lo + n].copy_from_slice(&block[..n]);
+                }
+                if pos != src.len() {
+                    return Err("trailing bytes after last block");
+                }
+                Ok(())
+            }));
+            match outcome {
+                Ok(Ok(())) => Ok(()),
+                Ok(Err(reason)) => Err(ContainerError::ChunkCorrupt { chunk, reason }),
+                Err(_) => Err(ContainerError::ChunkCorrupt {
+                    chunk,
+                    reason: "codec rejected the block stream",
+                }),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slc_compress::bdi::Bdi;
+    use slc_compress::e2mc::{E2mc, E2mcConfig};
+
+    fn bdi_engine(chunk: usize) -> Engine {
+        Engine::new(Arc::new(Bdi::new())).with_chunk_bytes(chunk)
+    }
+
+    fn sample_bytes(len: usize) -> Vec<u8> {
+        // Mixed compressibility: ramps (BDI material) with noise stripes.
+        (0..len)
+            .map(|i| {
+                if (i / 96) % 5 == 4 {
+                    (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15).rotate_left(23) as u8
+                } else {
+                    (i / 4) as u8
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn roundtrip_basic() {
+        let e = bdi_engine(256);
+        for len in [0usize, 1, 127, 128, 129, 255, 256, 257, 1000, 4096] {
+            let data = sample_bytes(len);
+            let c = e.compress(&data);
+            assert_eq!(e.decompress(&c).unwrap(), data, "len {len}");
+            let info = frame_info(&c).unwrap();
+            assert_eq!(info.total_len, len as u64);
+            assert_eq!(info.chunk_count as u64, (len as u64).div_ceil(256));
+        }
+    }
+
+    #[test]
+    fn container_is_self_describing() {
+        let e = bdi_engine(512);
+        let data = sample_bytes(2000);
+        let c = e.compress(&data);
+        let info = frame_info(&c).unwrap();
+        assert_eq!(info.codec, CodecId::Bdi);
+        assert_eq!(info.chunk_bytes, 512);
+        assert_eq!(info.raw_chunks + info.coded_chunks, info.chunk_count);
+        assert!(info.ratio() > 0.0);
+    }
+
+    #[test]
+    fn incompressible_chunks_fall_back_to_raw() {
+        let e = bdi_engine(256);
+        let mut noise = vec![0u8; 1024];
+        let mut state = 0x1234_5678_9abc_def0u64;
+        for b in noise.iter_mut() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            *b = (state >> 33) as u8;
+        }
+        let c = e.compress(&noise);
+        let info = frame_info(&c).unwrap();
+        assert_eq!(info.coded_chunks, 0, "noise must store raw, not expand");
+        // Raw storage bounds the overhead to header + directory.
+        assert_eq!(
+            c.len(),
+            HEADER_BYTES + info.chunk_count as usize * DIR_ENTRY_BYTES + noise.len()
+        );
+        assert_eq!(e.decompress(&c).unwrap(), noise);
+    }
+
+    #[test]
+    fn codec_mismatch_is_rejected() {
+        let data = sample_bytes(512);
+        let c = bdi_engine(256).compress(&data);
+        let other = Engine::new(Arc::new(slc_compress::fpc::Fpc::new())).with_chunk_bytes(256);
+        assert_eq!(
+            other.decompress(&c),
+            Err(ContainerError::CodecMismatch { container: CodecId::Bdi, engine: CodecId::Fpc })
+        );
+    }
+
+    #[test]
+    fn sized_path_is_byte_identical_for_e2mc() {
+        let training: Vec<u8> =
+            (0..1u32 << 14).flat_map(|i| ((i % 257) as f32).to_le_bytes()).collect();
+        let e2mc = E2mc::train_on_bytes(&training, &E2mcConfig::default());
+        let mut data: Vec<u8> =
+            (0..2048u32).flat_map(|i| (((i * 3) % 257) as f32).to_le_bytes()).collect();
+        // Salt a stripe of noise so some blocks are genuinely
+        // incompressible and the skip hint actually fires.
+        let mut state = 0xfeedu64;
+        for b in data[1024..2048].iter_mut() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            *b = (state >> 33) as u8;
+        }
+        let sizes: Vec<u32> = data
+            .chunks_exact(BLOCK_BYTES)
+            .map(|c| e2mc.stored_size_bits(c.try_into().unwrap()))
+            .collect();
+        assert!(sizes.iter().any(|&s| s >= BLOCK_BITS), "need at least one verbatim block");
+        let engine = Engine::new(Arc::new(e2mc)).with_chunk_bytes(512);
+        let plain = engine.compress(&data);
+        let sized = engine.compress_with_sizes(&data, &sizes, Threads::Serial);
+        assert_eq!(plain, sized, "truthful sizes must not change a single byte");
+        assert_eq!(engine.decompress(&sized).unwrap(), data);
+    }
+
+    #[test]
+    fn clone_shares_the_codec() {
+        let e = bdi_engine(256);
+        let f = e.clone();
+        assert!(Arc::ptr_eq(&e.codec, &f.codec));
+    }
+
+    #[test]
+    fn f32_roundtrip() {
+        let e = bdi_engine(256);
+        let values: Vec<f32> = (0..300).map(|i| i as f32 * 0.5).collect();
+        let c = e.compress_f32(&values);
+        assert_eq!(e.decompress_f32(&c).unwrap(), values);
+    }
+
+    #[test]
+    fn f32_rejects_misaligned_streams() {
+        let e = bdi_engine(256);
+        let c = e.compress(&[1u8, 2, 3]);
+        assert_eq!(
+            e.decompress_f32(&c),
+            Err(ContainerError::ElementMisaligned { total_len: 3, element_bytes: 4 })
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 128")]
+    fn chunk_size_must_be_block_aligned() {
+        let _ = bdi_engine(100);
+    }
+
+    #[test]
+    #[should_panic(expected = "one stored size per block")]
+    fn sized_path_checks_block_count() {
+        let e = bdi_engine(256);
+        let _ = e.compress_with_sizes(&[0u8; 256], &[0u32; 3], Threads::Serial);
+    }
+}

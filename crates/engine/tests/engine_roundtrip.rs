@@ -1,0 +1,209 @@
+//! Property tests pinning the engine's two load-bearing equivalences for
+//! **every** codec, random chunk sizes and ragged tail chunks:
+//!
+//! 1. The engine's container is byte-identical to a hand-rolled
+//!    *sequential per-block* encode of the same stream (the reference
+//!    implementation below shares no code with the engine's chunk
+//!    encoder), and parallel compression emits the identical container.
+//! 2. Parallel decode is byte-identical to serial decode, and both
+//!    reproduce the original stream exactly.
+
+use proptest::prelude::*;
+use proptest::test_runner::ProptestConfig;
+use slc_compress::bdi::Bdi;
+use slc_compress::bpc::Bpc;
+use slc_compress::cpack::Cpack;
+use slc_compress::e2mc::{E2mc, E2mcConfig};
+use slc_compress::fpc::Fpc;
+use slc_compress::hycomp::HyComp;
+use slc_compress::sc2::Sc2;
+use slc_compress::{BlockCodec, Compressed, BLOCK_BITS, BLOCK_BYTES};
+use slc_engine::{ContainerError, DirEntry, Engine, Header, StorageMode, Threads};
+use std::sync::{Arc, OnceLock};
+
+/// All seven codecs, trained once for the whole test binary (training
+/// E2MC/SC2/HyComp per proptest case would dominate the runtime).
+fn codecs() -> &'static [Arc<dyn BlockCodec>] {
+    static CODECS: OnceLock<Vec<Arc<dyn BlockCodec>>> = OnceLock::new();
+    CODECS.get_or_init(|| {
+        let bytes: Vec<u8> =
+            (0..1u32 << 14).flat_map(|i| ((i % 257) as f32).to_le_bytes()).collect();
+        vec![
+            Arc::new(Bdi::new()),
+            Arc::new(Fpc::new()),
+            Arc::new(Cpack::new()),
+            Arc::new(Bpc::new()),
+            Arc::new(E2mc::train_on_bytes(&bytes, &E2mcConfig::default())),
+            Arc::new(Sc2::train_on_bytes(&bytes, slc_compress::sc2::DEFAULT_TOP_K)),
+            Arc::new(HyComp::train_on_bytes(&bytes)),
+        ]
+    })
+}
+
+/// Reference container builder: a plain sequential loop over blocks and
+/// chunks — per-block `compress`, u16 tag, raw fallback — independently
+/// restating the format spec the engine must match byte for byte.
+fn reference_container(codec: &dyn BlockCodec, bytes: &[u8], chunk_bytes: usize) -> Vec<u8> {
+    let mut chunks: Vec<(Vec<u8>, StorageMode)> = Vec::new();
+    for chunk in bytes.chunks(chunk_bytes) {
+        let mut coded = Vec::new();
+        for raw in chunk.chunks(BLOCK_BYTES) {
+            let mut block = [0u8; BLOCK_BYTES];
+            block[..raw.len()].copy_from_slice(raw);
+            let c = codec.compress(&block);
+            let c = if c.size_bits() > BLOCK_BITS { Compressed::uncompressed(&block) } else { c };
+            let tag = (c.size_bits() as u16) | if c.is_compressed() { 1u16 << 15 } else { 0 };
+            coded.extend_from_slice(&tag.to_le_bytes());
+            coded.extend_from_slice(&c.payload()[..c.size_bits().div_ceil(8) as usize]);
+        }
+        if coded.len() >= chunk.len() {
+            chunks.push((chunk.to_vec(), StorageMode::Raw));
+        } else {
+            chunks.push((coded, StorageMode::Coded));
+        }
+    }
+    let mut out = Vec::new();
+    Header {
+        codec: slc_compress::CodecId::from_name(codec.name()).expect("registered codec"),
+        chunk_bytes: chunk_bytes as u32,
+        chunk_count: chunks.len() as u32,
+        total_len: bytes.len() as u64,
+    }
+    .write_to(&mut out);
+    let mut offset = 0u64;
+    for (data, mode) in &chunks {
+        let entry = DirEntry { offset, encoded_bits: (data.len() * 8) as u32, mode: *mode };
+        out.extend_from_slice(&entry.offset.to_le_bytes());
+        out.extend_from_slice(&entry.encoded_bits.to_le_bytes());
+        out.push(entry.mode.as_u8());
+        offset += data.len() as u64;
+    }
+    for (data, _) in &chunks {
+        out.extend_from_slice(data);
+    }
+    out
+}
+
+/// Mixed-compressibility stream: f32 ramps in-distribution for the
+/// trained codecs, interleaved with raw noise stripes, sliced to an
+/// arbitrary (ragged) length.
+fn stream(len: usize, salt: u64, noise_period: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(len + 4);
+    let mut i = 0u32;
+    let mut state = salt | 1;
+    while out.len() < len {
+        if noise_period > 0 && (out.len() / BLOCK_BYTES) % noise_period == noise_period - 1 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            out.extend_from_slice(&state.to_le_bytes());
+        } else {
+            out.extend_from_slice(&(((i * 3) % 257) as f32).to_le_bytes());
+        }
+        i += 1;
+    }
+    out.truncate(len);
+    out
+}
+
+fn check_roundtrip(bytes: &[u8], chunk_blocks: usize) {
+    let chunk_bytes = chunk_blocks * BLOCK_BYTES;
+    for codec in codecs() {
+        let name = codec.name();
+        let engine = Engine::new(Arc::clone(codec)).with_chunk_bytes(chunk_bytes);
+        let serial = engine.compress_threads(bytes, Threads::Serial);
+        let parallel = engine.compress_threads(bytes, Threads::Exact(3));
+        assert_eq!(serial, parallel, "{name}: parallel compress must be byte-identical");
+        let reference = reference_container(codec.as_ref(), bytes, chunk_bytes);
+        assert_eq!(
+            serial, reference,
+            "{name}: engine container must equal the sequential per-block reference"
+        );
+        let d_serial = engine.decompress_threads(&serial, Threads::Serial).unwrap();
+        let d_parallel = engine.decompress_threads(&serial, Threads::Exact(3)).unwrap();
+        assert_eq!(d_serial, d_parallel, "{name}: parallel decode must equal serial");
+        assert_eq!(d_serial, bytes, "{name}: roundtrip must reproduce the stream");
+    }
+}
+
+#[test]
+fn edge_case_lengths_roundtrip() {
+    // Empty stream, sub-block, exactly one block, one chunk ± 1 byte.
+    for len in [0usize, 1, 127, 128, 129, 512, 513, 511] {
+        check_roundtrip(&stream(len, 7, 3), 4);
+    }
+}
+
+#[test]
+fn truncating_a_container_is_an_error_not_a_panic() {
+    let engine = Engine::new(Arc::new(Bdi::new())).with_chunk_bytes(256);
+    let data = stream(1000, 3, 2);
+    let container = engine.compress(&data);
+    for cut in 0..container.len() {
+        match engine.decompress(&container[..cut]) {
+            Err(_) => {}
+            Ok(out) => assert_eq!(out, data[..0], "only a full parse may succeed"),
+        }
+    }
+    assert_eq!(engine.decompress(&container).unwrap(), data);
+}
+
+#[test]
+fn exact_worker_counts_agree_everywhere() {
+    // Exercise several explicit worker counts (including more workers
+    // than chunks) against the serial reference.
+    let engine = Engine::new(Arc::new(Fpc::new())).with_chunk_bytes(128);
+    let data = stream(1500, 11, 4);
+    let serial = engine.compress_threads(&data, Threads::Serial);
+    for workers in [1usize, 2, 3, 8, 64] {
+        assert_eq!(engine.compress_threads(&data, Threads::Exact(workers)), serial);
+        assert_eq!(
+            engine.decompress_threads(&serial, Threads::Exact(workers)).unwrap(),
+            data,
+            "{workers} workers"
+        );
+    }
+    assert_eq!(engine.compress_threads(&data, Threads::Auto), serial);
+    assert_eq!(engine.decompress_threads(&serial, Threads::Auto).unwrap(), data);
+}
+
+#[test]
+fn chunk_corruption_surfaces_as_chunk_corrupt() {
+    // Stomp a coded chunk's first tag with an impossible size: the
+    // decoder must return ChunkCorrupt for that chunk, not panic.
+    let bytes: Vec<u8> = stream(1024, 5, 0);
+    let engine = Engine::new(Arc::new(Bdi::new())).with_chunk_bytes(256);
+    let mut container = engine.compress(&bytes);
+    let info = slc_engine::frame_info(&container).unwrap();
+    assert!(info.coded_chunks > 0, "need a coded chunk to corrupt");
+    let dir_end =
+        slc_engine::HEADER_BYTES + info.chunk_count as usize * slc_engine::DIR_ENTRY_BYTES;
+    // First coded chunk starts at payload offset 0 (chunk 0 is coded:
+    // the ramp compresses under BDI).
+    container[dir_end] = 0xff;
+    container[dir_end + 1] = 0x7f; // tag = size_bits 0x7fff, not coded
+    match engine.decompress(&container) {
+        Err(ContainerError::ChunkCorrupt { .. }) => {}
+        other => panic!("expected ChunkCorrupt, got {other:?}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn prop_engine_equals_sequential_reference(
+        len in 0usize..4096,
+        chunk_blocks in 1usize..=8,
+        salt in any::<u64>(),
+        noise_period in 0usize..5,
+    ) {
+        check_roundtrip(&stream(len, salt, noise_period), chunk_blocks);
+    }
+
+    #[test]
+    fn prop_random_bytes_roundtrip(
+        data in proptest::collection::vec(any::<u8>(), 0..2048),
+        chunk_blocks in 1usize..=4,
+    ) {
+        check_roundtrip(&data, chunk_blocks);
+    }
+}

@@ -1,0 +1,73 @@
+//! Diagnostic: every benchmark's exact snapshot through the batch
+//! engine. Not a paper figure — the end-to-end smoke for the framed
+//! container path that CI runs at tiny scale.
+//!
+//! For each workload the probe concatenates the exact-region byte image
+//! ([`snapshot_bytes`]), compresses it twice — once from scratch and
+//! once through the cached-size fast path ([`compress_snapshot`]) — and
+//! checks the two containers are byte-identical, that parallel decode
+//! equals serial decode equals the original image, and prints the
+//! container's compression ratio plus wall-clock GB/s for both
+//! directions. Any contract violation aborts the process, so a plain
+//! exit-0 run is the pass signal.
+
+use std::time::Instant;
+
+use slc_engine::{frame_info, Threads};
+use slc_workloads::{all_workloads, compress_snapshot, snapshot_bytes, snapshot_engine};
+use slc_workloads::{Harness, Scale, SnapshotAnalysis};
+
+/// Wall-clock GB/s for `bytes` processed in `seconds` (1 byte/ns = 1 GB/s).
+fn gbps(bytes: usize, seconds: f64) -> f64 {
+    bytes as f64 / seconds / 1e9
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let h = Harness::new(scale);
+    println!("Engine snapshot probe: framed container end-to-end (scale {scale:?})");
+    println!(
+        "{:>6} {:>10} {:>8} {:>8} {:>12} {:>12}",
+        "bench", "bytes", "chunks", "ratio", "comp_GB/s", "decomp_GB/s"
+    );
+    for w in all_workloads(scale) {
+        let a = h.prepare(w.as_ref());
+        let bytes = snapshot_bytes(&a.exact_memory);
+        let engine = snapshot_engine(&a.e2mc);
+        let snapshot = SnapshotAnalysis::capture(&a.e2mc, &a.exact_memory);
+
+        let t = Instant::now();
+        let container = engine.compress_threads(&bytes, Threads::Auto);
+        let comp_s = t.elapsed().as_secs_f64();
+
+        let cached = compress_snapshot(&engine, &a.e2mc, &bytes, &snapshot, Threads::Auto);
+        assert_eq!(
+            container, cached,
+            "{}: cached-size container differs from the from-scratch one",
+            a.name
+        );
+
+        let t = Instant::now();
+        let parallel = engine
+            .decompress_threads(&container, Threads::Auto)
+            .expect("engine-produced container must decode");
+        let decomp_s = t.elapsed().as_secs_f64();
+        let serial = engine
+            .decompress_threads(&container, Threads::Serial)
+            .expect("engine-produced container must decode serially");
+        assert_eq!(parallel, serial, "{}: parallel decode diverged from serial", a.name);
+        assert_eq!(parallel, bytes, "{}: roundtrip is not byte-identical", a.name);
+
+        let info = frame_info(&container).expect("engine-produced container must parse");
+        println!(
+            "{:>6} {:>10} {:>8} {:>8.3} {:>12.3} {:>12.3}",
+            a.name,
+            bytes.len(),
+            info.chunk_count,
+            info.ratio(),
+            gbps(bytes.len(), comp_s),
+            gbps(bytes.len(), decomp_s),
+        );
+    }
+    println!("all snapshots roundtripped byte-identically (parallel == serial == original)");
+}

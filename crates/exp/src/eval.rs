@@ -85,10 +85,11 @@ pub fn evaluate(
 /// [`evaluate_prepared`] instead of paying a second full prepare pass.
 ///
 /// The artifacts also lazily cache the exact run's per-snapshot E2MC
-/// analyses ([`BenchmarkArtifacts::exact_snapshots`]): the artifacts are
-/// MAG- and threshold-independent, so one prepared set serves any number
-/// of [`evaluate_prepared`] sweeps and the E2MC baseline inside each is a
-/// cheap decision sweep over the shared analyses, not a re-encode.
+/// stored sizes ([`BenchmarkArtifacts::exact_size_snapshots`]): the
+/// artifacts are MAG- and threshold-independent, so one prepared set
+/// serves any number of [`evaluate_prepared`] sweeps and the E2MC
+/// baseline inside each is a cheap decision sweep over the shared sizes,
+/// not a re-encode.
 pub fn prepare_all(
     scale: Scale,
     harness: &Harness,

@@ -63,8 +63,24 @@ where
     U: Send,
     F: Fn(T) -> U + Sync,
 {
+    let workers = worker_count(items.len());
+    par_map_workers(items, f, workers)
+}
+
+/// [`par_map`] with an explicit worker count, bypassing the hardware
+/// count and the `SLC_PAR_THREADS` knob (still clamped to the item count,
+/// and to 1 inside a nested call — see the module docs). Callers that
+/// must exercise the threaded path deterministically — the engine's
+/// parallel-equals-serial property tests on a single-core host — pass the
+/// count instead of mutating process-global environment.
+pub fn par_map_workers<T, U, F>(items: Vec<T>, f: F, workers: usize) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
     let n = items.len();
-    let workers = worker_count(n);
+    let workers = if IN_WORKER.with(Cell::get) { 1 } else { workers.clamp(1, n.max(1)) };
     if workers <= 1 {
         return items.into_iter().map(f).collect();
     }

@@ -115,6 +115,121 @@ impl SnapshotAnalysis {
     pub fn matches(&self, e2mc: &E2mc) -> bool {
         Arc::ptr_eq(&self.table, e2mc.shared_table())
     }
+
+    /// Slims the snapshot down to its [`SizeSnapshot`]: per-block stored
+    /// sizes only, the full code-length artifacts dropped.
+    pub fn to_sizes(&self) -> SizeSnapshot {
+        SizeSnapshot {
+            entries: self
+                .entries
+                .iter()
+                .map(|b| SizedBlock {
+                    addr: b.addr,
+                    approximable: b.approximable,
+                    size_bits: b.analysis.e2mc_size_bits(),
+                })
+                .collect(),
+            table: Arc::clone(&self.table),
+        }
+    }
+}
+
+/// One block of a [`SizeSnapshot`]: address, region class and the E2MC
+/// stored size — nothing else.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SizedBlock {
+    /// Block address (`region.base / BLOCK_BYTES + index`).
+    pub addr: BlockAddr,
+    /// Whether the owning region is marked safe to approximate.
+    pub approximable: bool,
+    /// E2MC stored size in bits, capped at the verbatim block
+    /// (== [`BlockAnalysis::e2mc_size_bits`] of the full analysis).
+    pub size_bits: u32,
+}
+
+impl SizedBlock {
+    /// The block's E2MC stored size in bits — named to mirror
+    /// [`BlockAnalysis::e2mc_size_bits`], so size-only consumers read
+    /// identically against either representation.
+    pub fn e2mc_size_bits(&self) -> u32 {
+        self.size_bits
+    }
+}
+
+/// The size-bits-only variant of [`SnapshotAnalysis`].
+///
+/// A full [`BlockAnalysis`] is 196 B of per-symbol code lengths and tree
+/// sums; consumers that only ever read the block's *stored size* — the
+/// E2MC-baseline burst sweep, the fault ladder's escalation counters —
+/// pay for none of that here: one `u32` per block, a ~49× smaller
+/// footprint per cached snapshot. Captured directly via
+/// [`E2mc::stored_size_bits`] (a dense-table sum, no tree walk), or
+/// slimmed from a full snapshot with [`SnapshotAnalysis::to_sizes`];
+/// both pin the identical size the full analysis reports.
+///
+/// Like its full-fat sibling it carries the trained table's `Arc`
+/// identity, entries in [`GpuMemory::all_blocks`] order, and a
+/// [`runs`](Self::runs) decomposition for dense accumulators.
+#[derive(Debug, Clone)]
+pub struct SizeSnapshot {
+    entries: Vec<SizedBlock>,
+    /// Identity of the trained model the sizes were computed with.
+    table: Arc<SymbolTable>,
+}
+
+impl SizeSnapshot {
+    /// Captures every region block's stored size under `e2mc`, chunked
+    /// across the pool exactly like [`SnapshotAnalysis::capture`].
+    pub fn capture(e2mc: &E2mc, mem: &GpuMemory) -> Self {
+        /// Blocks per parallel work item (sizing is cheaper than a full
+        /// analysis, so work items are coarser).
+        const CHUNK_BLOCKS: usize = 8192;
+        let blocks: Vec<(BlockAddr, bool, &Block)> = mem
+            .blocks_with_addr()
+            .map(|(region, addr, block)| (addr, region.safe_to_approx, block))
+            .collect();
+        let sized = slc_par::par_map(blocks.chunks(CHUNK_BLOCKS).collect(), |chunk| {
+            chunk
+                .iter()
+                .map(|&(addr, approximable, block)| SizedBlock {
+                    addr,
+                    approximable,
+                    size_bits: e2mc.stored_size_bits(block),
+                })
+                .collect::<Vec<_>>()
+        });
+        let entries = sized.into_iter().flatten().collect();
+        Self { entries, table: Arc::clone(e2mc.shared_table()) }
+    }
+
+    /// The sized blocks, in [`GpuMemory::all_blocks`] order.
+    pub fn entries(&self) -> &[SizedBlock] {
+        &self.entries
+    }
+
+    /// Maximal runs of entries with consecutive block addresses — see
+    /// [`SnapshotAnalysis::runs`].
+    pub fn runs(&self) -> impl Iterator<Item = &[SizedBlock]> + '_ {
+        let entries = &self.entries;
+        let mut pos = 0usize;
+        std::iter::from_fn(move || {
+            if pos >= entries.len() {
+                return None;
+            }
+            let start = pos;
+            pos += 1;
+            while pos < entries.len() && entries[pos].addr == entries[pos - 1].addr + 1 {
+                pos += 1;
+            }
+            Some(&entries[start..pos])
+        })
+    }
+
+    /// `true` when the sizes were computed with exactly `e2mc`'s trained
+    /// table — see [`SnapshotAnalysis::matches`].
+    pub fn matches(&self, e2mc: &E2mc) -> bool {
+        Arc::ptr_eq(&self.table, e2mc.shared_table())
+    }
 }
 
 #[cfg(test)]
@@ -164,6 +279,36 @@ mod tests {
             assert_eq!(got.approximable, want.1);
             assert_eq!(got.analysis, want.2);
         }
+    }
+
+    #[test]
+    fn size_snapshot_pins_the_full_analysis_sizes() {
+        let e2mc = trained();
+        let mem = memory();
+        let full = SnapshotAnalysis::capture(&e2mc, &mem);
+        let slim = SizeSnapshot::capture(&e2mc, &mem);
+        assert_eq!(slim.entries().len(), full.entries().len());
+        for (s, f) in slim.entries().iter().zip(full.entries()) {
+            assert_eq!(s.addr, f.addr);
+            assert_eq!(s.approximable, f.approximable);
+            assert_eq!(s.e2mc_size_bits(), f.analysis.e2mc_size_bits(), "block {}", s.addr);
+        }
+        // Slimming a full snapshot is the same thing.
+        let slimmed = full.to_sizes();
+        assert_eq!(slimmed.entries(), slim.entries());
+        assert!(slimmed.matches(&e2mc));
+        // Run decomposition is identical too.
+        let full_runs: Vec<usize> = full.runs().map(<[AnalyzedBlock]>::len).collect();
+        let slim_runs: Vec<usize> = slim.runs().map(<[SizedBlock]>::len).collect();
+        assert_eq!(full_runs, slim_runs);
+    }
+
+    #[test]
+    fn size_snapshot_matches_is_table_identity() {
+        let e2mc = trained();
+        let snap = SizeSnapshot::capture(&e2mc, &memory());
+        assert!(snap.matches(&e2mc.clone()));
+        assert!(!snap.matches(&trained()));
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //! 4. Feed the benchmark's trace plus the burst map to the timing
 //!    simulator with the scheme's codec latencies.
 
-use crate::analysis::SnapshotAnalysis;
+use crate::analysis::{SizeSnapshot, SnapshotAnalysis};
 use crate::ladder::LadderState;
 use crate::metrics;
 use crate::scheme::{BurstsAccumulator, Scheme, SchemeKind};
@@ -43,26 +43,35 @@ pub struct BenchmarkArtifacts {
     /// scale-dependent input description, so a same-named workload at a
     /// different scale can never consume (or populate) this cache.
     workload_fingerprint: String,
-    /// Lazily captured per-kernel-boundary analyses of the exact
-    /// (unstaged) run — see [`Self::exact_snapshots`].
-    exact_snapshots: OnceLock<Vec<SnapshotAnalysis>>,
+    /// Lazily captured per-kernel-boundary stored sizes of the exact
+    /// (unstaged) run — see [`Self::exact_size_snapshots`].
+    exact_size_snapshots: OnceLock<Vec<SizeSnapshot>>,
     /// Lazily captured analysis of [`Self::exact_memory`] — see
     /// [`Self::final_analysis`].
     final_analysis: OnceLock<SnapshotAnalysis>,
 }
 
 impl BenchmarkArtifacts {
-    /// Analyses of the memory image at every kernel-boundary DRAM
+    /// Stored sizes of the memory image at every kernel-boundary DRAM
     /// round-trip of the **exact** run, under the trained table.
     ///
     /// Computed once per artifacts (one deterministic replay of the
-    /// kernel pipeline, analysing each boundary snapshot) and shared by
+    /// kernel pipeline, sizing each boundary snapshot) and shared by
     /// every consumer thereafter: the E2MC-baseline functional pass of
     /// [`Harness::run_functional`] at *any* MAG or threshold reduces to a
-    /// decision sweep over these analyses — the (schemes × thresholds)
+    /// decision sweep over these sizes — the (schemes × thresholds)
     /// → 1 collapse of the shared pipeline. Kernels never see staged
     /// data in a lossless run, so these snapshots are bit-identical to
     /// what that run would observe.
+    ///
+    /// Every consumer of this cache — the baseline burst sweep here, the
+    /// fault ladder's reconciliation tests — reads only each block's
+    /// *stored size*, so the cache holds the slim [`SizeSnapshot`]
+    /// representation (one `u32` per block) rather than full
+    /// [`SnapshotAnalysis`] artifacts (196 B of code lengths per block,
+    /// ~49× the footprint). Consumers that need the full analyses — SLC
+    /// staging decisions, the Fig. 2 / §V-C studies — go through
+    /// [`Scheme::stage_analyzed`] or [`Self::final_analysis`] instead.
     ///
     /// # Panics
     ///
@@ -70,17 +79,17 @@ impl BenchmarkArtifacts {
     /// prepared from — same benchmark *and* same scale-dependent input
     /// (replaying a different pipeline would cache, and then keep
     /// serving, the wrong snapshots).
-    pub fn exact_snapshots(&self, w: &dyn Workload) -> &[SnapshotAnalysis] {
+    pub fn exact_size_snapshots(&self, w: &dyn Workload) -> &[SizeSnapshot] {
         assert_eq!(
             Self::fingerprint(w),
             self.workload_fingerprint,
             "artifacts were prepared from a different workload instance"
         );
-        self.exact_snapshots.get_or_init(|| {
+        self.exact_size_snapshots.get_or_init(|| {
             let mut snapshots = Vec::new();
             let mut mem = w.build(self.seed);
             let mut capture =
-                |m: &mut GpuMemory| snapshots.push(SnapshotAnalysis::capture(&self.e2mc, m));
+                |m: &mut GpuMemory| snapshots.push(SizeSnapshot::capture(&self.e2mc, m));
             w.execute(&mut mem, &mut capture);
             snapshots
         })
@@ -190,7 +199,7 @@ impl Harness {
             trace,
             seed: self.seed,
             workload_fingerprint: BenchmarkArtifacts::fingerprint(w),
-            exact_snapshots: OnceLock::new(),
+            exact_size_snapshots: OnceLock::new(),
             final_analysis: OnceLock::new(),
         }
     }
@@ -208,8 +217,8 @@ impl Harness {
     /// [`Scheme::stage_analyzed`] pass). Non-mutating schemes sharing the
     /// artifacts' trained table skip the kernel replay entirely: their
     /// run observes exactly the exact run's memory trajectory, so they
-    /// sweep the cached [`BenchmarkArtifacts::exact_snapshots`] —
-    /// byte-identical output, one analysis pass amortised over every
+    /// sweep the cached [`BenchmarkArtifacts::exact_size_snapshots`] —
+    /// byte-identical output, one sizing pass amortised over every
     /// scheme, MAG and threshold.
     pub fn run_functional(
         &self,
@@ -245,10 +254,11 @@ impl Harness {
         {
             // Lossless staging is the identity, so a fresh run would
             // deterministically retrace the exact run; sweep its cached
-            // per-boundary analyses instead of re-executing the kernels.
+            // per-boundary stored sizes instead of re-executing the
+            // kernels (the E2MC burst decision needs nothing else).
             let mut accumulator = BurstsAccumulator::new(mag);
-            for snapshot in artifacts.exact_snapshots(w) {
-                accumulator.record(scheme, snapshot);
+            for snapshot in artifacts.exact_size_snapshots(w) {
+                accumulator.record_sizes(scheme, snapshot);
             }
             return FunctionalOutcome {
                 kind: scheme.kind(),
@@ -435,7 +445,7 @@ mod tests {
         // (name alone cannot tell the two input pipelines apart).
         let h = harness();
         let artifacts = h.prepare(&Nn::new(Scale::Tiny));
-        let _ = artifacts.exact_snapshots(&Nn::new(Scale::Small));
+        let _ = artifacts.exact_size_snapshots(&Nn::new(Scale::Small));
     }
 
     #[test]

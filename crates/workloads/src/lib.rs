@@ -24,13 +24,16 @@
 //! [`analysis`] holds the snapshot-level cache of per-block E2MC analyses
 //! (one `E2mc::analyze` pass per memory snapshot, swept by any number of
 //! schemes, MAGs and thresholds — the shared pipeline described in the
-//! `slc-core` crate docs). [`ladder`] adds the graceful-degradation
+//! `slc-core` crate docs); [`engine`] feeds those cached analyses to the
+//! `slc-engine` batch container path with zero re-analysis.
+//! [`ladder`] adds the graceful-degradation
 //! ladder that lets every scheme run on DRAM with permanently failed
 //! regions ([`slc_sim::fault`]): exact → lossless → lossy → spare-pool
 //! remap → uncorrectable, resolved deterministically per snapshot.
 
 pub mod analysis;
 pub mod benchmarks;
+pub mod engine;
 pub mod gen;
 pub mod harness;
 pub mod ladder;
@@ -38,7 +41,8 @@ pub mod metrics;
 pub mod scheme;
 pub mod suite;
 
-pub use analysis::{AnalyzedBlock, SnapshotAnalysis};
+pub use analysis::{AnalyzedBlock, SizeSnapshot, SizedBlock, SnapshotAnalysis};
+pub use engine::{compress_snapshot, snapshot_bytes, snapshot_engine};
 pub use harness::{BenchmarkArtifacts, FunctionalOutcome, Harness, TimingOutcome};
 pub use ladder::{LadderState, LadderVerdict};
 pub use scheme::{Scheme, SchemeKind};

@@ -7,7 +7,7 @@
 //! accounting for the timing simulator, and the codec latencies of
 //! Section IV-A.
 
-use crate::analysis::{AnalyzedBlock, SnapshotAnalysis};
+use crate::analysis::{AnalyzedBlock, SizeSnapshot, SnapshotAnalysis};
 use slc_compress::e2mc::{BlockAnalysis, E2mc};
 use slc_compress::{Block, Mag, BLOCK_BYTES};
 use slc_core::slc::{SlcCompressor, SlcConfig, SlcVariant};
@@ -282,6 +282,40 @@ impl BurstsAccumulator {
         }
     }
 
+    /// [`record`](Self::record) over a size-only [`SizeSnapshot`] — the
+    /// E2MC-baseline sweep against the slim cache. Only the lossless
+    /// E2MC scheme can be swept from stored sizes alone: its burst count
+    /// is a pure function of the size, while an SLC decision needs the
+    /// full per-symbol code lengths (and [`Scheme::Uncompressed`] records
+    /// nothing, as everywhere else).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `scheme` is an SLC variant, or when the snapshot's
+    /// trained table is not the scheme's.
+    pub fn record_sizes(&mut self, scheme: &Scheme, snapshot: &SizeSnapshot) {
+        let Some(e2mc) = scheme.e2mc() else {
+            return;
+        };
+        assert!(
+            matches!(scheme, Scheme::E2mc(_)),
+            "size-only snapshots serve the lossless E2MC baseline; SLC decisions need full analyses"
+        );
+        assert!(
+            snapshot.matches(e2mc),
+            "snapshot analysed under a different trained table than the scheme's"
+        );
+        let mag = self.mag;
+        for run in snapshot.runs() {
+            let cells = self.cells.run_slice(run[0].addr, run.len());
+            for (cell, b) in cells.iter_mut().zip(run) {
+                let bursts = mag.bursts_for_bits(b.e2mc_size_bits(), BLOCK_BYTES as u32);
+                cell.0 += u64::from(bursts);
+                cell.1 += 1;
+            }
+        }
+    }
+
     /// Number of snapshots folded in: the minimum fold count over all
     /// recorded blocks (blocks first seen in a late snapshot report
     /// fewer folds).
@@ -398,6 +432,29 @@ mod tests {
             swept.record(&scheme, &snap);
             assert_eq!(direct.into_map(), swept.into_map());
         }
+    }
+
+    #[test]
+    fn record_sizes_equals_record_for_the_e2mc_baseline() {
+        let e = trained();
+        let mem = filled_memory();
+        let scheme = Scheme::E2mc(e.clone());
+        let full = SnapshotAnalysis::capture(&e, &mem);
+        let slim = SizeSnapshot::capture(&e, &mem);
+        let mut a = BurstsAccumulator::new(Mag::GDDR5);
+        a.record(&scheme, &full);
+        let mut b = BurstsAccumulator::new(Mag::GDDR5);
+        b.record_sizes(&scheme, &slim);
+        assert_eq!(a.into_map(), b.into_map());
+    }
+
+    #[test]
+    #[should_panic(expected = "size-only snapshots serve the lossless E2MC baseline")]
+    fn record_sizes_rejects_slc_schemes() {
+        let e = trained();
+        let slim = SizeSnapshot::capture(&e, &filled_memory());
+        let scheme = Scheme::slc(e, Mag::GDDR5, 16, SlcVariant::TslcOpt);
+        BurstsAccumulator::new(Mag::GDDR5).record_sizes(&scheme, &slim);
     }
 
     #[test]

@@ -113,8 +113,8 @@ fn demand_counters_are_monotone_in_density() {
 #[test]
 fn ladder_counters_reconcile_with_an_independent_replay() {
     // The lossless scheme never mutates memory, so the exact run's
-    // cached per-boundary analyses are precisely what the ladder saw —
-    // replay its decisions from first principles (fault map + stream
+    // cached per-boundary stored sizes are precisely what the ladder saw
+    // — replay its decisions from first principles (fault map + stream
     // sizes + FCFS pool) and demand the counters match exactly.
     let h = harness();
     let w = workload_by_name("BS", Scale::Tiny).expect("registered");
@@ -131,12 +131,12 @@ fn ladder_counters_reconcile_with_an_independent_replay() {
     let budget = fault.budget_bits();
     let mut remapped: HashSet<u64> = HashSet::new();
     let mut lost: HashSet<u64> = HashSet::new();
-    for snapshot in a.exact_snapshots(w.as_ref()) {
+    for snapshot in a.exact_size_snapshots(w.as_ref()) {
         for b in snapshot.entries() {
             if !map.is_faulty(b.addr)
                 || remapped.contains(&b.addr)
                 || lost.contains(&b.addr)
-                || b.analysis.e2mc_size_bits() <= budget
+                || b.e2mc_size_bits() <= budget
             {
                 continue;
             }

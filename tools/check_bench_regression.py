@@ -1,5 +1,8 @@
 #!/usr/bin/env python3
-"""Compare a fresh codec_throughput run against the committed baseline.
+"""Compare a fresh bench run against its committed baseline.
+
+Works for any baseline in the shared bench-JSON shape (``BENCH_codec.json``
+from codec_throughput, ``BENCH_eval.json`` from eval_pipeline, ...).
 
 Usage: check_bench_regression.py BASELINE_JSON CANDIDATE_JSON [--tolerance PCT]
 
@@ -49,7 +52,7 @@ def load_rows(path):
     except json.JSONDecodeError as exc:
         die(f"{path} is not valid JSON: {exc}")
     except (KeyError, TypeError, ValueError) as exc:
-        die(f"{path} is not a codec_throughput baseline "
+        die(f"{path} is not a bench baseline "
             f"(expected {{'results': [{{'id', 'ns_per_iter'}}, ...]}}): {exc!r}")
 
 
