@@ -22,6 +22,7 @@ use slc_compress::bpc::Bpc;
 use slc_compress::cpack::Cpack;
 use slc_compress::e2mc::{E2mc, E2mcConfig};
 use slc_compress::fpc::Fpc;
+use slc_compress::rans::Rans;
 use slc_compress::{Block, BlockCompressor, Mag, BLOCK_BYTES};
 use slc_core::slc::{SlcCompressor, SlcConfig, SlcVariant};
 use slc_sim::dram::Channel;
@@ -95,8 +96,15 @@ fn bench_codecs(c: &mut Criterion) {
     let fpc = Fpc::new();
     let cpack = Cpack::new();
     let bpc = Bpc::new();
-    let codecs: [(&str, &dyn BlockCompressor); 5] =
-        [("bdi", &bdi), ("fpc", &fpc), ("cpack", &cpack), ("bpc", &bpc), ("e2mc", &e2mc)];
+    let rans = Rans::new();
+    let codecs: [(&str, &dyn BlockCompressor); 6] = [
+        ("bdi", &bdi),
+        ("fpc", &fpc),
+        ("cpack", &cpack),
+        ("bpc", &bpc),
+        ("e2mc", &e2mc),
+        ("rans", &rans),
+    ];
     let mut g = c.benchmark_group("compress_block");
     for (name, codec) in codecs {
         g.bench_function(name, |b| {

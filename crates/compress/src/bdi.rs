@@ -148,7 +148,7 @@ impl Bdi {
         if is_repeat8(&v8) {
             return BdiEncoding::Repeat;
         }
-        match best_base_delta(&ValueLanes::split(v8)) {
+        match best_base_delta(&v8) {
             Some((enc, ..)) => enc,
             None => BdiEncoding::Uncompressed,
         }
@@ -156,8 +156,8 @@ impl Bdi {
 }
 
 /// The block's sixteen 64-bit words: one load pass feeds the cheap
-/// Zeros/Repeat special-case checks, and [`ValueLanes`] derives the
-/// narrower lanes from it only when base+delta planning is reached.
+/// Zeros/Repeat special-case checks and then doubles as the packed-lane
+/// staging register that [`plan_arm`] tests every geometry against.
 fn words_of(block: &Block) -> [u64; BLOCK_BYTES / 8] {
     let mut v8 = [0u64; BLOCK_BYTES / 8];
     for (slot, c) in v8.iter_mut().zip(block.chunks_exact(8)) {
@@ -174,51 +174,45 @@ fn is_repeat8(v8: &[u64; BLOCK_BYTES / 8]) -> bool {
     v8.iter().all(|&w| w == v8[0])
 }
 
-/// The block decoded as little-endian values of every base width at once.
-///
-/// One pass over the 64-bit words fills all three lanes (the 4- and
-/// 2-byte values are shifts of the 8-byte loads), so the six base+delta
-/// arms plan over fixed arrays without ever re-reading block bytes — the
-/// hardware evaluates all geometries in parallel from the same staging
-/// register the same way.
-struct ValueLanes {
-    v8: [u64; BLOCK_BYTES / 8],
-    v4: [u64; BLOCK_BYTES / 4],
-    v2: [u64; BLOCK_BYTES / 2],
+/// The block's 4-byte values, little-endian, in memory order (lane 0 of
+/// each staging word is its low half). Only materialised when a 4-byte
+/// arm wins and its deltas must actually be written.
+fn split4(v8: &[u64; BLOCK_BYTES / 8]) -> [u64; BLOCK_BYTES / 4] {
+    let mut v4 = [0u64; BLOCK_BYTES / 4];
+    for (i, &w) in v8.iter().enumerate() {
+        v4[2 * i] = w & 0xffff_ffff;
+        v4[2 * i + 1] = w >> 32;
+    }
+    v4
 }
 
-impl ValueLanes {
-    fn split(v8: [u64; BLOCK_BYTES / 8]) -> Self {
-        let mut v4 = [0u64; BLOCK_BYTES / 4];
-        let mut v2 = [0u64; BLOCK_BYTES / 2];
-        for (i, &w) in v8.iter().enumerate() {
-            v4[2 * i] = w & 0xffff_ffff;
-            v4[2 * i + 1] = w >> 32;
-            for j in 0..4 {
-                v2[4 * i + j] = (w >> (16 * j)) & 0xffff;
-            }
-        }
-        Self { v8, v4, v2 }
-    }
-
-    fn values(&self, width: usize) -> &[u64] {
-        match width {
-            8 => &self.v8,
-            4 => &self.v4,
-            2 => &self.v2,
-            _ => unreachable!("BDI base widths are 8/4/2"),
+/// The block's 2-byte values, little-endian, in memory order. Only
+/// materialised when the B2D1 arm wins.
+fn split2(v8: &[u64; BLOCK_BYTES / 8]) -> [u64; BLOCK_BYTES / 2] {
+    let mut v2 = [0u64; BLOCK_BYTES / 2];
+    for (i, &w) in v8.iter().enumerate() {
+        for j in 0..4 {
+            v2[4 * i + j] = (w >> (16 * j)) & 0xffff;
         }
     }
+    v2
 }
 
 /// Best representable base+delta variant with its full plan
 /// `(enc, base_bytes, delta_bytes, base, mask)`, or `None` when no
 /// geometry fits. Arms are evaluated in the hardware's listed order with
 /// a strict improvement test on compressed size, so the winner is
-/// identical to the sequential evaluation.
-fn best_base_delta(lanes: &ValueLanes) -> Option<(BdiEncoding, usize, usize, u64, u64)> {
+/// identical to the sequential evaluation. All six arms plan directly on
+/// the 64-bit staging words ([`plan_arm`] treats them as packed lanes),
+/// so no per-width value array is built unless an arm actually wins.
+fn best_base_delta(v8: &[u64; BLOCK_BYTES / 8]) -> Option<(BdiEncoding, usize, usize, u64, u64)> {
     let mut best: Option<(BdiEncoding, usize, usize, u64, u64)> = None;
     let mut best_bits = BLOCK_BITS;
+    // Arms sharing a base width share one fused zero-fit pass over the
+    // staging words; computed on first use since pruning below can skip a
+    // whole width.
+    let mut zf8: Option<[u64; 3]> = None;
+    let mut zf4: Option<[u64; 2]> = None;
     for (enc, base_bytes, delta_bytes) in BdiEncoding::BASE_DELTA_VARIANTS {
         // Sizes are static per arm, so an arm that cannot beat the current
         // winner needs no planning at all (iteration follows the listed
@@ -228,7 +222,23 @@ fn best_base_delta(lanes: &ValueLanes) -> Option<(BdiEncoding, usize, usize, u64
         if bits >= best_bits {
             continue;
         }
-        let Some((base, mask)) = plan_arm(lanes.values(base_bytes), base_bytes, delta_bytes) else {
+        let plan = match base_bytes {
+            8 => {
+                let zf = zf8.get_or_insert_with(|| zero_fit8(v8));
+                let d = delta_bytes.trailing_zeros() as usize; // 1/2/4 -> 0/1/2
+                plan_arm::<1>(v8, delta_bytes, zf[d])
+            }
+            4 => {
+                let zf = zf4.get_or_insert_with(|| zero_fit4(v8));
+                plan_arm::<2>(v8, delta_bytes, zf[delta_bytes - 1])
+            }
+            _ => {
+                // W = 16, d = 1: bias 2^7, overflow bits 8..16.
+                let zf = zero_fit_pass::<4>(v8, splat::<4>(1 << 7), splat::<4>(0xff00));
+                plan_arm::<4>(v8, delta_bytes, zf)
+            }
+        };
+        let Some((base, mask)) = plan else {
             continue;
         };
         best = Some((enc, base_bytes, delta_bytes, base, mask));
@@ -237,57 +247,242 @@ fn best_base_delta(lanes: &ValueLanes) -> Option<(BdiEncoding, usize, usize, u64
     best
 }
 
-/// Plans one base+delta arm over a width's value lane with two branchless
-/// bitmap passes (the "bulk delta encode": every value's fit is computed
-/// with the same add/mask/compare, no per-value control flow).
+/// Zero-fit bitmaps for all three 8-byte-base arms (delta 1, 2, 4) in a
+/// single pass: a 64-bit value fits a `d`-byte signed delta from zero iff
+/// its sign-folded magnitude `w XOR sign_splat(w)` clears bits
+/// `8d - 1..`, which is the same predicate as the lane add/mask test
+/// (`w ∈ [-2^(8d-1), 2^(8d-1))` either way) with the bias add and the
+/// three separate word loads factored out.
+fn zero_fit8(words: &[u64; BLOCK_BYTES / 8]) -> [u64; 3] {
+    let (mut f1, mut f2, mut f4) = (0u64, 0u64, 0u64);
+    for (i, &w) in words.iter().enumerate() {
+        let mag = w ^ (((w as i64) >> 63) as u64);
+        f1 |= u64::from(mag >> 7 == 0) << i;
+        f2 |= u64::from(mag >> 15 == 0) << i;
+        f4 |= u64::from(mag >> 31 == 0) << i;
+    }
+    [f1, f2, f4]
+}
+
+/// Zero-fit bitmaps for both 4-byte-base arms (delta 1, 2), sharing one
+/// pass over the staging words.
+fn zero_fit4(words: &[u64; BLOCK_BYTES / 8]) -> [u64; 2] {
+    let tops = splat::<2>(1 << 31);
+    let (b1, h1) = (splat::<2>(1 << 7), splat::<2>(0xffff_ff00));
+    let (b2, h2) = (splat::<2>(1 << 15), splat::<2>(0xffff_0000));
+    let (mut f1, mut f2) = (0u64, 0u64);
+    for (i, &w) in words.iter().enumerate() {
+        f1 |= (0b11 & !nonzero_lanes::<2>(lane_add::<2>(w, b1, tops) & h1, tops)) << (2 * i);
+        f2 |= (0b11 & !nonzero_lanes::<2>(lane_add::<2>(w, b2, tops) & h2, tops)) << (2 * i);
+    }
+    [f1, f2]
+}
+
+/// One generic zero-fit pass: bit `i` of the result is set when value
+/// `i` (lane `i % LANES` of word `i / LANES`) fits the arm's delta from
+/// the implicit zero base.
+fn zero_fit_pass<const LANES: usize>(words: &[u64; BLOCK_BYTES / 8], bias: u64, hi: u64) -> u64 {
+    let wbits = (64 / LANES) as u32;
+    let tops = splat::<LANES>(1u64 << (wbits - 1));
+    let lmask = (1u64 << LANES) - 1;
+    let mut zero_fit = 0u64;
+    for (w, &word) in words.iter().enumerate() {
+        let fits = lmask & !nonzero_lanes::<LANES>(lane_add::<LANES>(word, bias, tops) & hi, tops);
+        zero_fit |= fits << (LANES * w);
+    }
+    zero_fit
+}
+
+/// Repeats the low `64 / LANES` bits of `v` across every lane.
+#[inline(always)]
+fn splat<const LANES: usize>(v: u64) -> u64 {
+    let mut s = v;
+    let mut i = 1;
+    while i < LANES {
+        s |= v << (i * (64 / LANES));
+        i += 1;
+    }
+    s
+}
+
+/// Lane-wise `(a + b) mod 2^W` for `LANES` lanes of `W = 64 / LANES`
+/// bits: the carry chain is cut at each lane's MSB by adding the low
+/// `W - 1` bits (which cannot carry across the MSB position, as each
+/// side is at most `2^(W-1) - 1`) and fixing the MSBs up with XOR.
+#[inline(always)]
+fn lane_add<const LANES: usize>(a: u64, b: u64, tops: u64) -> u64 {
+    if LANES == 1 {
+        a.wrapping_add(b)
+    } else {
+        ((a & !tops).wrapping_add(b & !tops)) ^ ((a ^ b) & tops)
+    }
+}
+
+/// Per-lane nonzero test, gathered: bit `k` of the result is set when
+/// lane `k` of `u` is nonzero. Adding `2^(W-1) - 1` to each lane's low
+/// bits carries into the lane's MSB position exactly when those bits are
+/// nonzero (and never across the lane boundary); OR-ing `u` back in
+/// covers a set MSB itself. One multiply then shifts each lane's MSB to
+/// bit `k` — every partial product lands on a distinct bit position, so
+/// no carries corrupt the gather.
+#[inline(always)]
+fn nonzero_lanes<const LANES: usize>(u: u64, tops: u64) -> u64 {
+    if LANES == 1 {
+        u64::from(u != 0)
+    } else {
+        let msbs = ((u & !tops).wrapping_add(!tops) | u) & tops;
+        msbs.wrapping_mul(gather_mul(LANES)) >> (64 - LANES)
+    }
+}
+
+/// Multiply constant moving lane `k`'s MSB (bit `(k + 1) * W - 1`) to
+/// bit `64 - LANES + k`, so a single shift right by `64 - LANES` yields
+/// the lane bitmap.
+const fn gather_mul(lanes: usize) -> u64 {
+    let w = 64 / lanes;
+    let mut m = 0u64;
+    let mut k = 0;
+    while k < lanes {
+        m |= 1u64 << ((64 - lanes + k) - ((k + 1) * w - 1));
+        k += 1;
+    }
+    m
+}
+
+/// Plans one base+delta arm with two branchless bitmap passes (the "bulk
+/// delta encode": every value's fit is computed with the same
+/// add/mask/test, no per-value control flow), directly on the block's
+/// sixteen 64-bit staging words: a word holds `LANES` values of
+/// `W = 64 / LANES` bits, and each SWAR step tests a whole word's lanes
+/// at once — the hardware evaluates all geometries in parallel from the
+/// same staging register the same way.
 ///
-/// Pass 1 computes the *zero-fit* bitmap — bit `i` set when value `i` is
-/// representable from the implicit zero base. The arm's explicit base is
-/// the first value that bitmap misses (it deltas against itself). Pass 2
-/// computes the *base-fit* bitmap against that base; the arm is
-/// representable iff every zero-miss is a base-hit. The returned mask is
-/// exactly the zero-miss bitmap: bit `i` set = value `i` deltas against
-/// the explicit base, clear = against zero, matching the wire format.
+/// `zero_fit` is the precomputed pass-1 bitmap — bit `i` set when value
+/// `i` is representable from the implicit zero base (arms sharing a base
+/// width share one fused pass, see [`best_base_delta`]). The arm's
+/// explicit base is the first value that bitmap misses (it deltas
+/// against itself). Pass 2 computes the *base-fit* bitmap against that
+/// base; the arm is representable iff every zero-miss is a base-hit — a
+/// word holding a value that fits neither sinks the arm immediately, so
+/// a doomed arm (the common case on incompressible blocks) pays for one
+/// word of pass 2, not the whole lane. The returned mask is exactly the
+/// zero-miss bitmap: bit `i` set = value `i` deltas against the explicit
+/// base, clear = against zero, matching the wire format.
 ///
 /// "Delta fits `d` signed bytes" is tested as
-/// `((v - base + 2^(8d-1)) mod 2^(8w)) < 2^(8d)` — one add, mask and
-/// compare per value instead of sign-extension arithmetic.
-fn plan_arm(values: &[u64], base_bytes: usize, delta_bytes: usize) -> Option<(u64, u64)> {
-    let wmask = mask_for(base_bytes);
+/// `((v - base + 2^(8d-1)) mod 2^W) & hi == 0` with `hi` the lane's bits
+/// `8d..W` — a lane-wise add and mask instead of sign-extension
+/// arithmetic.
+fn plan_arm<const LANES: usize>(
+    words: &[u64; BLOCK_BYTES / 8],
+    delta_bytes: usize,
+    zero_fit: u64,
+) -> Option<(u64, u64)> {
+    let wbits = (64 / LANES) as u32;
+    let wmask = if LANES == 1 { u64::MAX } else { (1u64 << wbits) - 1 };
     let half = 1u64 << (delta_bytes as u32 * 8 - 1);
     let full = 1u64 << (delta_bytes as u32 * 8);
-    let mut zero_fit = 0u64;
-    for (i, &v) in values.iter().enumerate() {
-        zero_fit |= u64::from(v.wrapping_add(half) & wmask < full) << i;
-    }
-    let live = if values.len() == 64 { u64::MAX } else { (1u64 << values.len()) - 1 };
+    // `(x & wmask) < full` == "no bits of x in the lane above the delta".
+    let hi = splat::<LANES>(wmask & !(full - 1));
+    let tops = splat::<LANES>(1u64 << (wbits - 1));
+    let lmask = (1u64 << LANES) - 1;
+    let live = if LANES == 4 { u64::MAX } else { (1u64 << (16 * LANES)) - 1 };
     let need = !zero_fit & live;
     if need == 0 {
         // Every value fits the zero base; no explicit base is consumed
         // (base field stays 0, as in the sequential evaluation).
         return Some((0, 0));
     }
-    let base = values[need.trailing_zeros() as usize];
-    let mut base_fit = 0u64;
-    for (i, &v) in values.iter().enumerate() {
-        base_fit |= u64::from(v.wrapping_sub(base).wrapping_add(half) & wmask < full) << i;
-    }
-    if need & !base_fit != 0 {
-        return None;
+    let idx = need.trailing_zeros() as usize;
+    let base = (words[idx / LANES] >> (wbits * (idx % LANES) as u32)) & wmask;
+    let bias = splat::<LANES>(half.wrapping_sub(base) & wmask);
+    for (w, &word) in words.iter().enumerate() {
+        let fits = lmask & !nonzero_lanes::<LANES>(lane_add::<LANES>(word, bias, tops) & hi, tops);
+        // A zero-miss in this word that the base also misses makes the
+        // arm unrepresentable — no later value can change that.
+        if (need >> (LANES * w)) & lmask & !fits != 0 {
+            return None;
+        }
     }
     Some((base, need))
 }
 
-/// Computes `v - base` in the `width`-byte signed domain.
-fn sign_extend_sub(v: u64, base: u64, width: usize) -> i64 {
-    let bits = width as u32 * 8;
-    let diff = v.wrapping_sub(base);
-    if bits == 64 {
-        diff as i64
-    } else {
-        // Sign-extend the low `bits` of the difference.
-        let shift = 64 - bits;
-        ((diff << shift) as i64) >> shift
+/// The complete BDI encode, appending the payload (or the verbatim
+/// block) to `out`; returns `(size_bits, is_compressed)`. Both
+/// [`compress`](BlockCompressor::compress) and the engine's
+/// [`compress_into`](BlockCompressor::compress_into) path funnel here,
+/// so they cannot diverge.
+fn encode_into(block: &Block, out: &mut Vec<u8>) -> (u32, bool) {
+    // One word-load pass feeds the cheap special-case checks, then the
+    // planner tests all six geometries directly on the staging words.
+    let v8 = words_of(block);
+    if is_zero(&v8) {
+        let mut w = FixedBitWriter::<WRITER_CAP>::new();
+        w.write(BdiEncoding::Zeros.tag() as u64, 4);
+        return (w.finish_into(out), true);
+    }
+    if is_repeat8(&v8) {
+        let mut w = FixedBitWriter::<WRITER_CAP>::new();
+        w.write(BdiEncoding::Repeat.tag() as u64, 4);
+        w.write(v8[0], 64);
+        return (w.finish_into(out), true);
+    }
+    let Some((enc, base_bytes, delta_bytes, base, mask)) = best_base_delta(&v8) else {
+        out.extend_from_slice(block);
+        return (BLOCK_BITS, false);
+    };
+    let n = BLOCK_BYTES / base_bytes;
+    let mut w = FixedBitWriter::<WRITER_CAP>::new();
+    w.write(enc.tag() as u64, 4);
+    w.write(base & mask_for(base_bytes), base_bytes as u32 * 8);
+    // Value 0's flag goes first on the wire (MSB of the field):
+    // reverse the LSB-indexed bitmap once and write it whole.
+    w.write(mask.reverse_bits() >> (64 - n), n as u32);
+    // Only the winning arm's value lane is ever materialised.
+    match (base_bytes, delta_bytes) {
+        (8, 1) => encode_deltas::<8, 1>(&v8, base, mask, &mut w),
+        (8, 2) => encode_deltas::<8, 2>(&v8, base, mask, &mut w),
+        (8, 4) => encode_deltas::<8, 4>(&v8, base, mask, &mut w),
+        (4, 1) => encode_deltas::<4, 1>(&split4(&v8), base, mask, &mut w),
+        (4, 2) => encode_deltas::<4, 2>(&split4(&v8), base, mask, &mut w),
+        (2, 1) => encode_deltas::<2, 1>(&split2(&v8), base, mask, &mut w),
+        _ => unreachable!("not a BDI geometry"),
+    }
+    let bits = w.finish_into(out);
+    debug_assert_eq!(bits, enc.size_bits());
+    (bits, true)
+}
+
+/// Writes the delta section of one `BASE`/`DELTA` geometry: every
+/// `64 / delta_bits` deltas are packed into a single `u64` staging word
+/// (MSB-first, mirroring [`decode_base_delta`]'s fetch layout exactly)
+/// with a branchless base select, so the writer is touched once per word
+/// instead of once per value. Monomorphised per arm like the decoder, so
+/// the trip counts, shifts and masks are compile-time constants.
+fn encode_deltas<const BASE: usize, const DELTA: usize>(
+    values: &[u64],
+    base: u64,
+    mask: u64,
+    w: &mut FixedBitWriter<WRITER_CAP>,
+) {
+    let n = BLOCK_BYTES / BASE;
+    debug_assert_eq!(values.len(), n);
+    let dbits = DELTA as u32 * 8;
+    let per_write = (64 / dbits) as usize;
+    debug_assert_eq!(n % per_write, 0, "every BDI geometry batches evenly");
+    let dmask = mask_for(DELTA);
+    for chunk in 0..n / per_write {
+        let mut raw = 0u64;
+        for t in 0..per_write {
+            let idx = chunk * per_write + t;
+            // All-ones when the mask selects the explicit base. The low
+            // `delta_bits` of the wrapping difference equal the
+            // sign-extended delta's low bits for every DELTA <= BASE.
+            let sel = 0u64.wrapping_sub((mask >> idx) & 1);
+            let delta = values[idx].wrapping_sub(base & sel) & dmask;
+            raw |= delta << ((per_write - 1 - t) as u32 * dbits);
+        }
+        w.write(raw, per_write as u32 * dbits);
     }
 }
 
@@ -297,43 +492,17 @@ impl BlockCompressor for Bdi {
     }
 
     fn compress(&self, block: &Block) -> Compressed {
-        // One word-load pass feeds the cheap special-case checks; the
-        // narrower lanes are split out only if planning is reached, and
-        // then feed the planner and the encode step alike.
-        let v8 = words_of(block);
-        if is_zero(&v8) {
-            let mut w = FixedBitWriter::<WRITER_CAP>::new();
-            w.write(BdiEncoding::Zeros.tag() as u64, 4);
-            let (payload, bits) = w.finish();
-            return Compressed::new(bits, payload);
+        let mut payload = Vec::new();
+        let (bits, compressed) = encode_into(block, &mut payload);
+        if compressed {
+            Compressed::new(bits, payload)
+        } else {
+            Compressed::uncompressed(block)
         }
-        if is_repeat8(&v8) {
-            let mut w = FixedBitWriter::<WRITER_CAP>::new();
-            w.write(BdiEncoding::Repeat.tag() as u64, 4);
-            w.write(v8[0], 64);
-            let (payload, bits) = w.finish();
-            return Compressed::new(bits, payload);
-        }
-        let lanes = ValueLanes::split(v8);
-        let Some((enc, base_bytes, delta_bytes, base, mask)) = best_base_delta(&lanes) else {
-            return Compressed::uncompressed(block);
-        };
-        let values = lanes.values(base_bytes);
-        let n = values.len();
-        let mut w = FixedBitWriter::<WRITER_CAP>::new();
-        w.write(enc.tag() as u64, 4);
-        w.write(base & mask_for(base_bytes), base_bytes as u32 * 8);
-        // Value 0's flag goes first on the wire (MSB of the field):
-        // reverse the LSB-indexed bitmap once and write it whole.
-        w.write(mask.reverse_bits() >> (64 - n), n as u32);
-        for (i, &v) in values.iter().enumerate() {
-            let b = if (mask >> i) & 1 == 1 { base } else { 0 };
-            let delta = sign_extend_sub(v, b, base_bytes);
-            w.write((delta as u64) & mask_for(delta_bytes), delta_bytes as u32 * 8);
-        }
-        let (payload, bits) = w.finish();
-        debug_assert_eq!(bits, enc.size_bits());
-        Compressed::new(bits, payload)
+    }
+
+    fn compress_into(&self, block: &Block, out: &mut Vec<u8>) -> (u32, bool) {
+        encode_into(block, out)
     }
 
     fn decompress(&self, c: &Compressed) -> Block {
@@ -466,6 +635,20 @@ mod tests {
     }
 
     #[test]
+    fn close_u16_values_pick_b2d1() {
+        let bdi = Bdi::new();
+        let mut block = [0u8; BLOCK_BYTES];
+        for i in 0..BLOCK_BYTES / 2 {
+            let v = 0x4100u16 + (i as u16 % 96);
+            block[i * 2..i * 2 + 2].copy_from_slice(&v.to_le_bytes());
+        }
+        assert_eq!(bdi.choose_encoding(&block), BdiEncoding::B2D1);
+        let c = bdi.compress(&block);
+        assert_eq!(c.size_bits(), BdiEncoding::B2D1.size_bits());
+        assert_eq!(bdi.decompress(&c), block);
+    }
+
+    #[test]
     fn mixed_small_and_large_values_use_zero_base() {
         // Alternating small immediates and values near one large base: the
         // dual-base scheme captures this, a single base could not.
@@ -548,6 +731,20 @@ mod tests {
             if spread <= 64 {
                 prop_assert!(c.size_bits() < BLOCK_BITS);
             }
+        }
+
+        #[test]
+        fn prop_compress_into_matches_compress(data in proptest::collection::vec(any::<u8>(), BLOCK_BYTES)) {
+            let bdi = Bdi::new();
+            let mut block = [0u8; BLOCK_BYTES];
+            block.copy_from_slice(&data);
+            let c = bdi.compress(&block);
+            let mut out = vec![0xa5u8; 3];
+            let (bits, compressed) = bdi.compress_into(&block, &mut out);
+            prop_assert_eq!(bits, c.size_bits());
+            prop_assert_eq!(compressed, c.is_compressed());
+            prop_assert_eq!(&out[..3], &[0xa5u8; 3][..], "append-only");
+            prop_assert_eq!(&out[3..], &c.payload()[..c.size_bytes() as usize]);
         }
 
         #[test]

@@ -246,6 +246,20 @@ impl<const CAP: usize> FixedBitWriter<CAP> {
         }
         (self.buf[..len].to_vec(), len_bits)
     }
+
+    /// Finishes by appending the packed bytes to `out` (no allocation of
+    /// its own — the append-into counterpart of [`finish`](Self::finish),
+    /// byte-identical output). Returns the bit length.
+    pub fn finish_into(mut self, out: &mut Vec<u8>) -> u32 {
+        let len_bits = self.len_bits();
+        let mut len = self.cursor;
+        if self.acc_bits > 0 {
+            self.buf[len] = (self.acc << (8 - self.acc_bits)) as u8;
+            len += 1;
+        }
+        out.extend_from_slice(&self.buf[..len]);
+        len_bits
+    }
 }
 
 /// Sequential bit reader over a packed stream produced by [`BitWriter`].

@@ -38,11 +38,13 @@ pub enum CodecId {
     Sc2 = 5,
     /// HyComp with its FP-H floating-point path (trained).
     HyComp = 6,
+    /// Interleaved byte-oriented rANS entropy coding.
+    Rans = 7,
 }
 
 impl CodecId {
     /// Every codec id, in wire order.
-    pub const ALL: [CodecId; 7] = [
+    pub const ALL: [CodecId; 8] = [
         CodecId::Bdi,
         CodecId::Fpc,
         CodecId::Cpack,
@@ -50,6 +52,7 @@ impl CodecId {
         CodecId::E2mc,
         CodecId::Sc2,
         CodecId::HyComp,
+        CodecId::Rans,
     ];
 
     /// The header byte.
@@ -73,6 +76,7 @@ impl CodecId {
             CodecId::E2mc => "e2mc",
             CodecId::Sc2 => "sc2",
             CodecId::HyComp => "hycomp",
+            CodecId::Rans => "rans",
         }
     }
 
@@ -94,6 +98,30 @@ pub trait BlockCodec: BlockCompressor + Send + Sync {}
 
 impl<T: BlockCompressor + Send + Sync + ?Sized> BlockCodec for T {}
 
+/// Whole-chunk coding capability: a codec that prefers to encode an
+/// engine chunk as one stream (amortising model setup — e.g. one rANS
+/// frequency table per 64 KiB chunk instead of per 128 B block) opts in
+/// by returning itself from [`BlockCompressor::chunk_coder`].
+///
+/// The container format is untouched by this capability: a `Coded`
+/// chunk's byte interpretation always belongs to the codec named in the
+/// header, and the frame parser never looks inside chunk payloads. The
+/// engine's raw fallback (store the chunk verbatim when coding does not
+/// pay) applies to chunk coders exactly as to per-block coding.
+///
+/// `decode_chunk` must be containment-safe: for arbitrary `src` bytes it
+/// returns `Err` (or fills `dst` completely) — never an out-of-bounds
+/// access, and any panic is treated as corruption by the engine's guard.
+pub trait ChunkCoder: Send + Sync {
+    /// Encodes `chunk` as one self-contained stream.
+    fn encode_chunk(&self, chunk: &[u8]) -> Vec<u8>;
+
+    /// Decodes a stream produced by
+    /// [`encode_chunk`](Self::encode_chunk) into `dst`, whose length is
+    /// the original chunk length.
+    fn decode_chunk(&self, src: &[u8], dst: &mut [u8]) -> Result<(), &'static str>;
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -110,6 +138,7 @@ mod tests {
             ("e2mc", 4),
             ("sc2", 5),
             ("hycomp", 6),
+            ("rans", 7),
         ];
         for (name, wire) in expected {
             let id = CodecId::from_name(name).expect(name);
@@ -121,7 +150,7 @@ mod tests {
 
     #[test]
     fn unknown_bytes_and_names_are_rejected() {
-        assert_eq!(CodecId::from_u8(7), None);
+        assert_eq!(CodecId::from_u8(8), None);
         assert_eq!(CodecId::from_u8(255), None);
         assert_eq!(CodecId::from_name("fp-h"), None, "sub-codec, not a container codec");
         assert_eq!(CodecId::from_name(""), None);

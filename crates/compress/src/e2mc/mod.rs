@@ -223,8 +223,25 @@ impl SymbolTable {
     /// Serialises a stash produced by
     /// [`stash_encodings`](Self::stash_encodings).
     pub fn write_encodings(w: &mut BitWriter, encodings: &[u64; SYMBOLS_PER_BLOCK]) {
+        // Fuse consecutive codewords into one staging word while their
+        // summed widths fit the writer's 57-bit push budget, so a typical
+        // block costs a handful of writer calls instead of one per
+        // symbol. Bit-identical to writing each entry separately: the
+        // accumulator concatenates MSB-first exactly as `write` would.
+        let mut acc = 0u64;
+        let mut acc_w = 0u32;
         for &e in encodings {
-            w.write(e >> 8, (e & 0xff) as u32);
+            let width = (e & 0xff) as u32;
+            if acc_w + width > 57 {
+                w.write(acc, acc_w);
+                acc = 0;
+                acc_w = 0;
+            }
+            acc = (acc << width) | (e >> 8);
+            acc_w += width;
+        }
+        if acc_w > 0 {
+            w.write(acc, acc_w);
         }
     }
 

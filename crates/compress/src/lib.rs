@@ -91,6 +91,19 @@
 //!   [`bitstream::FixedBitWriter`], which stages into a stack buffer with
 //!   one unconditional 8-byte store per flush and allocates exactly once
 //!   at `finish`, bit-identical to [`bitstream::BitWriter`].
+//! * **Batched delta writes + append-into encode** — BDI packs every
+//!   `64 / delta_bits` deltas of an arm into one `u64` with compile-time
+//!   trip counts (monomorphised per geometry like its decoder) so the
+//!   writer is touched once per staging word, not once per value; and
+//!   [`BlockCompressor::compress_into`] lets the engine's per-block loop
+//!   append payload bytes straight into the chunk buffer, skipping the
+//!   per-block payload allocation.
+//! * **Interleaved rANS entropy substrate** — [`rans`] adds a 4-lane
+//!   byte-oriented rANS coder whose encode/decode inner loops are
+//!   branch-free (reciprocal-multiply encode, 4096-slot LUT decode,
+//!   speculative word refill), with a whole-chunk mode
+//!   ([`ChunkCoder`]) that gathers one frequency table per engine chunk
+//!   instead of per 128 B block.
 //!
 //! `cargo bench --bench codec_throughput` (crate `slc-bench`) measures
 //! all of this and refreshes the repo-root `BENCH_codec.json` baseline
@@ -106,11 +119,12 @@ pub mod e2mc;
 pub mod fpc;
 pub mod hycomp;
 pub mod mag;
+pub mod rans;
 pub mod ratio;
 pub mod sc2;
 pub mod symbols;
 
-pub use codec::{BlockCodec, CodecId};
+pub use codec::{BlockCodec, ChunkCoder, CodecId};
 pub use mag::Mag;
 
 /// Size of an uncompressed memory block in bytes (typical GPU block size).
@@ -205,6 +219,31 @@ pub trait BlockCompressor {
     /// cheap size path (e.g. E2MC's code-length adder) override it.
     fn size_bits(&self, block: &Block) -> u32 {
         self.compress(block).size_bits()
+    }
+
+    /// Compresses one block, appending exactly
+    /// [`size_bytes`](Compressed::size_bytes) payload bytes to `out`
+    /// and returning `(size_bits, is_compressed)`.
+    ///
+    /// The engine's per-block loop encodes straight into the chunk
+    /// buffer through this; the default delegates to
+    /// [`compress`](Self::compress), and codecs whose writers can target
+    /// a caller buffer (BDI) override it to skip the per-block payload
+    /// allocation. Must be observationally identical to `compress`.
+    fn compress_into(&self, block: &Block, out: &mut Vec<u8>) -> (u32, bool) {
+        let c = self.compress(block);
+        out.extend_from_slice(&c.payload()[..c.size_bytes() as usize]);
+        (c.size_bits(), c.is_compressed())
+    }
+
+    /// The codec's whole-chunk coding mode, if it has one.
+    ///
+    /// `None` (the default) means the engine codes chunk blocks
+    /// individually; a codec that amortises per-stream model setup over
+    /// a whole engine chunk (rANS: one frequency table per chunk)
+    /// returns itself. See [`codec::ChunkCoder`].
+    fn chunk_coder(&self) -> Option<&dyn codec::ChunkCoder> {
+        None
     }
 }
 

@@ -28,6 +28,19 @@
 //! multiple) is zero-padded for the codec; the decoder truncates back
 //! to the header's exact `total_len`.
 //!
+//! Codecs that implement [`ChunkCoder`] (rANS) replace the per-block
+//! framing of a `Coded` chunk with **one self-contained stream per
+//! chunk**, amortising model setup (one frequency table per 64 KiB
+//! chunk instead of per 128 B block). This changes nothing in the
+//! container format: the frame never interprets a `Coded` chunk's
+//! bytes — they belong to the codec named in the header — and the raw
+//! fallback applies identically.
+//!
+//! For serving scenarios where the raw stream never exists in one
+//! buffer, [`Engine::stream_encoder`] offers an incremental `push`
+//! API whose output is byte-identical to [`Engine::compress`] while
+//! holding at most one chunk of raw input at a time.
+//!
 //! # Determinism and safety contracts
 //!
 //! * Parallel and serial compress produce **byte-identical** containers
@@ -162,6 +175,11 @@ impl Engine {
     /// suboptimal for `< BLOCK_BITS` lies, or wrong (expanded verbatim
     /// blocks) for `>= BLOCK_BITS` lies about compressible data.
     ///
+    /// Codecs with a whole-chunk mode (`chunk_coder()`, e.g. rANS)
+    /// ignore the sizes — their chunk streams are not block-framed, so
+    /// there is no per-block decision to skip and the output is
+    /// trivially identical to [`compress`](Self::compress).
+    ///
     /// # Panics
     ///
     /// Panics when `bytes` is not block-aligned or `stored_bits` has a
@@ -262,6 +280,23 @@ impl Engine {
         Ok(out)
     }
 
+    /// Starts a streaming encode: feed bytes in arbitrary-sized pieces
+    /// via [`StreamEncoder::push`], finish with
+    /// [`StreamEncoder::finish`]. The container is **byte-identical** to
+    /// [`compress`](Self::compress) over the concatenated input (pinned
+    /// by property tests), but the raw stream never has to exist in one
+    /// buffer: each chunk is encoded the moment it fills, so live
+    /// working memory beyond the compressed output is one chunk.
+    pub fn stream_encoder(&self) -> StreamEncoder {
+        StreamEncoder {
+            engine: self.clone(),
+            pending: Vec::with_capacity(self.chunk_bytes),
+            dir: Vec::new(),
+            payload: Vec::new(),
+            total_len: 0,
+        }
+    }
+
     /// [`compress`](Self::compress) over an `f32` stream (little-endian
     /// byte view — the layout `GpuMemory` stores).
     pub fn compress_f32(&self, values: &[f32]) -> Vec<u8> {
@@ -287,6 +322,91 @@ impl Engine {
             .chunks_exact(4)
             .map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes")))
             .collect())
+    }
+}
+
+/// Incremental, bounded-memory encoder for serving scenarios (built by
+/// [`Engine::stream_encoder`]).
+///
+/// The one-shot [`Engine::compress`] needs the whole raw stream in
+/// memory; `StreamEncoder` accepts it piecewise. Chunks are encoded as
+/// soon as they fill (serially, in arrival order), so the encoder only
+/// ever holds the compressed payload, a 13-byte directory entry per
+/// chunk, and at most one chunk of raw tail — a few tens of KiB of
+/// working state however long the stream runs.
+#[derive(Debug)]
+pub struct StreamEncoder {
+    engine: Engine,
+    /// Raw tail shorter than one chunk, awaiting more input.
+    pending: Vec<u8>,
+    dir: Vec<DirEntry>,
+    payload: Vec<u8>,
+    total_len: u64,
+}
+
+impl StreamEncoder {
+    /// Appends `bytes` to the stream, encoding every chunk that fills.
+    pub fn push(&mut self, bytes: &[u8]) {
+        let chunk_bytes = self.engine.chunk_bytes;
+        self.total_len += bytes.len() as u64;
+        let mut rest = bytes;
+        if !self.pending.is_empty() {
+            let need = chunk_bytes - self.pending.len();
+            let take = need.min(rest.len());
+            self.pending.extend_from_slice(&rest[..take]);
+            rest = &rest[take..];
+            if self.pending.len() == chunk_bytes {
+                let chunk = std::mem::take(&mut self.pending);
+                self.encode_one(&chunk);
+                self.pending = chunk;
+                self.pending.clear();
+            }
+        }
+        // Full chunks encode straight from the caller's buffer — no copy
+        // through `pending`.
+        let mut full = rest.chunks_exact(chunk_bytes);
+        for chunk in &mut full {
+            self.encode_one(chunk);
+        }
+        self.pending.extend_from_slice(full.remainder());
+    }
+
+    /// Encodes any pending tail and assembles the framed container.
+    pub fn finish(mut self) -> Vec<u8> {
+        if !self.pending.is_empty() {
+            let chunk = std::mem::take(&mut self.pending);
+            self.encode_one(&chunk);
+        }
+        let mut out = Vec::with_capacity(
+            HEADER_BYTES + self.dir.len() * DIR_ENTRY_BYTES + self.payload.len(),
+        );
+        Header {
+            codec: self.engine.id,
+            chunk_bytes: self.engine.chunk_bytes as u32,
+            chunk_count: self.dir.len() as u32,
+            total_len: self.total_len,
+        }
+        .write_to(&mut out);
+        for entry in &self.dir {
+            entry.write_to(&mut out);
+        }
+        out.extend_from_slice(&self.payload);
+        out
+    }
+
+    /// Bytes accepted so far.
+    pub fn total_len(&self) -> u64 {
+        self.total_len
+    }
+
+    fn encode_one(&mut self, chunk: &[u8]) {
+        let (data, mode) = encode_chunk(&*self.engine.codec, chunk, None);
+        self.dir.push(DirEntry {
+            offset: self.payload.len() as u64,
+            encoded_bits: (data.len() * 8) as u32,
+            mode,
+        });
+        self.payload.extend_from_slice(&data);
     }
 }
 
@@ -350,28 +470,61 @@ fn map_threads<T: Send, U: Send>(
     }
 }
 
-/// Encodes one chunk: per-block tag + body, with a raw fallback when the
-/// coded stream does not beat the chunk's verbatim bytes.
+/// Encodes one chunk, with a raw fallback when the coded stream does not
+/// beat the chunk's verbatim bytes.
+///
+/// Codecs with a whole-chunk mode ([`ChunkCoder`]) encode the chunk as
+/// one stream (size hints do not apply — the stream is not block-framed);
+/// everything else goes through the per-block tag + body framing, encoded
+/// straight into the chunk buffer via
+/// [`compress_into`](slc_compress::BlockCompressor::compress_into) (the
+/// tag is back-patched once the body size is known).
 fn encode_chunk(
     codec: &dyn BlockCodec,
     chunk: &[u8],
     hints: Option<&[u32]>,
 ) -> (Vec<u8>, StorageMode) {
+    if let Some(cc) = codec.chunk_coder() {
+        let coded = cc.encode_chunk(chunk);
+        return if coded.len() >= chunk.len() {
+            (chunk.to_vec(), StorageMode::Raw)
+        } else {
+            (coded, StorageMode::Coded)
+        };
+    }
     let nblocks = chunk.len().div_ceil(BLOCK_BYTES);
     let mut coded = Vec::with_capacity(chunk.len() + 2 * nblocks);
     for (i, raw) in chunk.chunks(BLOCK_BYTES).enumerate() {
-        let mut block = [0u8; BLOCK_BYTES];
-        block[..raw.len()].copy_from_slice(raw);
+        // Borrow full blocks in place; only a ragged tail needs the
+        // zero-padded copy.
+        let mut tail = [0u8; BLOCK_BYTES];
+        let block: &Block = match raw.try_into() {
+            Ok(full) => full,
+            Err(_) => {
+                tail[..raw.len()].copy_from_slice(raw);
+                &tail
+            }
+        };
         // A hint of >= BLOCK_BITS means "stored verbatim": identical to
         // what the codec would decide, minus the encode work.
         let skip = hints.is_some_and(|h| h[i] >= BLOCK_BITS);
-        let c = if skip { Compressed::uncompressed(&block) } else { codec.compress(&block) };
+        let tag_at = coded.len();
+        coded.extend_from_slice(&[0, 0]);
+        let (mut bits, mut is_coded) = if skip {
+            coded.extend_from_slice(block);
+            (BLOCK_BITS, false)
+        } else {
+            codec.compress_into(block, &mut coded)
+        };
         // Defensive: the tag has 15 size bits and every codec caps at the
         // verbatim block; store raw if one ever misbehaves.
-        let c = if c.size_bits() > BLOCK_BITS { Compressed::uncompressed(&block) } else { c };
-        let tag = (c.size_bits() as u16) | if c.is_compressed() { TAG_CODED } else { 0 };
-        coded.extend_from_slice(&tag.to_le_bytes());
-        coded.extend_from_slice(&c.payload()[..c.size_bytes() as usize]);
+        if bits > BLOCK_BITS {
+            coded.truncate(tag_at + 2);
+            coded.extend_from_slice(block);
+            (bits, is_coded) = (BLOCK_BITS, false);
+        }
+        let tag = (bits as u16) | if is_coded { TAG_CODED } else { 0 };
+        coded[tag_at..tag_at + 2].copy_from_slice(&tag.to_le_bytes());
     }
     if coded.len() >= chunk.len() {
         (chunk.to_vec(), StorageMode::Raw)
@@ -404,6 +557,17 @@ fn decode_chunk(
             Ok(())
         }
         StorageMode::Coded => {
+            if let Some(cc) = codec.chunk_coder() {
+                let outcome = catch_unwind(AssertUnwindSafe(|| cc.decode_chunk(src, dst)));
+                return match outcome {
+                    Ok(Ok(())) => Ok(()),
+                    Ok(Err(reason)) => Err(ContainerError::ChunkCorrupt { chunk, reason }),
+                    Err(_) => Err(ContainerError::ChunkCorrupt {
+                        chunk,
+                        reason: "codec rejected the chunk stream",
+                    }),
+                };
+            }
             let nblocks = dst.len().div_ceil(BLOCK_BYTES);
             let outcome = catch_unwind(AssertUnwindSafe(|| -> Result<(), &'static str> {
                 let mut pos = 0usize;

@@ -16,8 +16,9 @@ use slc_compress::cpack::Cpack;
 use slc_compress::e2mc::{E2mc, E2mcConfig};
 use slc_compress::fpc::Fpc;
 use slc_compress::hycomp::HyComp;
+use slc_compress::rans::Rans;
 use slc_compress::sc2::Sc2;
-use slc_compress::{BlockCodec, Compressed, BLOCK_BITS, BLOCK_BYTES};
+use slc_compress::{BlockCodec, ChunkCoder, Compressed, BLOCK_BITS, BLOCK_BYTES};
 use slc_engine::{ContainerError, DirEntry, Engine, Header, StorageMode, Threads};
 use std::sync::{Arc, OnceLock};
 
@@ -186,8 +187,108 @@ fn chunk_corruption_surfaces_as_chunk_corrupt() {
     }
 }
 
+/// Reference container for a whole-chunk codec: one `encode_chunk`
+/// stream per chunk with the engine's raw fallback (`coded >= chunk`
+/// stores verbatim) and the same framing spec restated sequentially.
+/// The chunk stream bytes themselves are pinned against a scalar
+/// reference decoder inside `slc_compress::rans`; this reference pins
+/// where the engine is allowed to put them.
+fn reference_container_chunked(
+    codec: &dyn BlockCodec,
+    coder: &dyn ChunkCoder,
+    bytes: &[u8],
+    chunk_bytes: usize,
+) -> Vec<u8> {
+    let mut chunks: Vec<(Vec<u8>, StorageMode)> = Vec::new();
+    for chunk in bytes.chunks(chunk_bytes) {
+        let coded = coder.encode_chunk(chunk);
+        if coded.len() >= chunk.len() {
+            chunks.push((chunk.to_vec(), StorageMode::Raw));
+        } else {
+            chunks.push((coded, StorageMode::Coded));
+        }
+    }
+    let mut out = Vec::new();
+    Header {
+        codec: slc_compress::CodecId::from_name(codec.name()).expect("registered codec"),
+        chunk_bytes: chunk_bytes as u32,
+        chunk_count: chunks.len() as u32,
+        total_len: bytes.len() as u64,
+    }
+    .write_to(&mut out);
+    let mut offset = 0u64;
+    for (data, mode) in &chunks {
+        let entry = DirEntry { offset, encoded_bits: (data.len() * 8) as u32, mode: *mode };
+        out.extend_from_slice(&entry.offset.to_le_bytes());
+        out.extend_from_slice(&entry.encoded_bits.to_le_bytes());
+        out.push(entry.mode.as_u8());
+        offset += data.len() as u64;
+    }
+    for (data, _) in &chunks {
+        out.extend_from_slice(data);
+    }
+    out
+}
+
+#[test]
+fn rans_engine_equals_chunk_level_reference() {
+    // rANS opts into whole-chunk coding, so the per-block reference does
+    // not apply: the container must instead hold one rANS stream (or a
+    // raw chunk) per directory entry.
+    let rans = Arc::new(Rans::new());
+    for (len, chunk_blocks, noise_period) in
+        [(0usize, 4usize, 0usize), (1, 2, 0), (640, 2, 0), (1024, 4, 2), (5000, 8, 3), (129, 1, 0)]
+    {
+        let data = stream(len, 23, noise_period);
+        let chunk_bytes = chunk_blocks * BLOCK_BYTES;
+        let engine =
+            Engine::new(Arc::clone(&rans) as Arc<dyn BlockCodec>).with_chunk_bytes(chunk_bytes);
+        let serial = engine.compress_threads(&data, Threads::Serial);
+        let parallel = engine.compress_threads(&data, Threads::Exact(3));
+        assert_eq!(serial, parallel, "rans: parallel compress must be byte-identical");
+        let reference =
+            reference_container_chunked(rans.as_ref(), rans.as_ref(), &data, chunk_bytes);
+        assert_eq!(
+            serial, reference,
+            "rans: engine container must equal the sequential chunk-level reference \
+             (len {len}, chunk_blocks {chunk_blocks})"
+        );
+        assert_eq!(engine.decompress(&serial).unwrap(), data, "rans: roundtrip");
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn prop_stream_encoder_matches_compress(
+        len in 0usize..4096,
+        chunk_blocks in 1usize..=4,
+        salt in any::<u64>(),
+        noise_period in 0usize..4,
+        cuts in proptest::collection::vec(1usize..700, 0..8),
+    ) {
+        // Bounded-memory streaming encode: pushing the stream in
+        // arbitrary-sized pieces must emit the exact container
+        // `compress` builds from the whole buffer, for a per-block codec
+        // and for a whole-chunk codec alike.
+        let data = stream(len, salt, noise_period);
+        let codecs: [Arc<dyn BlockCodec>; 2] = [Arc::new(Bdi::new()), Arc::new(Rans::new())];
+        for codec in codecs {
+            let engine = Engine::new(codec).with_chunk_bytes(chunk_blocks * BLOCK_BYTES);
+            let whole = engine.compress(&data);
+            let mut enc = engine.stream_encoder();
+            let mut rest: &[u8] = &data;
+            for &cut in &cuts {
+                let take = cut.min(rest.len());
+                let (head, tail) = rest.split_at(take);
+                enc.push(head);
+                rest = tail;
+            }
+            enc.push(rest);
+            prop_assert_eq!(&enc.finish(), &whole, "streamed container must match compress");
+        }
+    }
 
     #[test]
     fn prop_engine_equals_sequential_reference(

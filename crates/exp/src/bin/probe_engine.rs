@@ -10,10 +10,25 @@
 //! container's compression ratio plus wall-clock GB/s for both
 //! directions. Any contract violation aborts the process, so a plain
 //! exit-0 run is the pass signal.
+//!
+//! `--codec <name>` swaps the substrate: `e2mc` (default) probes the
+//! trained snapshot codec, `rans` the whole-chunk entropy coder and
+//! `bdi` the base+delta codec. The cached-size identity is asserted for
+//! every substrate — chunk coders document that they ignore the size
+//! hints, and this is where that contract is exercised end to end.
+//!
+//! After the per-workload sweep the probe re-runs the largest snapshot
+//! under `Threads::Exact(n)` for n = 1, 2, 4, 8, printing per-worker-
+//! count GB/s (and asserting the containers stay byte-identical), so a
+//! scheduling regression shows up as a flat or inverted scaling column
+//! rather than a silent slowdown.
 
+use std::sync::Arc;
 use std::time::Instant;
 
-use slc_engine::{frame_info, Threads};
+use slc_compress::rans::Rans;
+use slc_compress::{bdi::Bdi, BlockCodec};
+use slc_engine::{frame_info, Engine, Threads};
 use slc_workloads::{all_workloads, compress_snapshot, snapshot_bytes, snapshot_engine};
 use slc_workloads::{Harness, Scale, SnapshotAnalysis};
 
@@ -22,24 +37,61 @@ fn gbps(bytes: usize, seconds: f64) -> f64 {
     bytes as f64 / seconds / 1e9
 }
 
+/// Substrate selected by `--codec`; `None` means the per-workload
+/// trained E2MC snapshot codec.
+fn codec_arg() -> Option<Arc<dyn BlockCodec>> {
+    let mut args = std::env::args().skip(1);
+    if let Some(a) = args.next() {
+        if a == "--codec" {
+            let name = args.next().unwrap_or_else(|| {
+                eprintln!("--codec needs a name (e2mc, rans, bdi)");
+                std::process::exit(2);
+            });
+            return match name.as_str() {
+                "e2mc" => None,
+                "rans" => Some(Arc::new(Rans::new())),
+                "bdi" => Some(Arc::new(Bdi::new())),
+                other => {
+                    eprintln!("unknown --codec {other:?} (expected e2mc, rans or bdi)");
+                    std::process::exit(2);
+                }
+            };
+        }
+        eprintln!("unknown argument {a:?} (usage: probe_engine [--codec e2mc|rans|bdi])");
+        std::process::exit(2);
+    }
+    None
+}
+
 fn main() {
     let scale = Scale::from_env();
+    let override_codec = codec_arg();
+    let codec_name = override_codec.as_ref().map_or("e2mc", |c| c.name());
     let h = Harness::new(scale);
-    println!("Engine snapshot probe: framed container end-to-end (scale {scale:?})");
+    println!(
+        "Engine snapshot probe: framed container end-to-end (scale {scale:?}, codec {codec_name})"
+    );
     println!(
         "{:>6} {:>10} {:>8} {:>8} {:>12} {:>12}",
         "bench", "bytes", "chunks", "ratio", "comp_GB/s", "decomp_GB/s"
     );
+    let mut largest: Option<(Vec<u8>, Engine)> = None;
     for w in all_workloads(scale) {
         let a = h.prepare(w.as_ref());
         let bytes = snapshot_bytes(&a.exact_memory);
-        let engine = snapshot_engine(&a.e2mc);
+        let engine = match &override_codec {
+            Some(codec) => Engine::new(Arc::clone(codec)),
+            None => snapshot_engine(&a.e2mc),
+        };
         let snapshot = SnapshotAnalysis::capture(&a.e2mc, &a.exact_memory);
 
         let t = Instant::now();
         let container = engine.compress_threads(&bytes, Threads::Auto);
         let comp_s = t.elapsed().as_secs_f64();
 
+        // The cached-size fast path must reproduce the container exactly:
+        // per-block codecs because the hints equal their own size_bits,
+        // chunk coders (rANS) because they ignore the hints entirely.
         let cached = compress_snapshot(&engine, &a.e2mc, &bytes, &snapshot, Threads::Auto);
         assert_eq!(
             container, cached,
@@ -67,6 +119,34 @@ fn main() {
             info.ratio(),
             gbps(bytes.len(), comp_s),
             gbps(bytes.len(), decomp_s),
+        );
+        if largest.as_ref().is_none_or(|(b, _)| b.len() < bytes.len()) {
+            largest = Some((bytes, engine));
+        }
+    }
+
+    // Worker-count scaling on the largest snapshot: output bytes are
+    // policy-independent (asserted), only the wall clock may move.
+    let (bytes, engine) = largest.expect("at least one workload at every scale");
+    let reference = engine.compress_threads(&bytes, Threads::Serial);
+    println!("worker scaling on largest snapshot ({} bytes, codec {codec_name}):", bytes.len());
+    println!("{:>8} {:>12} {:>12}", "workers", "comp_GB/s", "decomp_GB/s");
+    for n in [1usize, 2, 4, 8] {
+        let t = Instant::now();
+        let container = engine.compress_threads(&bytes, Threads::Exact(n));
+        let comp_s = t.elapsed().as_secs_f64();
+        assert_eq!(container, reference, "Exact({n}) container diverged from serial");
+        let t = Instant::now();
+        let decoded = engine
+            .decompress_threads(&container, Threads::Exact(n))
+            .expect("engine-produced container must decode at any worker count");
+        let decomp_s = t.elapsed().as_secs_f64();
+        assert_eq!(decoded, bytes, "Exact({n}) decode is not byte-identical");
+        println!(
+            "{:>8} {:>12.3} {:>12.3}",
+            n,
+            gbps(bytes.len(), comp_s),
+            gbps(bytes.len(), decomp_s)
         );
     }
     println!("all snapshots roundtripped byte-identically (parallel == serial == original)");

@@ -7,6 +7,7 @@
 
 use slc::slc_compress::bdi::Bdi;
 use slc::slc_compress::e2mc::{E2mc, E2mcConfig};
+use slc::slc_compress::rans::Rans;
 use slc::slc_engine::{
     frame_info, ContainerError, Engine, StorageMode, Threads, DIR_ENTRY_BYTES, HEADER_BYTES,
 };
@@ -137,6 +138,46 @@ fn double_flips_across_trained_codec_payloads_are_contained() {
         }
         assert_contained(&engine, &corrupt, data.len(), &format!("payload flip pair {i}"));
     }
+}
+
+#[test]
+fn rans_chunk_streams_survive_the_barrage() {
+    // The whole-chunk rANS path decodes through the chunk-coder dispatch
+    // (table parse + interleaved stream walk), not the per-block tag
+    // walk: flips and truncations in its payload must surface as
+    // ChunkCorrupt or decode to a full-size buffer — never as an unwind
+    // out of a worker or an out-of-bounds read.
+    let engine = Engine::new(Arc::new(Rans::new())).with_chunk_bytes(256);
+    let data = sample_stream();
+    let container = engine.compress(&data);
+    let info = frame_info(&container).unwrap();
+    assert!(info.coded_chunks > 0, "need rANS-coded chunks to corrupt");
+    let dir_end = HEADER_BYTES + info.chunk_count as usize * DIR_ENTRY_BYTES;
+
+    // Payload truncation at every byte boundary.
+    for cut in dir_end..container.len() {
+        assert_contained(&engine, &container[..cut], data.len(), &format!("rans cut {cut}"));
+    }
+
+    // Seeded single flips across the whole container, plus double flips
+    // confined to the payload (past the metadata validation).
+    let mut rng = Rng(0xa125_0b5e_55ed);
+    for i in 0..256 {
+        let mut corrupt = container.clone();
+        let bit = (rng.next() as usize) % (corrupt.len() * 8);
+        corrupt[bit / 8] ^= 1 << (bit % 8);
+        assert_contained(&engine, &corrupt, data.len(), &format!("rans flip {i} (bit {bit})"));
+    }
+    for i in 0..128 {
+        let mut corrupt = container.clone();
+        let payload_bits = (corrupt.len() - dir_end) * 8;
+        for _ in 0..2 {
+            let bit = dir_end * 8 + (rng.next() as usize) % payload_bits;
+            corrupt[bit / 8] ^= 1 << (bit % 8);
+        }
+        assert_contained(&engine, &corrupt, data.len(), &format!("rans payload pair {i}"));
+    }
+    assert_eq!(engine.decompress(&container).unwrap(), data, "pristine rANS container decodes");
 }
 
 #[test]

@@ -10,6 +10,7 @@ use slc::slc_compress::cpack::Cpack;
 use slc::slc_compress::e2mc::{E2mc, E2mcConfig};
 use slc::slc_compress::fpc::Fpc;
 use slc::slc_compress::hycomp::HyComp;
+use slc::slc_compress::rans::Rans;
 use slc::slc_compress::sc2::Sc2;
 use slc::slc_compress::{BlockCompressor, Compressed, BLOCK_BYTES};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -31,7 +32,7 @@ fn training_bytes() -> Vec<u8> {
     (0..1u32 << 14).flat_map(|i| ((i % 257) as f32).to_le_bytes()).collect()
 }
 
-/// All seven block codecs, statistical ones trained on the same sample.
+/// All eight block codecs, statistical ones trained on the same sample.
 fn codecs() -> Vec<Box<dyn BlockCompressor>> {
     let bytes = training_bytes();
     vec![
@@ -42,6 +43,7 @@ fn codecs() -> Vec<Box<dyn BlockCompressor>> {
         Box::new(E2mc::train_on_bytes(&bytes, &E2mcConfig::default())),
         Box::new(Sc2::train_on_bytes(&bytes, slc::slc_compress::sc2::DEFAULT_TOP_K)),
         Box::new(HyComp::train_on_bytes(&bytes)),
+        Box::new(Rans::new()),
     ]
 }
 

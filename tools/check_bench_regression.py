@@ -15,6 +15,11 @@ out, and only rows that regressed relative to their peers fail. The
 trade-off: a change that slows every row by the same factor is invisible
 to this gate (pass ``--no-normalize`` for raw cross-machine comparison).
 
+Rows may carry extra derived fields (e.g. the ``gb_per_s`` the engine
+rows record for human consumption); the gate reads only ``id`` and
+``ns_per_iter`` and ignores everything else, so derived fields can never
+double-count a regression or mask one.
+
 Rows only present on one side are reported as warnings but never fail
 the check (nor crash it), so adding or retiring benches does not break
 CI; a trailing summary counts them so a renamed row cannot slip through
