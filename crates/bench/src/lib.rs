@@ -6,6 +6,8 @@
 //! `codec_throughput` and `eval_pipeline`) and the JSON baseline writer
 //! every custom bench `main` funnels through.
 
+#![forbid(unsafe_code)]
+
 use criterion::Criterion;
 use slc_compress::bdi::Bdi;
 use slc_compress::e2mc::{E2mc, E2mcConfig};

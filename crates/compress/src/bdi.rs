@@ -85,6 +85,7 @@ impl BdiEncoding {
             6 => BdiEncoding::B4D2,
             7 => BdiEncoding::B2D1,
             8 => BdiEncoding::Uncompressed,
+            // slc-lint: allow(hot-path): corrupt-tag guard, contained by the engine's per-chunk catch_unwind
             other => panic!("corrupt BDI stream: unknown tag {other}"),
         }
     }
@@ -102,6 +103,7 @@ impl BdiEncoding {
                     .iter()
                     .copied()
                     .find(|&(e, _, _)| e == self)
+                    // slc-lint: allow(hot-path): the const table lists every base-delta variant, the find is infallible
                     .expect("variant listed");
                 let n = (BLOCK_BYTES / base) as u32;
                 TAG + (base as u32) * 8 + n + n * (delta as u32) * 8
@@ -160,8 +162,9 @@ impl Bdi {
 /// staging register that [`plan_arm`] tests every geometry against.
 fn words_of(block: &Block) -> [u64; BLOCK_BYTES / 8] {
     let mut v8 = [0u64; BLOCK_BYTES / 8];
-    for (slot, c) in v8.iter_mut().zip(block.chunks_exact(8)) {
-        *slot = u64::from_le_bytes(c.try_into().expect("8-byte chunk"));
+    let (words, _) = block.as_chunks::<8>();
+    for (slot, c) in v8.iter_mut().zip(words) {
+        *slot = u64::from_le_bytes(*c);
     }
     v8
 }
@@ -446,6 +449,7 @@ fn encode_into(block: &Block, out: &mut Vec<u8>) -> (u32, bool) {
         (4, 1) => encode_deltas::<4, 1>(&split4(&v8), base, mask, &mut w),
         (4, 2) => encode_deltas::<4, 2>(&split4(&v8), base, mask, &mut w),
         (2, 1) => encode_deltas::<2, 1>(&split2(&v8), base, mask, &mut w),
+        // slc-lint: allow(hot-path): planner invariant — choose_encoding only returns geometries handled above
         _ => unreachable!("not a BDI geometry"),
     }
     let bits = w.finish_into(out);
@@ -492,6 +496,7 @@ impl BlockCompressor for Bdi {
     }
 
     fn compress(&self, block: &Block) -> Compressed {
+        // slc-lint: allow(hot-path): the block's single output-payload allocation (documented contract)
         let mut payload = Vec::new();
         let (bits, compressed) = encode_into(block, &mut payload);
         if compressed {
@@ -523,6 +528,7 @@ impl BlockCompressor for Bdi {
                 }
             }
             BdiEncoding::Uncompressed => {
+                // slc-lint: allow(hot-path): corrupt-stream guard, contained by the engine's per-chunk catch_unwind
                 unreachable!("verbatim blocks use Compressed::uncompressed")
             }
             BdiEncoding::B8D1 => decode_base_delta::<8, 1>(&mut r, &mut out),

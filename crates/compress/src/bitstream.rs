@@ -244,6 +244,7 @@ impl<const CAP: usize> FixedBitWriter<CAP> {
             self.buf[len] = (self.acc << (8 - self.acc_bits)) as u8;
             len += 1;
         }
+        // slc-lint: allow(hot-path): the writer's documented single exact-size output allocation
         (self.buf[..len].to_vec(), len_bits)
     }
 
@@ -288,6 +289,7 @@ impl<'a> BitReader<'a> {
     ///
     /// Panics if `pos` is beyond the valid stream length.
     pub fn seek(&mut self, pos: u32) {
+        // slc-lint: allow(assert): corrupt-stream guard, documented and kept in release builds
         assert!(pos <= self.len_bits, "seek to {pos} beyond stream of {} bits", self.len_bits);
         self.pos = pos;
     }
@@ -310,7 +312,9 @@ impl<'a> BitReader<'a> {
         let span = offset + width;
         if span <= 64 {
             let word = if start + 8 <= self.bytes.len() {
-                u64::from_be_bytes(self.bytes[start..start + 8].try_into().expect("8 bytes"))
+                let mut w = [0u8; 8];
+                w.copy_from_slice(&self.bytes[start..start + 8]);
+                u64::from_be_bytes(w)
             } else {
                 let mut buf = [0u8; 8];
                 let avail = self.bytes.len() - start;
@@ -346,7 +350,10 @@ impl<'a> BitReader<'a> {
     /// Panics if fewer than `width` bits remain (corrupt-stream guard, kept
     /// in release builds).
     pub fn read(&mut self, width: u32) -> u64 {
-        assert!(width <= 64);
+        // Width is a compile-time constant at every call site; only the
+        // remaining-bits check depends on (possibly corrupt) stream data.
+        debug_assert!(width <= 64);
+        // slc-lint: allow(assert): corrupt-stream guard, documented and kept in release builds
         assert!(
             self.remaining() >= width,
             "read of {width} bits with only {} remaining",
@@ -370,7 +377,8 @@ impl<'a> BitReader<'a> {
     /// This is the lookup-window primitive a table-driven Huffman decoder
     /// uses: near the end of the stream the window is padded with zeros.
     pub fn peek_padded(&self, width: u32) -> u64 {
-        assert!(width <= 57, "peek window limited to 57 bits");
+        // Width is a compile-time constant at every call site.
+        debug_assert!(width <= 57, "peek window limited to 57 bits");
         if width == 0 {
             return 0;
         }
@@ -390,6 +398,7 @@ impl<'a> BitReader<'a> {
     ///
     /// Panics if fewer than `width` bits remain.
     pub fn skip(&mut self, width: u32) {
+        // slc-lint: allow(assert): corrupt-stream guard, documented and kept in release builds
         assert!(self.remaining() >= width);
         self.pos += width;
     }

@@ -237,6 +237,7 @@ impl BlockCompressor for Bpc {
                 dbx[k] = 0b11 << pos;
                 k += 1;
             } else {
+                // slc-lint: allow(hot-path): corrupt-stream guard, contained by the engine's per-chunk catch_unwind
                 panic!("corrupt BPC stream: prefix 000000");
             }
         }

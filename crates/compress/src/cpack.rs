@@ -274,6 +274,7 @@ impl BlockCompressor for Cpack {
                         dict.push(w);
                         w
                     }
+                    // slc-lint: allow(hot-path): corrupt-stream guard, contained by the engine's per-chunk catch_unwind
                     _ => panic!("corrupt C-PACK stream: prefix 1111"),
                 },
             };

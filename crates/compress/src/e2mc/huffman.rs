@@ -214,6 +214,7 @@ impl CanonicalCode {
     pub fn decode(&self, peek: u32) -> (u32, u32) {
         match self.decode_checked(peek) {
             Some(hit) => hit,
+            // slc-lint: allow(hot-path): documented corrupt-stream guard, contained by the engine's per-chunk catch_unwind
             None => panic!("corrupt Huffman stream: no codeword matches window {peek:#06x}"),
         }
     }

@@ -287,6 +287,7 @@ impl SymbolTable {
             let packed = self.dec[window as usize];
             let len = packed & 0xff;
             if len == 0 {
+                // slc-lint: allow(hot-path): corrupt-stream guard, contained by the engine's per-chunk catch_unwind
                 panic!("corrupt E2MC stream: no codeword matches window {window:#06x}");
             }
             let consumed;
@@ -459,6 +460,7 @@ impl BlockCompressor for E2mc {
             return out;
         }
         let mut r = BitReader::new(c.payload(), c.size_bits());
+        // slc-lint: allow(assert): corrupt-stream guard, contained by the engine's per-chunk catch_unwind
         assert!(r.read_bit(), "corrupt E2MC stream: mode bit clear on compressed block");
         let mut pdps = [0u32; WAYS];
         for p in pdps.iter_mut().skip(1) {

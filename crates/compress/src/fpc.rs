@@ -155,6 +155,7 @@ impl BlockCompressor for Fpc {
                 FpcPattern::PaddedHalf => (word >> 16) as u64,
                 FpcPattern::TwoSeBytes => (((word >> 16) & 0xff) << 8 | (word & 0xff)) as u64,
                 FpcPattern::Raw => word as u64,
+                // slc-lint: allow(hot-path): encoder invariant — zero runs were consumed by the run loop above
                 FpcPattern::ZeroRun => unreachable!("zero runs handled above"),
             };
             // One write per token: 3-bit prefix immediately followed by the
@@ -225,6 +226,7 @@ impl BlockCompressor for Fpc {
                     words[i] = payload(32);
                     r.skip(35);
                 }
+                // slc-lint: allow(hot-path): corrupt-stream guard, contained by the engine's per-chunk catch_unwind
                 _ => unreachable!("3-bit prefix"),
             }
             i += 1;

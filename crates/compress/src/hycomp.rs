@@ -223,6 +223,7 @@ impl BlockCompressor for HyComp {
             0 => HyChoice::FpH,
             1 => HyChoice::Bdi,
             2 => HyChoice::Sc2,
+            // slc-lint: allow(hot-path): corrupt-tag guard, contained by the engine's per-chunk catch_unwind
             t => panic!("corrupt HyComp stream: tag {t}"),
         };
         // Re-frame the remaining bits for the sub-decoder.

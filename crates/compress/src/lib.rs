@@ -110,6 +110,8 @@
 //! (CI fails on >30% regression against the committed baseline; see
 //! `tools/check_bench_regression.py`).
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod bdi;
 pub mod bitstream;
 pub mod bpc;
@@ -157,6 +159,7 @@ impl Compressed {
     ///
     /// Panics if `payload` is too short to hold `size_bits` bits.
     pub fn new(size_bits: u32, payload: Vec<u8>) -> Self {
+        // slc-lint: allow(assert): documented size-contract guard; on the decode path the payload length is pinned to ceil(bits/8) before construction
         assert!(
             payload.len() * 8 >= size_bits as usize,
             "payload of {} bytes cannot hold {} bits",
@@ -168,6 +171,7 @@ impl Compressed {
 
     /// Wraps a block stored verbatim because compression did not pay off.
     pub fn uncompressed(block: &Block) -> Self {
+        // slc-lint: allow(hot-path): the block's single output-payload allocation (documented contract)
         Self { size_bits: BLOCK_BITS, payload: block.to_vec(), compressed: false }
     }
 

@@ -74,6 +74,8 @@
 //! # let _ = out;
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod budget;
 pub mod header;
 pub mod predict;

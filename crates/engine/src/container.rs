@@ -171,9 +171,9 @@ impl<'a> Frame<'a> {
         if bytes[7] != 0 {
             return Err(ContainerError::BadFlags(bytes[7]));
         }
-        let chunk_bytes = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
-        let chunk_count = u32::from_le_bytes(bytes[12..16].try_into().expect("4 bytes"));
-        let total_len = u64::from_le_bytes(bytes[16..24].try_into().expect("8 bytes"));
+        let chunk_bytes = le_u32(bytes, 8);
+        let chunk_count = le_u32(bytes, 12);
+        let total_len = le_u64(bytes, 16);
         if chunk_bytes == 0
             || !(chunk_bytes as usize).is_multiple_of(BLOCK_BYTES)
             || chunk_bytes as usize > MAX_CHUNK_BYTES
@@ -195,13 +195,12 @@ impl<'a> Frame<'a> {
         let mut directory = Vec::with_capacity(chunk_count as usize);
         for chunk in 0..chunk_count as usize {
             let at = HEADER_BYTES + chunk * DIR_ENTRY_BYTES;
-            let offset = u64::from_le_bytes(bytes[at..at + 8].try_into().expect("8 bytes"));
-            let encoded_bits =
-                u32::from_le_bytes(bytes[at + 8..at + 12].try_into().expect("4 bytes"));
+            let offset = le_u64(bytes, at);
+            let encoded_bits = le_u32(bytes, at + 8);
             let mode = StorageMode::from_u8(bytes[at + 12])
                 .ok_or(ContainerError::InvalidEntry { chunk, reason: "unknown storage mode" })?;
             let entry = DirEntry { offset, encoded_bits, mode };
-            if encoded_bits % 8 != 0 {
+            if !encoded_bits.is_multiple_of(8) {
                 return Err(ContainerError::InvalidEntry {
                     chunk,
                     reason: "encoded_bits not a whole number of bytes",
@@ -236,6 +235,18 @@ impl<'a> Frame<'a> {
             payload,
         })
     }
+}
+
+/// Little-endian u32 at `at`; bounds were validated by the caller.
+fn le_u32(b: &[u8], at: usize) -> u32 {
+    u32::from_le_bytes([b[at], b[at + 1], b[at + 2], b[at + 3]])
+}
+
+/// Little-endian u64 at `at`; bounds were validated by the caller.
+fn le_u64(b: &[u8], at: usize) -> u64 {
+    let mut w = [0u8; 8];
+    w.copy_from_slice(&b[at..at + 8]);
+    u64::from_le_bytes(w)
 }
 
 /// Raw (decoded) length in bytes of chunk `index` of a stream of

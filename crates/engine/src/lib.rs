@@ -59,6 +59,8 @@
 //!   skip the codec entirely and the output is byte-identical to
 //!   [`Engine::compress`].
 
+#![forbid(unsafe_code)]
+
 pub mod container;
 
 pub use container::{ContainerError, DirEntry, Frame, Header, StorageMode};
@@ -241,6 +243,7 @@ impl Engine {
     /// Decompresses a framed container ([`Threads::Auto`]).
     ///
     /// Never panics on arbitrary input — see the crate docs.
+    // slc-lint: allow(hot-path): cold per-container orchestrator (output buffer + worker scaffolding allocate once per call, not per block); shares its name with the per-block BlockCompressor::decompress the call graph fans out to
     pub fn decompress(&self, container: &[u8]) -> Result<Vec<u8>, ContainerError> {
         self.decompress_threads(container, Threads::Auto)
     }
@@ -487,6 +490,7 @@ fn encode_chunk(
     if let Some(cc) = codec.chunk_coder() {
         let coded = cc.encode_chunk(chunk);
         return if coded.len() >= chunk.len() {
+            // slc-lint: allow(hot-path): raw-fallback output payload, one allocation per chunk
             (chunk.to_vec(), StorageMode::Raw)
         } else {
             (coded, StorageMode::Coded)
@@ -527,6 +531,7 @@ fn encode_chunk(
         coded[tag_at..tag_at + 2].copy_from_slice(&tag.to_le_bytes());
     }
     if coded.len() >= chunk.len() {
+        // slc-lint: allow(hot-path): raw-fallback output payload, one allocation per chunk
         (chunk.to_vec(), StorageMode::Raw)
     } else {
         (coded, StorageMode::Coded)
@@ -589,9 +594,15 @@ fn decode_chunk(
                     let body = &src[pos..pos + body_len];
                     pos += body_len;
                     let block: Block = if is_coded {
+                        // Per-block body copy into Compressed; a borrowed
+                        // decode API is an open roadmap item.
+                        // slc-lint: allow(hot-path): Compressed owns its payload; one body copy per coded block until a borrowed decode API lands
                         codec.decompress(&Compressed::new(bits, body.to_vec()))
                     } else {
-                        body.try_into().expect("verbatim body is exactly one block")
+                        match Block::try_from(body) {
+                            Ok(b) => b,
+                            Err(_) => return Err("verbatim body is not exactly one block"),
+                        }
                     };
                     let lo = b * BLOCK_BYTES;
                     let n = (dst.len() - lo).min(BLOCK_BYTES);

@@ -15,6 +15,8 @@
 //! Binaries read `SLC_SCALE` (`tiny` / `small` / `full`, default `small`)
 //! and print paper-reference values next to measured ones.
 
+#![forbid(unsafe_code)]
+
 pub mod eval;
 pub mod fig1;
 pub mod fig2;

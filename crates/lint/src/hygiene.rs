@@ -1,0 +1,134 @@
+//! Unsafe hygiene: every `unsafe` occurrence needs a `// SAFETY:`
+//! comment, and the tool always prints the full unsafe inventory so the
+//! workspace's unsafe surface is visible in every CI run.
+
+use crate::scan::UnsafeKind;
+use crate::{Finding, Workspace};
+
+/// Check name for the SAFETY-comment requirement.
+pub const UNSAFE: &str = "unsafe";
+
+/// Flags `unsafe` sites without a `SAFETY:` comment on the same line or
+/// in the contiguous comment block directly above.
+pub fn check_unsafe(ws: &Workspace) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for file in &ws.files {
+        for site in &file.unsafes {
+            if has_safety_comment(file, site.line) || crate::is_waived(file, UNSAFE, site.line) {
+                continue;
+            }
+            findings.push(Finding {
+                check: UNSAFE,
+                file: file.path.clone(),
+                line: site.line,
+                message: format!(
+                    "{} without a `// SAFETY:` comment (same line or directly above)",
+                    describe(site.kind),
+                ),
+            });
+        }
+    }
+    findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    findings
+}
+
+/// The full unsafe inventory, one rendered line per site — printed even
+/// on clean runs so the unsafe surface never grows unnoticed.
+pub fn inventory(ws: &Workspace) -> Vec<String> {
+    let mut out = Vec::new();
+    for file in &ws.files {
+        for site in &file.unsafes {
+            let mut line = format!("{}:{}: {}", file.path, site.line, describe(site.kind));
+            if let Some(in_fn) = &site.in_fn {
+                line.push_str(&format!(" in fn `{in_fn}`"));
+            }
+            if site.is_test {
+                line.push_str(" [test]");
+            }
+            out.push(line);
+        }
+    }
+    out.sort();
+    out
+}
+
+fn describe(kind: UnsafeKind) -> &'static str {
+    match kind {
+        UnsafeKind::Block => "unsafe block",
+        UnsafeKind::Fn => "unsafe fn",
+        UnsafeKind::Impl => "unsafe impl",
+        UnsafeKind::Trait => "unsafe trait",
+    }
+}
+
+/// True when `line` carries a `SAFETY:` comment — trailing on the line
+/// itself, or anywhere in the unbroken run of comment lines above it.
+fn has_safety_comment(file: &crate::scan::FileIndex, line: u32) -> bool {
+    if file.comments_on_line(line).any(is_safety) {
+        return true;
+    }
+    let mut ln = line.saturating_sub(1);
+    while ln > 0 {
+        let mut any = false;
+        for c in file.comments_on_line(ln) {
+            any = true;
+            if is_safety(c) {
+                return true;
+            }
+            ln = c.line; // jump to the top of a multi-line block comment
+        }
+        if !any {
+            return false;
+        }
+        ln = ln.saturating_sub(1);
+    }
+    false
+}
+
+fn is_safety(c: &crate::lexer::Comment) -> bool {
+    c.text.contains("SAFETY:")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ws(src: &str) -> Workspace {
+        Workspace::from_sources(&[("crates/x/src/lib.rs", "x", src)])
+    }
+
+    #[test]
+    fn commented_sites_pass_and_bare_sites_flag() {
+        let w = ws("fn a() {\n    // SAFETY: bounds checked above\n    unsafe { go(); }\n}\n\
+             fn b() {\n    unsafe { go(); }\n}\n\
+             fn c() {\n    unsafe { go(); } // SAFETY: trailing form\n}\n");
+        let f = check_unsafe(&w);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].line, 6);
+    }
+
+    #[test]
+    fn comment_block_may_be_multiple_lines() {
+        let w = ws("fn a() {\n    // SAFETY: lanes are 16-byte aligned because the\n    \
+             // caller rounds the buffer up.\n    unsafe { go(); }\n}\n");
+        assert!(check_unsafe(&w).is_empty());
+    }
+
+    #[test]
+    fn unrelated_comment_does_not_count() {
+        let w = ws("fn a() {\n    // fast path\n    unsafe { go(); }\n}\n");
+        assert_eq!(check_unsafe(&w).len(), 1);
+    }
+
+    #[test]
+    fn unsafe_fn_and_impl_are_covered_and_inventoried() {
+        let w = ws("// SAFETY: no shared state\nunsafe fn raw() {}\n\
+             unsafe impl Send for X {}\n");
+        let f = check_unsafe(&w);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("unsafe impl"));
+        let inv = inventory(&w);
+        assert_eq!(inv.len(), 2);
+        assert!(inv.iter().any(|l| l.contains("unsafe fn in fn `raw`")));
+    }
+}

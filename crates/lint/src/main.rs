@@ -1,0 +1,132 @@
+//! CLI: `cargo run --release -p slc-lint [-- --update-wire-lock]`.
+//!
+//! Exit status is non-zero when any check produced a finding, so CI can
+//! gate on it directly. `--update-wire-lock` re-extracts the wire
+//! snapshot and rewrites `tools/lint/wire_format.lock` instead of
+//! diffing — for intentional, documented wire changes only.
+
+use slc_lint::{graph, hygiene, rows, waiver_hint, wire, Finding, Workspace};
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+const HOT_PATHS_MANIFEST: &str = "tools/lint/hot_paths.txt";
+
+fn main() -> ExitCode {
+    let update_lock = std::env::args().any(|a| a == "--update-wire-lock");
+    let root = match workspace_root() {
+        Some(r) => r,
+        None => {
+            eprintln!(
+                "slc-lint: cannot locate the workspace root (no Cargo.toml with [workspace])"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    let ws = match Workspace::load(&root) {
+        Ok(ws) => ws,
+        Err(e) => {
+            eprintln!("slc-lint: failed to load workspace at {}: {e}", root.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("slc-lint: scanned {} files in {}", ws.files.len(), root.display());
+
+    let snapshot = wire::snapshot(&ws);
+    if update_lock {
+        let lock_path = root.join(wire::LOCK_PATH);
+        if let Err(e) = std::fs::write(&lock_path, wire::render_lock(&snapshot)) {
+            eprintln!("slc-lint: failed to write {}: {e}", lock_path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("slc-lint: wrote {} wire keys to {}", snapshot.len(), wire::LOCK_PATH);
+        return ExitCode::SUCCESS;
+    }
+
+    let mut findings: Vec<Finding> = Vec::new();
+
+    // 1 + 4: hot-path audit and assert policy share the call graph.
+    match std::fs::read_to_string(root.join(HOT_PATHS_MANIFEST)) {
+        Ok(text) => {
+            let manifest = graph::parse_manifest(&text);
+            println!("slc-lint: auditing {} hot-path roots", manifest.len());
+            findings.extend(graph::check_hot_paths(&ws, &manifest));
+        }
+        Err(e) => findings.push(Finding {
+            check: graph::HOT_PATH,
+            file: HOT_PATHS_MANIFEST.to_string(),
+            line: 0,
+            message: format!("cannot read hot-path manifest: {e}"),
+        }),
+    }
+
+    // 2: unsafe hygiene + the always-printed inventory.
+    findings.extend(hygiene::check_unsafe(&ws));
+    let inventory = hygiene::inventory(&ws);
+    println!("slc-lint: unsafe inventory ({} sites)", inventory.len());
+    for line in &inventory {
+        println!("  {line}");
+    }
+
+    // 3: wire-format freeze.
+    match std::fs::read_to_string(root.join(wire::LOCK_PATH)) {
+        Ok(text) => findings.extend(wire::check_lock(&snapshot, &wire::parse_lock(&text))),
+        Err(e) => findings.push(Finding {
+            check: wire::WIRE,
+            file: wire::LOCK_PATH.to_string(),
+            line: 0,
+            message: format!("cannot read wire lock: {e} — generate it with --update-wire-lock"),
+        }),
+    }
+
+    // 5: bench-row cross-check.
+    let mut manifests = Vec::new();
+    for path in ["tools/bench_rows.txt", "tools/eval_rows.txt"] {
+        match std::fs::read_to_string(root.join(path)) {
+            Ok(text) => manifests.push((path.to_string(), rows::parse_rows(&text))),
+            Err(e) => findings.push(Finding {
+                check: rows::BENCH_ROWS,
+                file: path.to_string(),
+                line: 0,
+                message: format!("cannot read row manifest: {e}"),
+            }),
+        }
+    }
+    findings.extend(rows::check_rows(&ws, &manifests));
+
+    if findings.is_empty() {
+        println!("slc-lint: all checks clean");
+        return ExitCode::SUCCESS;
+    }
+    findings.sort_by(|a, b| (&a.file, a.line, a.check).cmp(&(&b.file, b.line, b.check)));
+    eprintln!("slc-lint: {} finding(s)", findings.len());
+    for f in &findings {
+        eprintln!("{f}");
+    }
+    let checks: BTreeSet<&str> = findings.iter().map(|f| f.check).collect();
+    for check in checks {
+        eprintln!("note: {}", waiver_hint(check));
+    }
+    ExitCode::FAILURE
+}
+
+/// The workspace root: walk up from `CARGO_MANIFEST_DIR` (when run via
+/// cargo) or the current directory until a `Cargo.toml` containing
+/// `[workspace]` appears.
+fn workspace_root() -> Option<PathBuf> {
+    let start = std::env::var_os("CARGO_MANIFEST_DIR")
+        .map(PathBuf::from)
+        .or_else(|| std::env::current_dir().ok())?;
+    let mut dir: &Path = &start;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(text) = std::fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return Some(dir.to_path_buf());
+                }
+            }
+        }
+        dir = dir.parent()?;
+    }
+}

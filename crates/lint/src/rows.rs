@@ -1,0 +1,255 @@
+//! Bench-row cross-check: the regression-gate manifests
+//! (`tools/bench_rows.txt`, `tools/eval_rows.txt`) and the bench ids
+//! registered in `crates/bench` sources must agree.
+//!
+//! Two directions:
+//!
+//! * **A** — every manifest row `group/leaf` must be backed by a bench
+//!   source: either a literal `bench_function("leaf")` under a
+//!   `benchmark_group("group")` (or a literal `"group/leaf"` id), or —
+//!   for loop-generated ids like `compress_block/bdi` — the group
+//!   registered in a file that also contains the string literal
+//!   `"leaf"` somewhere (the codec-name array).
+//! * **B** — every *literal* bench id whose group appears in a manifest
+//!   (a gated group) must itself be listed in the union of the
+//!   manifests. Ungated figure benches (`fig1/…`, `ablation/…`) are
+//!   not checked: the manifests gate regressions, they are not an
+//!   exhaustive registry.
+
+use crate::lexer::TokenKind;
+use crate::{Finding, Workspace};
+use std::collections::BTreeSet;
+
+/// Check name for manifest drift.
+pub const BENCH_ROWS: &str = "bench-rows";
+
+/// One manifest row with its source line.
+#[derive(Debug, Clone)]
+pub struct Row {
+    pub id: String,
+    pub line: u32,
+}
+
+/// Parses a row manifest (one `group/leaf` per line, `#` comments).
+pub fn parse_rows(text: &str) -> Vec<Row> {
+    text.lines()
+        .enumerate()
+        .filter_map(|(i, l)| {
+            let l = l.trim();
+            if l.is_empty() || l.starts_with('#') {
+                None
+            } else {
+                Some(Row { id: l.to_string(), line: i as u32 + 1 })
+            }
+        })
+        .collect()
+}
+
+/// What one bench source file registers.
+#[derive(Debug, Default)]
+struct BenchFile {
+    path: String,
+    /// Groups opened via `benchmark_group("…")`.
+    groups: BTreeSet<String>,
+    /// Fully-literal ids: `(group/leaf, line)`.
+    literal_ids: Vec<(String, u32)>,
+    /// Every string literal in the file (covers loop-generated leaves).
+    strings: BTreeSet<String>,
+}
+
+/// Token-walks the `crates/bench` sources for bench registrations.
+fn bench_files(ws: &Workspace) -> Vec<BenchFile> {
+    let mut out = Vec::new();
+    for file in &ws.files {
+        if !file.path.starts_with("crates/bench/") {
+            continue;
+        }
+        let toks = &file.lexed.tokens;
+        let mut bf = BenchFile { path: file.path.clone(), ..BenchFile::default() };
+        let mut current_group: Option<String> = None;
+        for (i, t) in toks.iter().enumerate() {
+            if let TokenKind::StrLit(s) = &t.kind {
+                bf.strings.insert(s.clone());
+            }
+            let TokenKind::Ident(w) = &t.kind else { continue };
+            let lit_arg =
+                toks.get(i + 1).filter(|n| n.is_punct('(')).and_then(|_| toks.get(i + 2)).and_then(
+                    |n| match &n.kind {
+                        TokenKind::StrLit(s) => Some(s.clone()),
+                        _ => None,
+                    },
+                );
+            match w.as_str() {
+                "benchmark_group" => {
+                    if let Some(g) = lit_arg {
+                        bf.groups.insert(g.clone());
+                        current_group = Some(g);
+                    } else {
+                        current_group = None;
+                    }
+                }
+                "bench_function" => {
+                    if let Some(leaf) = lit_arg {
+                        let id = if leaf.contains('/') {
+                            // Direct `c.bench_function("group/leaf")`.
+                            if let Some((g, _)) = leaf.split_once('/') {
+                                bf.groups.insert(g.to_string());
+                            }
+                            leaf
+                        } else {
+                            match &current_group {
+                                Some(g) => format!("{g}/{leaf}"),
+                                None => leaf,
+                            }
+                        };
+                        bf.literal_ids.push((id, t.line));
+                    }
+                }
+                _ => {}
+            }
+        }
+        out.push(bf);
+    }
+    out
+}
+
+/// Runs both directions. `manifests` is `(path, parsed rows)` for each
+/// committed manifest.
+pub fn check_rows(ws: &Workspace, manifests: &[(String, Vec<Row>)]) -> Vec<Finding> {
+    let files = bench_files(ws);
+    let mut findings = Vec::new();
+
+    let union: BTreeSet<&str> =
+        manifests.iter().flat_map(|(_, rows)| rows.iter().map(|r| r.id.as_str())).collect();
+    let gated_groups: BTreeSet<&str> = union.iter().filter_map(|id| id.split('/').next()).collect();
+
+    // Direction A: every required row must still be registered somewhere.
+    for (path, rows) in manifests {
+        for row in rows {
+            let Some((group, leaf)) = row.id.split_once('/') else {
+                findings.push(Finding {
+                    check: BENCH_ROWS,
+                    file: path.clone(),
+                    line: row.line,
+                    message: format!("malformed row `{}` (expected group/leaf)", row.id),
+                });
+                continue;
+            };
+            let backed = files.iter().any(|f| {
+                f.literal_ids.iter().any(|(id, _)| id == &row.id)
+                    || (f.groups.contains(group) && f.strings.contains(leaf))
+            });
+            if !backed {
+                findings.push(Finding {
+                    check: BENCH_ROWS,
+                    file: path.clone(),
+                    line: row.line,
+                    message: format!(
+                        "required row `{}` has no registration in crates/bench — \
+                         the regression gate would fail; remove the row or restore the bench",
+                        row.id
+                    ),
+                });
+            }
+        }
+    }
+
+    // Direction B: literal ids in gated groups must be listed.
+    for f in &files {
+        for (id, line) in &f.literal_ids {
+            let group = id.split('/').next().unwrap_or("");
+            if gated_groups.contains(group) && !union.contains(id.as_str()) {
+                findings.push(Finding {
+                    check: BENCH_ROWS,
+                    file: f.path.clone(),
+                    line: *line,
+                    message: format!(
+                        "bench `{id}` is in gated group `{group}` but listed in no row \
+                         manifest — add it to tools/bench_rows.txt or tools/eval_rows.txt"
+                    ),
+                });
+            }
+        }
+    }
+
+    findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn manifests(bench: &str, eval: &str) -> Vec<(String, Vec<Row>)> {
+        vec![
+            ("tools/bench_rows.txt".to_string(), parse_rows(bench)),
+            ("tools/eval_rows.txt".to_string(), parse_rows(eval)),
+        ]
+    }
+
+    const LOOPED: &str = "fn benches(c: &mut Criterion) {\n\
+        let codecs = [(\"bdi\", x()), (\"fpc\", y())];\n\
+        let mut g = c.benchmark_group(\"compress_block\");\n\
+        for (name, codec) in codecs { g.bench_function(name, |b| b.iter(run)); }\n\
+        g.finish();\n\
+        let mut g = c.benchmark_group(\"slc\");\n\
+        g.bench_function(\"roundtrip\", |b| b.iter(run));\n}\n";
+
+    #[test]
+    fn loop_generated_and_literal_rows_are_backed() {
+        let ws = Workspace::from_sources(&[(
+            "crates/bench/benches/codec_throughput.rs",
+            "slc-bench",
+            LOOPED,
+        )]);
+        let m = manifests("compress_block/bdi\ncompress_block/fpc\nslc/roundtrip\n", "");
+        assert!(check_rows(&ws, &m).is_empty());
+    }
+
+    #[test]
+    fn dropped_bench_flags_the_manifest_row() {
+        let ws = Workspace::from_sources(&[(
+            "crates/bench/benches/codec_throughput.rs",
+            "slc-bench",
+            LOOPED,
+        )]);
+        let m = manifests("compress_block/bdi\ncompress_block/cpack\n", "");
+        let f = check_rows(&ws, &m);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("compress_block/cpack"));
+        assert_eq!(f[0].file, "tools/bench_rows.txt");
+        assert_eq!(f[0].line, 2);
+    }
+
+    #[test]
+    fn unlisted_bench_in_gated_group_flags_but_ungated_groups_pass() {
+        let ws = Workspace::from_sources(&[(
+            "crates/bench/benches/codec_throughput.rs",
+            "slc-bench",
+            "fn benches(c: &mut Criterion) {\n\
+             let mut g = c.benchmark_group(\"slc\");\n\
+             g.bench_function(\"roundtrip\", run);\n\
+             g.bench_function(\"brand_new\", run);\n\
+             let mut g = c.benchmark_group(\"fig1\");\n\
+             g.bench_function(\"compute_tiny\", run);\n}\n",
+        )]);
+        let m = manifests("slc/roundtrip\n", "");
+        let f = check_rows(&ws, &m);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("slc/brand_new"));
+    }
+
+    #[test]
+    fn direct_slash_ids_and_shared_src_registrations_count() {
+        let ws = Workspace::from_sources(&[(
+            "crates/bench/src/lib.rs",
+            "slc-bench",
+            "fn engine(c: &mut Criterion) {\n\
+             c.bench_function(\"table1/gate_model\", run);\n\
+             let mut g = c.benchmark_group(\"engine\");\n\
+             g.bench_function(\"compress_e2e\", run);\n}\n",
+        )]);
+        let m = manifests("engine/compress_e2e\n", "engine/compress_e2e\n");
+        assert!(check_rows(&ws, &m).is_empty());
+    }
+}

@@ -1,0 +1,293 @@
+//! Wire-format freeze: extracts the on-disk/wire constants from source
+//! and diffs them against `tools/lint/wire_format.lock`.
+//!
+//! The frozen surface is everything a reader of a persisted container or
+//! a compressed stream depends on: `CodecId` discriminants (append-only
+//! by contract), the container magic/version/geometry, header and
+//! directory-entry field layouts, the `StorageMode` wire mapping, the
+//! chunk-directory tag bit, and the block geometry the per-block codecs
+//! assume. Changing any of these without regenerating the lock (and
+//! documenting the break) fails CI.
+
+use crate::lexer::Token;
+use crate::scan::normalize;
+use crate::{Finding, Workspace};
+use std::collections::BTreeMap;
+
+/// Check name for lock drift.
+pub const WIRE: &str = "wire-format";
+
+/// Path of the committed lock, workspace-relative.
+pub const LOCK_PATH: &str = "tools/lint/wire_format.lock";
+
+/// One extracted wire fact: normalized value plus source attribution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireKey {
+    pub value: String,
+    pub file: String,
+    pub line: u32,
+}
+
+/// Extracts the full wire snapshot from the loaded workspace.
+///
+/// Keys are stable dotted names (`codec_id.Bdi`, `container.MAGIC`,
+/// `header.fields`, …). A source item that has disappeared simply
+/// produces no key — the lock diff then reports it as vanished.
+pub fn snapshot(ws: &Workspace) -> BTreeMap<String, WireKey> {
+    let mut out = BTreeMap::new();
+
+    // CodecId discriminants: the compressed-stream codec tags.
+    if let Some(f) = ws.file("crates/compress/src/codec.rs") {
+        for e in &f.enums {
+            if e.name == "CodecId" {
+                for (variant, disc) in &e.variants {
+                    out.insert(
+                        format!("codec_id.{variant}"),
+                        WireKey { value: disc.clone(), file: f.path.clone(), line: e.line },
+                    );
+                }
+            }
+        }
+    }
+
+    // Container geometry + header/dir-entry layouts.
+    if let Some(f) = ws.file("crates/engine/src/container.rs") {
+        for name in ["MAGIC", "VERSION", "HEADER_BYTES", "DIR_ENTRY_BYTES", "MAX_CHUNK_BYTES"] {
+            for c in &f.consts {
+                if c.name == name {
+                    out.insert(
+                        format!("container.{name}"),
+                        WireKey { value: c.expr.clone(), file: f.path.clone(), line: c.line },
+                    );
+                }
+            }
+        }
+        for (struct_name, key) in [("Header", "header.fields"), ("DirEntry", "dir_entry.fields")] {
+            for s in &f.structs {
+                if s.name == struct_name {
+                    let fields = s
+                        .fields
+                        .iter()
+                        .map(|(n, t)| format!("{n}: {t}"))
+                        .collect::<Vec<_>>()
+                        .join(", ");
+                    out.insert(
+                        key.to_string(),
+                        WireKey { value: fields, file: f.path.clone(), line: s.line },
+                    );
+                }
+            }
+        }
+        // StorageMode wire mapping, read out of `fn as_u8`'s match arms.
+        for def in &f.fns {
+            if def.name == "as_u8" && def.owner.as_deref() == Some("StorageMode") {
+                for (variant, value, _) in match_arms(&f.lexed.tokens[def.body.clone()]) {
+                    out.insert(
+                        format!("storage_mode.{variant}"),
+                        WireKey { value, file: f.path.clone(), line: def.line },
+                    );
+                }
+            }
+        }
+    }
+
+    // The chunk-directory "coded" tag bit.
+    if let Some(f) = ws.file("crates/engine/src/lib.rs") {
+        for c in &f.consts {
+            if c.name == "TAG_CODED" {
+                out.insert(
+                    "engine.TAG_CODED".to_string(),
+                    WireKey { value: c.expr.clone(), file: f.path.clone(), line: c.line },
+                );
+            }
+        }
+    }
+
+    // Block geometry every per-block codec bakes into its bitstream.
+    if let Some(f) = ws.file("crates/compress/src/lib.rs") {
+        for name in ["BLOCK_BYTES", "BLOCK_BITS"] {
+            for c in &f.consts {
+                if c.name == name {
+                    out.insert(
+                        format!("compress.{name}"),
+                        WireKey { value: c.expr.clone(), file: f.path.clone(), line: c.line },
+                    );
+                }
+            }
+        }
+    }
+
+    out
+}
+
+/// `Variant => literal` arms of a match body, in source order.
+fn match_arms(toks: &[Token]) -> Vec<(String, String, u32)> {
+    use crate::lexer::TokenKind;
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i + 3 < toks.len() {
+        if let TokenKind::Ident(w) = &toks[i].kind {
+            if toks[i + 1].is_punct('=') && toks[i + 2].is_punct('>') {
+                if let TokenKind::Num(n) = &toks[i + 3].kind {
+                    out.push((w.clone(), n.clone(), toks[i].line));
+                    i += 4;
+                    continue;
+                }
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Parses lock-file text into `key → value`.
+pub fn parse_lock(text: &str) -> BTreeMap<String, String> {
+    let mut out = BTreeMap::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some((k, v)) = line.split_once('=') {
+            out.insert(k.trim().to_string(), v.trim().to_string());
+        }
+    }
+    out
+}
+
+/// Renders a snapshot in lock-file form (what `--update-wire-lock`
+/// writes).
+pub fn render_lock(snapshot: &BTreeMap<String, WireKey>) -> String {
+    let mut out = String::from(
+        "# slc wire-format freeze. Extracted from source by slc-lint; CI diffs\n\
+         # this file against a fresh extraction. Regenerate with\n\
+         #   cargo run --release -p slc-lint -- --update-wire-lock\n\
+         # ONLY when a wire change is intentional and documented.\n",
+    );
+    for (k, v) in snapshot {
+        out.push_str(&format!("{k} = {}\n", v.value));
+    }
+    out
+}
+
+/// Diffs the fresh snapshot against the committed lock.
+pub fn check_lock(
+    snapshot: &BTreeMap<String, WireKey>,
+    lock: &BTreeMap<String, String>,
+) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for (k, locked) in lock {
+        match snapshot.get(k) {
+            None => findings.push(Finding {
+                check: WIRE,
+                file: LOCK_PATH.to_string(),
+                line: 0,
+                message: format!(
+                    "`{k}` is locked as `{locked}` but no longer extractable from source \
+                     — wire items are append-only; restore it or regenerate the lock"
+                ),
+            }),
+            Some(cur) if cur.value != *locked => findings.push(Finding {
+                check: WIRE,
+                file: cur.file.clone(),
+                line: cur.line,
+                message: format!(
+                    "wire drift: `{k}` is `{}` in source but locked as `{locked}`",
+                    cur.value
+                ),
+            }),
+            Some(_) => {}
+        }
+    }
+    for (k, cur) in snapshot {
+        if !lock.contains_key(k) {
+            findings.push(Finding {
+                check: WIRE,
+                file: cur.file.clone(),
+                line: cur.line,
+                message: format!(
+                    "new wire key `{k}` = `{}` is not in {LOCK_PATH} — regenerate the lock \
+                     in the change that introduces it",
+                    cur.value
+                ),
+            });
+        }
+    }
+    findings.sort_by(|a, b| (&a.file, a.line, &a.message).cmp(&(&b.file, b.line, &b.message)));
+    findings
+}
+
+/// Normalization helper re-exported for tests that build expected values.
+pub fn normalized(tokens: &[Token]) -> String {
+    normalize(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CODEC_SRC: &str = "#[repr(u8)]\npub enum CodecId { Bdi = 0, Fpc = 1, Rans = 7 }\n";
+    const CONTAINER_SRC: &str = "pub const MAGIC: [u8; 4] = *b\"SLC1\";\n\
+        pub const VERSION: u16 = 1;\n\
+        pub struct Header { pub codec: CodecId, pub total_len: u64 }\n\
+        pub enum StorageMode { Raw, Coded }\n\
+        impl StorageMode {\n    pub fn as_u8(self) -> u8 {\n        match self {\n            \
+        StorageMode::Raw => 0,\n            StorageMode::Coded => 1,\n        }\n    }\n}\n";
+
+    fn ws() -> Workspace {
+        Workspace::from_sources(&[
+            ("crates/compress/src/codec.rs", "slc-compress", CODEC_SRC),
+            ("crates/engine/src/container.rs", "slc-engine", CONTAINER_SRC),
+        ])
+    }
+
+    #[test]
+    fn snapshot_extracts_discriminants_consts_fields_and_mode_map() {
+        let snap = snapshot(&ws());
+        assert_eq!(snap["codec_id.Bdi"].value, "0");
+        assert_eq!(snap["codec_id.Rans"].value, "7");
+        assert_eq!(snap["container.MAGIC"].value, "* \"SLC1\"");
+        assert_eq!(snap["container.VERSION"].value, "1");
+        assert_eq!(snap["header.fields"].value, "codec: CodecId, total_len: u64");
+        assert_eq!(snap["storage_mode.Raw"].value, "0");
+        assert_eq!(snap["storage_mode.Coded"].value, "1");
+    }
+
+    #[test]
+    fn lock_roundtrip_is_clean() {
+        let snap = snapshot(&ws());
+        let lock = parse_lock(&render_lock(&snap));
+        assert!(check_lock(&snap, &lock).is_empty());
+    }
+
+    #[test]
+    fn mutated_discriminant_fails_the_diff() {
+        let snap = snapshot(&ws());
+        let lock = parse_lock(&render_lock(&snap));
+        let mutated = Workspace::from_sources(&[
+            (
+                "crates/compress/src/codec.rs",
+                "slc-compress",
+                "#[repr(u8)]\npub enum CodecId { Bdi = 0, Fpc = 2, Rans = 7 }\n",
+            ),
+            ("crates/engine/src/container.rs", "slc-engine", CONTAINER_SRC),
+        ]);
+        let f = check_lock(&snapshot(&mutated), &lock);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("codec_id.Fpc"));
+        assert!(f[0].message.contains("`2`"));
+        assert_eq!(f[0].file, "crates/compress/src/codec.rs");
+    }
+
+    #[test]
+    fn vanished_and_new_keys_both_flag() {
+        let snap = snapshot(&ws());
+        let mut lock = parse_lock(&render_lock(&snap));
+        lock.insert("codec_id.Ghost".to_string(), "9".to_string());
+        lock.remove("container.VERSION");
+        let f = check_lock(&snap, &lock);
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(f.iter().any(|x| x.message.contains("no longer extractable")));
+        assert!(f.iter().any(|x| x.message.contains("new wire key `container.VERSION`")));
+    }
+}

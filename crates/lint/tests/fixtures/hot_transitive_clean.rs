@@ -1,0 +1,23 @@
+//! Fixture: the same call shape as `hot_transitive_violating.rs` with
+//! every site either rewritten cleanly or carrying a reviewed waiver.
+
+pub fn encode(input: &[u8]) -> Vec<u8> {
+    let mut out = plan(input);
+    out.push(0);
+    out
+}
+
+fn plan(input: &[u8]) -> Vec<u8> {
+    stage(input)
+}
+
+fn stage(input: &[u8]) -> Vec<u8> {
+    let first = match input.first() {
+        Some(b) => *b,
+        None => 0,
+    };
+    // slc-lint: allow(hot-path): fixture — output payload, one allocation
+    let staged = vec![first];
+    debug_assert!(!staged.is_empty());
+    staged
+}

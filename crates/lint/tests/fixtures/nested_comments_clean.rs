@@ -1,0 +1,11 @@
+//! Fixture: every banned construct lives inside (possibly nested) block
+//! comments — a naive non-nesting scanner would "close" the comment at
+//! the inner `*/` and report the rest as live code. Never compiled.
+
+pub fn hot(input: &[u8]) -> usize {
+    /* outer
+       /* inner: .unwrap() */
+       after the inner close, still commented: panic!("x") and Vec::new()
+    */
+    input.len() /* trailing /* nested */ .expect("quoted") */
+}

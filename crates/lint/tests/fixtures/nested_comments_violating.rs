@@ -1,0 +1,13 @@
+//! Fixture: a nested block comment hides banned text, but a real panic
+//! sits *after* the outer comment closes. Never compiled.
+
+pub fn hot(input: &[u8]) -> u8 {
+    /* outer comment
+       /* inner comment: .unwrap() and vec![0] live here */
+       still inside the outer comment: panic!("not real")
+    */
+    if input.is_empty() {
+        panic!("the one real finding");
+    }
+    input[0]
+}

@@ -1,0 +1,9 @@
+//! Fixture: every banned construct is quoted inside a raw string — the
+//! lexer must see string literals, not calls. Never compiled.
+
+pub fn hot(input: &[u8]) -> usize {
+    let _doc = r#"call .unwrap() and panic!("boom") and vec![1, 2]"#;
+    let _guarded = r##"a raw string with "# inside: Box::new(0).expect("x")"##;
+    let _plain = "Vec::new() and format!(\"{}\", 1) and .collect()";
+    input.len()
+}

@@ -1,0 +1,10 @@
+//! Fixture: raw strings full of banned-looking text must not mask the
+//! one *real* violation after them. Never compiled.
+
+pub fn hot(input: &[u8]) -> usize {
+    let _doc = r#"call .unwrap() and panic!("boom") and vec![1, 2]"#;
+    let _guarded = r##"a raw string with "# inside: Box::new(0).expect("x")"##;
+    // The only genuine finding in this file:
+    input.first().unwrap();
+    input.len()
+}

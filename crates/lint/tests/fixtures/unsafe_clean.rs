@@ -1,0 +1,12 @@
+//! Fixture: both accepted `// SAFETY:` placements — trailing on the
+//! same line, and in the comment block directly above. Never compiled.
+
+pub fn read_first(bytes: &[u8]) -> u8 {
+    unsafe { *bytes.as_ptr() } // SAFETY: caller guarantees non-empty
+}
+
+pub fn read_last(bytes: &[u8]) -> u8 {
+    // SAFETY: the index is len - 1, in bounds for the non-empty slice
+    // the public API contract requires.
+    unsafe { *bytes.as_ptr().add(bytes.len() - 1) }
+}

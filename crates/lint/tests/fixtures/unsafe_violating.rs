@@ -1,0 +1,6 @@
+//! Fixture: an `unsafe` block with no `// SAFETY:` comment anywhere
+//! near it. Never compiled.
+
+pub fn read_first(bytes: &[u8]) -> u8 {
+    unsafe { *bytes.as_ptr() }
+}

@@ -1,0 +1,14 @@
+//! Fixture: a fn-level waiver exempts the whole function body and stops
+//! call-graph traversal through it. Never compiled.
+
+pub fn encode(input: &[u8]) -> Vec<u8> {
+    cold_setup(input)
+}
+
+// slc-lint: allow(hot-path): fixture — cold setup wrapper, runs once per
+// container, not per block
+fn cold_setup(input: &[u8]) -> Vec<u8> {
+    let staged: Vec<u8> = input.iter().copied().collect();
+    staged.first().unwrap();
+    staged
+}

@@ -1,0 +1,10 @@
+//! Fixture: `wire_codec_v1.rs` with one discriminant silently renumbered
+//! (Cpack 2 -> 3) — the drift the lock must catch. Never compiled.
+
+#[repr(u8)]
+pub enum CodecId {
+    Bdi = 0,
+    Fpc = 1,
+    Cpack = 3,
+    Rans = 7,
+}

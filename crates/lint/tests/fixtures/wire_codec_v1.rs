@@ -1,0 +1,10 @@
+//! Fixture: the frozen codec-tag enum as the lock fixture knows it.
+//! Never compiled.
+
+#[repr(u8)]
+pub enum CodecId {
+    Bdi = 0,
+    Fpc = 1,
+    Cpack = 2,
+    Rans = 7,
+}

@@ -1,0 +1,37 @@
+//! Fixture: a miniature container module carrying every wire-surface
+//! shape the extractor knows — geometry consts, the header and
+//! directory-entry layouts, and the `StorageMode` wire mapping.
+//! Never compiled.
+
+pub const MAGIC: [u8; 4] = *b"SLC1";
+pub const VERSION: u16 = 1;
+pub const HEADER_BYTES: usize = 24;
+pub const DIR_ENTRY_BYTES: usize = 13;
+pub const MAX_CHUNK_BYTES: usize = 1 << 24;
+
+pub struct Header {
+    pub codec: CodecId,
+    pub chunk_bytes: u32,
+    pub chunk_count: u32,
+    pub total_len: u64,
+}
+
+pub struct DirEntry {
+    pub offset: u64,
+    pub encoded_bits: u32,
+    pub mode: StorageMode,
+}
+
+pub enum StorageMode {
+    Raw,
+    Coded,
+}
+
+impl StorageMode {
+    pub fn as_u8(self) -> u8 {
+        match self {
+            StorageMode::Raw => 0,
+            StorageMode::Coded => 1,
+        }
+    }
+}

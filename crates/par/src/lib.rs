@@ -19,6 +19,8 @@
 //! assert_eq!(squares, vec![1, 4, 9, 16]);
 //! ```
 
+#![forbid(unsafe_code)]
+
 use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;

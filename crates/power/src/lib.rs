@@ -9,6 +9,8 @@
 //! * [`hw`] — a gate-count model of the TSLC compressor/decompressor
 //!   additions at 32 nm, regenerating Table I.
 
+#![forbid(unsafe_code)]
+
 pub mod energy;
 pub mod hw;
 

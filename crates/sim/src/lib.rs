@@ -23,6 +23,8 @@
 //! [`mc::BurstsSource`] the workload harness derives from the functional
 //! compression pass.
 
+#![forbid(unsafe_code)]
+
 pub mod cache;
 pub mod config;
 pub mod dense;

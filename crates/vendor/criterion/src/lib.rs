@@ -14,6 +14,8 @@
 //! [`Criterion`] value so a custom `main` can export them (the
 //! `codec_throughput` bench writes `BENCH_codec.json` this way).
 
+#![forbid(unsafe_code)]
+
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;

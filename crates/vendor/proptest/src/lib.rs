@@ -14,6 +14,8 @@
 //! case budget, and failures report the failing inputs. Shrinking is not
 //! implemented — failures print the full unshrunk inputs instead.
 
+#![forbid(unsafe_code)]
+
 pub mod strategy {
     use crate::test_runner::TestRng;
 

@@ -8,6 +8,8 @@
 //! deterministic, though its streams intentionally do **not** match the
 //! real `rand` crate's (workload inputs only need to be seed-stable).
 
+#![forbid(unsafe_code)]
+
 /// Low-level entropy source: 64 random bits per call.
 pub trait RngCore {
     /// Returns the next 64 random bits.

@@ -31,6 +31,8 @@
 //! regions ([`slc_sim::fault`]): exact → lossless → lossy → spare-pool
 //! remap → uncorrectable, resolved deterministically per snapshot.
 
+#![forbid(unsafe_code)]
+
 pub mod analysis;
 pub mod benchmarks;
 pub mod engine;

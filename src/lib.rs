@@ -14,6 +14,8 @@
 //! * [`slc_power`] — energy/EDP model and the 32 nm RTL cost model.
 //! * [`slc_exp`] — harness regenerating every table and figure.
 
+#![forbid(unsafe_code)]
+
 pub use slc_compress;
 pub use slc_core;
 pub use slc_engine;
