@@ -282,12 +282,50 @@ fn bench_sim_paths(c: &mut Criterion) {
     g.finish();
 }
 
+/// Guards the lint front end itself: `slc-lint` runs on every CI push,
+/// so a quadratic blowup in the lexer or the shallow scanner would tax
+/// each build. The corpus is synthetic but shaped like the workspace's
+/// own sources — nested blocks, string literals, comments, call
+/// chains — so the scanner's hot paths (lexing, fn extraction, call-site
+/// resolution) all get exercised.
+fn bench_lint_paths(c: &mut Criterion) {
+    let files: Vec<(String, String)> = (0..24)
+        .map(|i| {
+            let path = format!("crates/synth/src/m{i}.rs");
+            let mut src = String::from("//! Synthetic module for the lint scan bench.\n\n");
+            for f in 0..12 {
+                src.push_str(&format!(
+                    "/// Mixes arithmetic, indexing and a call so the scanner\n\
+                     /// sees realistic token variety. Variant {i}.{f}.\n\
+                     pub fn f{f}(x: usize, buf: &[u8]) -> usize {{\n    \
+                         let mut acc = x; // running total: \"{i}.{f}\"\n    \
+                         for i in 0..buf.len() {{\n        \
+                             if buf[i] > 7 {{\n            \
+                                 acc = acc.wrapping_add(usize::from(buf[i]));\n        \
+                             }}\n    \
+                         }}\n    \
+                         helper(acc)\n\
+                     }}\n\n"
+                ));
+            }
+            src.push_str("fn helper(n: usize) -> usize {\n    n.min(4096)\n}\n");
+            (path, src)
+        })
+        .collect();
+    let mounted: Vec<(&str, &str, &str)> =
+        files.iter().map(|(p, s)| (p.as_str(), "synth", s.as_str())).collect();
+    let mut g = c.benchmark_group("lint");
+    g.bench_function("workspace_scan", |b| b.iter(|| slc_lint::Workspace::from_sources(&mounted)));
+    g.finish();
+}
+
 fn main() {
     let mut c = Criterion::default();
     bench_codecs(&mut c);
     bench_slc_paths(&mut c);
     bench_eval_paths(&mut c);
     bench_sim_paths(&mut c);
+    bench_lint_paths(&mut c);
     slc_bench::bench_engine_e2e(&mut c);
     slc_bench::write_baseline(&c, "codec_throughput", "BENCH_CODEC_JSON", "BENCH_codec.json");
 }

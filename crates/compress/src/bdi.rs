@@ -510,15 +510,16 @@ impl BlockCompressor for Bdi {
         encode_into(block, out)
     }
 
-    fn decompress(&self, c: &Compressed) -> Block {
-        if !c.is_compressed() {
-            let mut out = [0u8; BLOCK_BYTES];
-            out.copy_from_slice(&c.payload()[..BLOCK_BYTES]);
-            return out;
+    fn decompress_into(&self, size_bits: u32, compressed: bool, payload: &[u8], out: &mut Block) {
+        if !compressed {
+            out.copy_from_slice(&payload[..BLOCK_BYTES]);
+            return;
         }
-        let mut r = BitReader::new(c.payload(), c.size_bits());
+        let mut r = BitReader::new(payload, size_bits);
         let enc = BdiEncoding::from_tag(r.read(4) as u8);
-        let mut out = [0u8; BLOCK_BYTES];
+        // The caller's buffer may hold stale bytes; the zero-run and
+        // masked-delta arms rely on a zeroed canvas.
+        out.fill(0);
         match enc {
             BdiEncoding::Zeros => {}
             BdiEncoding::Repeat => {
@@ -531,14 +532,13 @@ impl BlockCompressor for Bdi {
                 // slc-lint: allow(hot-path): corrupt-stream guard, contained by the engine's per-chunk catch_unwind
                 unreachable!("verbatim blocks use Compressed::uncompressed")
             }
-            BdiEncoding::B8D1 => decode_base_delta::<8, 1>(&mut r, &mut out),
-            BdiEncoding::B8D2 => decode_base_delta::<8, 2>(&mut r, &mut out),
-            BdiEncoding::B8D4 => decode_base_delta::<8, 4>(&mut r, &mut out),
-            BdiEncoding::B4D1 => decode_base_delta::<4, 1>(&mut r, &mut out),
-            BdiEncoding::B4D2 => decode_base_delta::<4, 2>(&mut r, &mut out),
-            BdiEncoding::B2D1 => decode_base_delta::<2, 1>(&mut r, &mut out),
+            BdiEncoding::B8D1 => decode_base_delta::<8, 1>(&mut r, out),
+            BdiEncoding::B8D2 => decode_base_delta::<8, 2>(&mut r, out),
+            BdiEncoding::B8D4 => decode_base_delta::<8, 4>(&mut r, out),
+            BdiEncoding::B4D1 => decode_base_delta::<4, 1>(&mut r, out),
+            BdiEncoding::B4D2 => decode_base_delta::<4, 2>(&mut r, out),
+            BdiEncoding::B2D1 => decode_base_delta::<2, 1>(&mut r, out),
         }
-        out
     }
 
     fn size_bits(&self, block: &Block) -> u32 {

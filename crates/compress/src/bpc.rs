@@ -189,13 +189,12 @@ impl BlockCompressor for Bpc {
         }
     }
 
-    fn decompress(&self, c: &Compressed) -> Block {
-        if !c.is_compressed() {
-            let mut out = [0u8; BLOCK_BYTES];
-            out.copy_from_slice(&c.payload()[..BLOCK_BYTES]);
-            return out;
+    fn decompress_into(&self, size_bits: u32, compressed: bool, payload: &[u8], out: &mut Block) {
+        if !compressed {
+            out.copy_from_slice(&payload[..BLOCK_BYTES]);
+            return;
         }
-        let mut r = BitReader::new(c.payload(), c.size_bits());
+        let mut r = BitReader::new(payload, size_bits);
         let base = if r.read_bit() {
             r.read(32) as u32
         } else if r.read_bit() {
@@ -241,7 +240,7 @@ impl BlockCompressor for Bpc {
                 panic!("corrupt BPC stream: prefix 000000");
             }
         }
-        words_to_block(&undo_dbx(base, &dbx))
+        *out = words_to_block(&undo_dbx(base, &dbx));
     }
 }
 

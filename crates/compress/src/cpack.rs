@@ -226,13 +226,12 @@ impl BlockCompressor for Cpack {
         }
     }
 
-    fn decompress(&self, c: &Compressed) -> Block {
-        if !c.is_compressed() {
-            let mut out = [0u8; BLOCK_BYTES];
-            out.copy_from_slice(&c.payload()[..BLOCK_BYTES]);
-            return out;
+    fn decompress_into(&self, size_bits: u32, compressed: bool, payload: &[u8], out: &mut Block) {
+        if !compressed {
+            out.copy_from_slice(&payload[..BLOCK_BYTES]);
+            return;
         }
-        let mut r = BitReader::new(c.payload(), c.size_bits());
+        let mut r = BitReader::new(payload, size_bits);
         let mut dict = Dictionary::new();
         let mut words = [0u32; WORDS_PER_BLOCK];
         for slot in words.iter_mut() {
@@ -280,7 +279,7 @@ impl BlockCompressor for Cpack {
             };
             *slot = word;
         }
-        words_to_block(&words)
+        *out = words_to_block(&words);
     }
 }
 

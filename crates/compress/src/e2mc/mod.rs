@@ -453,13 +453,12 @@ impl BlockCompressor for E2mc {
         Compressed::new(bits, payload)
     }
 
-    fn decompress(&self, c: &Compressed) -> Block {
-        if !c.is_compressed() {
-            let mut out = [0u8; BLOCK_BYTES];
-            out.copy_from_slice(&c.payload()[..BLOCK_BYTES]);
-            return out;
+    fn decompress_into(&self, size_bits: u32, compressed: bool, payload: &[u8], out: &mut Block) {
+        if !compressed {
+            out.copy_from_slice(&payload[..BLOCK_BYTES]);
+            return;
         }
-        let mut r = BitReader::new(c.payload(), c.size_bits());
+        let mut r = BitReader::new(payload, size_bits);
         // slc-lint: allow(assert): corrupt-stream guard, contained by the engine's per-chunk catch_unwind
         assert!(r.read_bit(), "corrupt E2MC stream: mode bit clear on compressed block");
         let mut pdps = [0u32; WAYS];
@@ -475,7 +474,7 @@ impl BlockCompressor for E2mc {
             self.table
                 .decode_way_into(&mut r, &mut symbols[way * WAY_SYMBOLS..(way + 1) * WAY_SYMBOLS]);
         }
-        symbols_to_block(&symbols)
+        *out = symbols_to_block(&symbols);
     }
 
     fn size_bits(&self, block: &Block) -> u32 {

@@ -172,13 +172,12 @@ impl BlockCompressor for Fpc {
         }
     }
 
-    fn decompress(&self, c: &Compressed) -> Block {
-        if !c.is_compressed() {
-            let mut out = [0u8; BLOCK_BYTES];
-            out.copy_from_slice(&c.payload()[..BLOCK_BYTES]);
-            return out;
+    fn decompress_into(&self, size_bits: u32, compressed: bool, payload: &[u8], out: &mut Block) {
+        if !compressed {
+            out.copy_from_slice(&payload[..BLOCK_BYTES]);
+            return;
         }
-        let mut r = BitReader::new(c.payload(), c.size_bits());
+        let mut r = BitReader::new(payload, size_bits);
         let mut words = [0u32; WORDS_PER_BLOCK];
         let mut i = 0;
         while i < WORDS_PER_BLOCK {
@@ -231,7 +230,7 @@ impl BlockCompressor for Fpc {
             }
             i += 1;
         }
-        words_to_block(&words)
+        *out = words_to_block(&words);
     }
 }
 

@@ -99,18 +99,17 @@ impl BlockCompressor for FpH {
         Compressed::new(bits, payload)
     }
 
-    fn decompress(&self, c: &Compressed) -> Block {
-        if !c.is_compressed() {
-            let mut out = [0u8; BLOCK_BYTES];
-            out.copy_from_slice(&c.payload()[..BLOCK_BYTES]);
-            return out;
+    fn decompress_into(&self, size_bits: u32, compressed: bool, payload: &[u8], out: &mut Block) {
+        if !compressed {
+            out.copy_from_slice(&payload[..BLOCK_BYTES]);
+            return;
         }
-        let mut r = BitReader::new(c.payload(), c.size_bits());
+        let mut r = BitReader::new(payload, size_bits);
         let mut words = [0u32; WORDS_PER_BLOCK];
         for w in words.iter_mut() {
             *w = self.fields.iter().map(|f| f.decode(&mut r)).fold(0, |a, b| a | b);
         }
-        words_to_block(&words)
+        *out = words_to_block(&words);
     }
 
     fn size_bits(&self, block: &Block) -> u32 {
@@ -212,13 +211,12 @@ impl BlockCompressor for HyComp {
         Compressed::new(bits, payload)
     }
 
-    fn decompress(&self, c: &Compressed) -> Block {
-        if !c.is_compressed() {
-            let mut out = [0u8; BLOCK_BYTES];
-            out.copy_from_slice(&c.payload()[..BLOCK_BYTES]);
-            return out;
+    fn decompress_into(&self, size_bits: u32, compressed: bool, payload: &[u8], out: &mut Block) {
+        if !compressed {
+            out.copy_from_slice(&payload[..BLOCK_BYTES]);
+            return;
         }
-        let mut r = BitReader::new(c.payload(), c.size_bits());
+        let mut r = BitReader::new(payload, size_bits);
         let choice = match r.read(TAG_BITS) {
             0 => HyChoice::FpH,
             1 => HyChoice::Bdi,
@@ -226,8 +224,10 @@ impl BlockCompressor for HyComp {
             // slc-lint: allow(hot-path): corrupt-tag guard, contained by the engine's per-chunk catch_unwind
             t => panic!("corrupt HyComp stream: tag {t}"),
         };
-        // Re-frame the remaining bits for the sub-decoder.
-        let inner_bits = c.size_bits() - TAG_BITS;
+        // Re-frame the remaining bits for the sub-decoder. The realigned
+        // copy allocates, but through BitWriter's buffer, not the
+        // banned-on-hot-paths calls — and only on the rare HyComp leg.
+        let inner_bits = size_bits - TAG_BITS;
         let mut inner_w = BitWriter::new();
         let mut remaining = inner_bits;
         while remaining > 0 {
@@ -236,7 +236,7 @@ impl BlockCompressor for HyComp {
             remaining -= take;
         }
         let (bytes, bits) = inner_w.finish();
-        self.method(choice).decompress(&Compressed::new(bits.max(1), bytes))
+        self.method(choice).decompress_into(bits.max(1), true, &bytes, out);
     }
 
     fn size_bits(&self, block: &Block) -> u32 {

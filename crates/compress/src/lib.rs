@@ -209,13 +209,33 @@ pub trait BlockCompressor {
     /// Compresses one block.
     fn compress(&self, block: &Block) -> Compressed;
 
-    /// Reconstructs the original block.
+    /// Reconstructs the original block into a caller-provided buffer.
+    ///
+    /// The arguments are the deconstructed fields of a [`Compressed`]
+    /// value; taking them apart lets the engine's chunk decoder feed
+    /// wire bytes straight in — no owned `Compressed` (and no payload
+    /// allocation) on the hot decode path. Callers must pass
+    /// `payload.len() >= size_bytes` (the borrowed mirror of
+    /// [`Compressed::new`]'s size contract); `out` is fully overwritten.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if the payload was not produced by the
+    /// same compressor (corrupt stream).
+    fn decompress_into(&self, size_bits: u32, compressed: bool, payload: &[u8], out: &mut Block);
+
+    /// Reconstructs the original block (owned convenience wrapper over
+    /// [`decompress_into`](Self::decompress_into); cold paths and tests).
     ///
     /// # Panics
     ///
     /// Implementations may panic if `c` was not produced by the same
     /// compressor (corrupt stream).
-    fn decompress(&self, c: &Compressed) -> Block;
+    fn decompress(&self, c: &Compressed) -> Block {
+        let mut out = [0u8; BLOCK_BYTES];
+        self.decompress_into(c.size_bits(), c.is_compressed(), c.payload(), &mut out);
+        out
+    }
 
     /// Compressed size in bits without materialising the payload.
     ///

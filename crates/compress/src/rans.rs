@@ -216,18 +216,38 @@ fn write_table(freq: &[u16; 256], out: &mut Vec<u8>) {
     out.extend_from_slice(&bytes);
 }
 
-/// Parses and validates a serialised table; returns the frequencies and
-/// the number of bytes consumed.
-fn parse_table(src: &[u8]) -> Result<([u16; 256], usize), &'static str> {
+/// Reads the symbol-count byte of a serialised table. The wire encodes
+/// `n - 1` in one byte, so the returned count is always in `1..=256` —
+/// but the *byte* is attacker-controlled, so this is a registered taint
+/// source (`tools/lint/untrusted.txt`) and downstream layout arithmetic
+/// must be guarded or carry a reviewed waiver.
+fn table_count(src: &[u8]) -> Result<usize, &'static str> {
     let &n_minus_1 = src.first().ok_or("rans table truncated")?;
-    let n = n_minus_1 as usize + 1;
-    let freq_bytes = (n * RANS_SCALE_BITS as usize).div_ceil(8);
-    let used = 1 + n + freq_bytes;
+    Ok(n_minus_1 as usize + 1)
+}
+
+/// Reads one `RANS_SCALE_BITS`-wide frequency field. The wire encodes
+/// `f - 1`, so the result is in `1..=RANS_SCALE` — a registered taint
+/// source like [`table_count`].
+fn table_freq(r: &mut BitReader) -> u32 {
+    r.read(RANS_SCALE_BITS) as u32 + 1
+}
+
+/// Parses and validates a serialised table; returns the frequencies and
+/// the number of bytes consumed. Registered as a taint *sanitizer*: a
+/// table that survives the length, ascending-symbol, and frequency-sum
+/// checks below is safe to decode against.
+fn parse_table(src: &[u8]) -> Result<([u16; 256], usize), &'static str> {
+    let n = table_count(src)?;
+    // slc-lint: trusted(n is 1..=256 by u8 + 1 construction, so the layout arithmetic cannot overflow)
+    let used = 1 + n + (n * RANS_SCALE_BITS as usize).div_ceil(8);
     if src.len() < used {
         return Err("rans table truncated");
     }
+    // slc-lint: trusted(1 + n <= used <= src.len() was checked just above, so the symbol slice is in bounds)
     let syms = &src[1..1 + n];
     let mut freq = [0u16; 256];
+    // slc-lint: trusted(slice lies inside the length-checked used prefix; n <= 256 keeps the bit count far below u32::MAX)
     let mut r = BitReader::new(&src[1 + n..used], (n as u32) * RANS_SCALE_BITS);
     let mut sum = 0u32;
     let mut prev: i32 = -1;
@@ -236,8 +256,9 @@ fn parse_table(src: &[u8]) -> Result<([u16; 256], usize), &'static str> {
             return Err("rans table symbols not ascending");
         }
         prev = i32::from(s);
-        let f = r.read(RANS_SCALE_BITS) as u32 + 1;
+        let f = table_freq(&mut r);
         freq[s as usize] = f as u16;
+        // slc-lint: trusted(at most 256 addends of at most RANS_SCALE each — the sum stays far below u32::MAX)
         sum += f;
     }
     if sum != RANS_SCALE {
@@ -470,18 +491,16 @@ impl BlockCompressor for Rans {
         Compressed::new(bits, stream)
     }
 
-    fn decompress(&self, c: &Compressed) -> Block {
-        let mut out = [0u8; crate::BLOCK_BYTES];
-        if !c.is_compressed() {
-            out.copy_from_slice(&c.payload()[..crate::BLOCK_BYTES]);
-            return out;
+    fn decompress_into(&self, size_bits: u32, compressed: bool, payload: &[u8], out: &mut Block) {
+        if !compressed {
+            out.copy_from_slice(&payload[..crate::BLOCK_BYTES]);
+            return;
         }
-        let src = &c.payload()[..(c.size_bits() as usize).div_ceil(8)];
-        if let Err(reason) = decode_stream(src, &mut out) {
+        let src = &payload[..(size_bits as usize).div_ceil(8)];
+        if let Err(reason) = decode_stream(src, out) {
             // slc-lint: allow(hot-path): maps the stream decoder's Err to the block API's documented guard panic, contained by the engine's per-chunk catch_unwind
             panic!("corrupt rANS stream: {reason}");
         }
-        out
     }
 
     fn chunk_coder(&self) -> Option<&dyn ChunkCoder> {

@@ -84,13 +84,12 @@ impl BlockCompressor for Sc2 {
         Compressed::new(bits, payload)
     }
 
-    fn decompress(&self, c: &Compressed) -> Block {
-        if !c.is_compressed() {
-            let mut out = [0u8; BLOCK_BYTES];
-            out.copy_from_slice(&c.payload()[..BLOCK_BYTES]);
-            return out;
+    fn decompress_into(&self, size_bits: u32, compressed: bool, payload: &[u8], out: &mut Block) {
+        if !compressed {
+            out.copy_from_slice(&payload[..BLOCK_BYTES]);
+            return;
         }
-        let mut r = BitReader::new(c.payload(), c.size_bits());
+        let mut r = BitReader::new(payload, size_bits);
         let mut words = [0u32; WORDS_PER_BLOCK];
         for w in words.iter_mut() {
             let window = r.peek_padded(MAX_CODE_LEN) as u32;
@@ -102,7 +101,7 @@ impl BlockCompressor for Sc2 {
                 self.words[entry as usize]
             };
         }
-        words_to_block(&words)
+        *out = words_to_block(&words);
     }
 
     fn size_bits(&self, block: &Block) -> u32 {

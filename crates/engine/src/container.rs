@@ -320,6 +320,15 @@ pub enum ContainerError {
         /// What was wrong with it.
         reason: &'static str,
     },
+    /// The caller-provided output buffer of
+    /// [`decompress_into`](crate::Engine::decompress_into) does not
+    /// match the container's decoded length.
+    OutputLenMismatch {
+        /// Decoded byte length from the header.
+        total_len: u64,
+        /// Length of the buffer the caller supplied.
+        out_len: usize,
+    },
     /// The decoded length is not a multiple of the element size
     /// (the typed [`decompress_f32`](crate::Engine::decompress_f32) path).
     ElementMisaligned {
@@ -358,6 +367,9 @@ impl fmt::Display for ContainerError {
             }
             ContainerError::ChunkCorrupt { chunk, reason } => {
                 write!(f, "chunk {chunk} corrupt: {reason}")
+            }
+            ContainerError::OutputLenMismatch { total_len, out_len } => {
+                write!(f, "output buffer holds {out_len} bytes, container decodes to {total_len}")
             }
             ContainerError::ElementMisaligned { total_len, element_bytes } => {
                 write!(f, "decoded length {total_len} is not a multiple of {element_bytes}")
@@ -482,6 +494,7 @@ mod tests {
             ContainerError::DirectoryTruncated { need: 50, have: 30 },
             ContainerError::InvalidEntry { chunk: 1, reason: "test" },
             ContainerError::ChunkCorrupt { chunk: 0, reason: "test" },
+            ContainerError::OutputLenMismatch { total_len: 9, out_len: 4 },
             ContainerError::ElementMisaligned { total_len: 7, element_bytes: 4 },
         ];
         for e in errors {

@@ -66,7 +66,7 @@ pub mod container;
 pub use container::{ContainerError, DirEntry, Frame, Header, StorageMode};
 pub use container::{DIR_ENTRY_BYTES, HEADER_BYTES, MAGIC, MAX_CHUNK_BYTES, VERSION};
 
-use slc_compress::{Block, BlockCodec, CodecId, Compressed, BLOCK_BITS, BLOCK_BYTES};
+use slc_compress::{Block, BlockCodec, CodecId, BLOCK_BITS, BLOCK_BYTES};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
@@ -215,14 +215,17 @@ impl Engine {
         let mut dir_bytes = Vec::with_capacity(encoded.len() * DIR_ENTRY_BYTES);
         let mut payload_len = 0u64;
         let mut header = Vec::with_capacity(HEADER_BYTES);
-        for (data, mode) in &encoded {
+        // A raw chunk's buffer comes back empty (see `encode_chunk`): its
+        // stored bytes are the chunk's own slice of the input.
+        for ((data, mode), chunk) in encoded.iter().zip(bytes.chunks(self.chunk_bytes)) {
+            let stored: &[u8] = if *mode == StorageMode::Raw { chunk } else { data };
             let entry = DirEntry {
                 offset: payload_len,
-                encoded_bits: (data.len() * 8) as u32,
+                encoded_bits: (stored.len() * 8) as u32,
                 mode: *mode,
             };
             entry.write_to(&mut dir_bytes);
-            payload_len += data.len() as u64;
+            payload_len += stored.len() as u64;
         }
         Header {
             codec: self.id,
@@ -234,8 +237,8 @@ impl Engine {
         let mut out = Vec::with_capacity(HEADER_BYTES + dir_bytes.len() + payload_len as usize);
         out.extend_from_slice(&header);
         out.extend_from_slice(&dir_bytes);
-        for (data, _) in &encoded {
-            out.extend_from_slice(data);
+        for ((data, mode), chunk) in encoded.iter().zip(bytes.chunks(self.chunk_bytes)) {
+            out.extend_from_slice(if *mode == StorageMode::Raw { chunk } else { data });
         }
         out
     }
@@ -255,6 +258,54 @@ impl Engine {
         container: &[u8],
         threads: Threads,
     ) -> Result<Vec<u8>, ContainerError> {
+        let frame = self.parse_own(container)?;
+        let mut out = vec![0u8; frame.header.total_len as usize];
+        self.decode_frame(&frame, &mut out, threads)?;
+        Ok(out)
+    }
+
+    /// Decompresses a framed container into a caller-provided buffer —
+    /// the borrowed mirror of [`decompress`](Self::decompress) for
+    /// callers that reuse output storage across calls (buffer pools,
+    /// arenas, pinned staging memory). Nothing allocates per block:
+    /// every chunk decodes straight into its span of `out` through
+    /// [`decompress_into`](slc_compress::BlockCompressor::decompress_into).
+    ///
+    /// `out.len()` must equal the container's decoded length (the
+    /// header's `total_len`, also [`FrameInfo::total_len`]); any other
+    /// length is [`ContainerError::OutputLenMismatch`]. On success the
+    /// buffer is fully overwritten; after an error its contents are
+    /// unspecified (chunks decoded before the failure remain).
+    ///
+    /// Byte-identity with the owned path is pinned by property tests:
+    /// `decompress_into` fills `out` with exactly the bytes
+    /// [`decompress`](Self::decompress) would return.
+    // slc-lint: allow(hot-path): cold per-container orchestrator (worker scaffolding allocates once per call, not per block); shares its name with the per-block BlockCompressor::decompress_into the call graph fans out to
+    pub fn decompress_into(&self, container: &[u8], out: &mut [u8]) -> Result<(), ContainerError> {
+        self.decompress_into_threads(container, out, Threads::Auto)
+    }
+
+    /// [`decompress_into`](Self::decompress_into) with an explicit
+    /// thread policy. Output bytes are identical whatever the policy.
+    pub fn decompress_into_threads(
+        &self,
+        container: &[u8],
+        out: &mut [u8],
+        threads: Threads,
+    ) -> Result<(), ContainerError> {
+        let frame = self.parse_own(container)?;
+        if out.len() as u64 != frame.header.total_len {
+            return Err(ContainerError::OutputLenMismatch {
+                total_len: frame.header.total_len,
+                out_len: out.len(),
+            });
+        }
+        self.decode_frame(&frame, out, threads)
+    }
+
+    /// Parses `container` and checks its header names this engine's
+    /// codec.
+    fn parse_own<'a>(&self, container: &'a [u8]) -> Result<Frame<'a>, ContainerError> {
         let frame = Frame::parse(container)?;
         if frame.header.codec != self.id {
             return Err(ContainerError::CodecMismatch {
@@ -262,7 +313,17 @@ impl Engine {
                 engine: self.id,
             });
         }
-        let mut out = vec![0u8; frame.header.total_len as usize];
+        Ok(frame)
+    }
+
+    /// Decodes a validated frame's chunks into `out`, whose length both
+    /// callers have already pinned to the header's `total_len`.
+    fn decode_frame(
+        &self,
+        frame: &Frame<'_>,
+        out: &mut [u8],
+        threads: Threads,
+    ) -> Result<(), ContainerError> {
         let chunk_bytes = frame.header.chunk_bytes as usize;
         let payload = frame.payload;
         let codec = &*self.codec;
@@ -280,7 +341,7 @@ impl Engine {
         for r in results {
             r?;
         }
-        Ok(out)
+        Ok(())
     }
 
     /// Starts a streaming encode: feed bytes in arbitrary-sized pieces
@@ -404,12 +465,15 @@ impl StreamEncoder {
 
     fn encode_one(&mut self, chunk: &[u8]) {
         let (data, mode) = encode_chunk(&*self.engine.codec, chunk, None);
+        // A raw chunk's buffer comes back empty (see `encode_chunk`): its
+        // stored bytes are the caller's chunk itself.
+        let stored: &[u8] = if mode == StorageMode::Raw { chunk } else { &data };
         self.dir.push(DirEntry {
             offset: self.payload.len() as u64,
-            encoded_bits: (data.len() * 8) as u32,
+            encoded_bits: (stored.len() * 8) as u32,
             mode,
         });
-        self.payload.extend_from_slice(&data);
+        self.payload.extend_from_slice(stored);
     }
 }
 
@@ -476,6 +540,11 @@ fn map_threads<T: Send, U: Send>(
 /// Encodes one chunk, with a raw fallback when the coded stream does not
 /// beat the chunk's verbatim bytes.
 ///
+/// A raw decision returns an **empty** buffer: the chunk's verbatim
+/// bytes already live in the caller's input, so the assembly stage
+/// ([`Engine::compress_impl`], [`StreamEncoder::encode_one`]) copies
+/// them from there instead of through a second per-chunk allocation.
+///
 /// Codecs with a whole-chunk mode ([`ChunkCoder`]) encode the chunk as
 /// one stream (size hints do not apply — the stream is not block-framed);
 /// everything else goes through the per-block tag + body framing, encoded
@@ -488,10 +557,10 @@ fn encode_chunk(
     hints: Option<&[u32]>,
 ) -> (Vec<u8>, StorageMode) {
     if let Some(cc) = codec.chunk_coder() {
-        let coded = cc.encode_chunk(chunk);
+        let mut coded = cc.encode_chunk(chunk);
         return if coded.len() >= chunk.len() {
-            // slc-lint: allow(hot-path): raw-fallback output payload, one allocation per chunk
-            (chunk.to_vec(), StorageMode::Raw)
+            coded.clear();
+            (coded, StorageMode::Raw)
         } else {
             (coded, StorageMode::Coded)
         };
@@ -531,11 +600,21 @@ fn encode_chunk(
         coded[tag_at..tag_at + 2].copy_from_slice(&tag.to_le_bytes());
     }
     if coded.len() >= chunk.len() {
-        // slc-lint: allow(hot-path): raw-fallback output payload, one allocation per chunk
-        (chunk.to_vec(), StorageMode::Raw)
+        coded.clear();
+        (coded, StorageMode::Raw)
     } else {
         (coded, StorageMode::Coded)
     }
+}
+
+/// Reads the little-endian `u16` block tag at `pos` of a coded chunk.
+///
+/// The tag is attacker-controlled wire data — a registered taint source
+/// (`tools/lint/untrusted.txt`): the size bits it carries must be
+/// range-validated before they bound any slice or loop, which is
+/// exactly what [`decode_chunk`] does right after reading it.
+fn block_tag(src: &[u8], pos: usize) -> u16 {
+    u16::from_le_bytes([src[pos], src[pos + 1]])
 }
 
 /// Decodes one chunk into its output slice.
@@ -545,6 +624,13 @@ fn encode_chunk(
 /// nothing about its contents), and codec guard-panics on corrupt block
 /// streams are caught and mapped to [`ContainerError::ChunkCorrupt`] so
 /// the engine's decode path never unwinds out of a worker.
+///
+/// Coded blocks decode **in place**: each full block's span of `dst`
+/// is handed to the codec as the output buffer
+/// ([`decompress_into`](slc_compress::BlockCompressor::decompress_into)),
+/// so the per-block body copy the old owned API forced is gone. Only a
+/// ragged tail block (stream length not a block multiple) bounces
+/// through a stack block before its prefix is copied out.
 fn decode_chunk(
     codec: &dyn BlockCodec,
     payload: &[u8],
@@ -580,7 +666,7 @@ fn decode_chunk(
                     if pos + 2 > src.len() {
                         return Err("block tag past end of chunk");
                     }
-                    let tag = u16::from_le_bytes([src[pos], src[pos + 1]]);
+                    let tag = block_tag(src, pos);
                     pos += 2;
                     let bits = u32::from(tag & !TAG_CODED);
                     let is_coded = tag & TAG_CODED != 0;
@@ -593,20 +679,25 @@ fn decode_chunk(
                     }
                     let body = &src[pos..pos + body_len];
                     pos += body_len;
-                    let block: Block = if is_coded {
-                        // Per-block body copy into Compressed; a borrowed
-                        // decode API is an open roadmap item.
-                        // slc-lint: allow(hot-path): Compressed owns its payload; one body copy per coded block until a borrowed decode API lands
-                        codec.decompress(&Compressed::new(bits, body.to_vec()))
-                    } else {
-                        match Block::try_from(body) {
-                            Ok(b) => b,
-                            Err(_) => return Err("verbatim body is not exactly one block"),
-                        }
-                    };
                     let lo = b * BLOCK_BYTES;
-                    let n = (dst.len() - lo).min(BLOCK_BYTES);
-                    dst[lo..lo + n].copy_from_slice(&block[..n]);
+                    // Full blocks decode straight into dst; only a ragged
+                    // tail takes the stack bounce.
+                    let mut tail = [0u8; BLOCK_BYTES];
+                    let out: &mut Block = match dst[lo..].first_chunk_mut::<BLOCK_BYTES>() {
+                        Some(full) => full,
+                        None => &mut tail,
+                    };
+                    if is_coded {
+                        codec.decompress_into(bits, true, body, out);
+                    } else if body.len() == BLOCK_BYTES {
+                        out.copy_from_slice(body);
+                    } else {
+                        return Err("verbatim body is not exactly one block");
+                    }
+                    let n = dst.len() - lo;
+                    if n < BLOCK_BYTES {
+                        dst[lo..].copy_from_slice(&tail[..n]);
+                    }
                 }
                 if pos != src.len() {
                     return Err("trailing bytes after last block");
@@ -728,6 +819,33 @@ mod tests {
         let sized = engine.compress_with_sizes(&data, &sizes, Threads::Serial);
         assert_eq!(plain, sized, "truthful sizes must not change a single byte");
         assert_eq!(engine.decompress(&sized).unwrap(), data);
+    }
+
+    #[test]
+    fn decompress_into_matches_owned_path() {
+        let e = bdi_engine(256);
+        for len in [0usize, 1, 127, 128, 255, 256, 1000, 4096] {
+            let data = sample_bytes(len);
+            let c = e.compress(&data);
+            let owned = e.decompress(&c).unwrap();
+            let mut borrowed = vec![0xa5u8; len];
+            e.decompress_into(&c, &mut borrowed).unwrap();
+            assert_eq!(borrowed, owned, "len {len}");
+        }
+    }
+
+    #[test]
+    fn decompress_into_rejects_wrong_buffer_length() {
+        let e = bdi_engine(256);
+        let c = e.compress(&sample_bytes(300));
+        for bad in [0usize, 299, 301] {
+            let mut out = vec![0u8; bad];
+            assert_eq!(
+                e.decompress_into(&c, &mut out),
+                Err(ContainerError::OutputLenMismatch { total_len: 300, out_len: bad }),
+                "buffer of {bad} bytes must be rejected"
+            );
+        }
     }
 
     #[test]

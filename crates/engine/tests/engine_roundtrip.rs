@@ -122,6 +122,11 @@ fn check_roundtrip(bytes: &[u8], chunk_blocks: usize) {
         let d_parallel = engine.decompress_threads(&serial, Threads::Exact(3)).unwrap();
         assert_eq!(d_serial, d_parallel, "{name}: parallel decode must equal serial");
         assert_eq!(d_serial, bytes, "{name}: roundtrip must reproduce the stream");
+        // Borrowed decode into a deliberately dirty buffer must overwrite
+        // every byte with exactly what the owned path returned.
+        let mut borrowed = vec![0xa5u8; bytes.len()];
+        engine.decompress_into(&serial, &mut borrowed).unwrap();
+        assert_eq!(borrowed, d_serial, "{name}: decompress_into must equal decompress");
     }
 }
 
@@ -254,6 +259,9 @@ fn rans_engine_equals_chunk_level_reference() {
              (len {len}, chunk_blocks {chunk_blocks})"
         );
         assert_eq!(engine.decompress(&serial).unwrap(), data, "rans: roundtrip");
+        let mut borrowed = vec![0xa5u8; data.len()];
+        engine.decompress_into(&serial, &mut borrowed).unwrap();
+        assert_eq!(borrowed, data, "rans: decompress_into must equal decompress");
     }
 }
 

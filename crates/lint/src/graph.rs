@@ -21,7 +21,7 @@
 //! cannot name it. Test code (`#[cfg(test)]` modules, `tests/`,
 //! `benches/`, `examples/`) is excluded from the def index entirely.
 
-use crate::scan::{CallKind, FnDef};
+use crate::scan::{CallKind, CallSite, FnDef};
 use crate::{waivers, Finding, Workspace};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
@@ -60,8 +60,9 @@ pub fn parse_manifest(text: &str) -> Vec<Root> {
         .collect()
 }
 
-/// A function node in the graph: `(file index, fn index)`.
-type NodeId = (usize, usize);
+/// A function node in the graph: `(file index, fn index)` into
+/// [`Workspace::files`] / [`crate::scan::FileIndex::fns`].
+pub type NodeId = (usize, usize);
 
 /// The resolved workspace call graph.
 pub struct CallGraph<'a> {
@@ -107,36 +108,58 @@ impl<'a> CallGraph<'a> {
         g
     }
 
-    fn def(&self, id: NodeId) -> &'a FnDef {
+    /// The function definition behind a node id.
+    pub fn def(&self, id: NodeId) -> &'a FnDef {
         &self.ws.files[id.0].fns[id.1]
+    }
+
+    /// Resolves one call site made from crate `from` to its candidate
+    /// workspace definitions, dependency-filtered (see module docs for
+    /// the resolution shape).
+    pub fn resolve(&self, from: &str, call: &CallSite) -> Vec<NodeId> {
+        let name = call.name();
+        let candidates: Option<&Vec<NodeId>> = match call.kind {
+            CallKind::Macro => None,
+            CallKind::Path => {
+                let q = call.qualifier().unwrap_or("");
+                match self.qualified.get(&(q, name)) {
+                    Some(v) => Some(v),
+                    // Unknown qualifier: a module path (`rans::encode`)
+                    // or a std type. Free functions only.
+                    None => self.free_fns.get(name),
+                }
+            }
+            CallKind::Method => self.methods.get(name),
+            CallKind::Bare => self.free_fns.get(name),
+        };
+        let mut out = Vec::new();
+        if let Some(candidates) = candidates {
+            for &id in candidates {
+                if self.ws.can_reach(from, &self.ws.files[id.0].crate_name) {
+                    out.push(id);
+                }
+            }
+        }
+        out
+    }
+
+    /// All nodes of the graph, in deterministic (file, fn) order.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.ws.files.iter().enumerate().flat_map(|(fi, file)| {
+            let external = file.is_external_test;
+            file.fns
+                .iter()
+                .enumerate()
+                .filter(move |(_, d)| !external && !d.is_test)
+                .map(move |(di, _)| (fi, di))
+        })
     }
 
     /// Call targets of `def` (in crate `from`), dependency-filtered.
     fn targets(&self, from: &str, def: &'a FnDef) -> Vec<NodeId> {
         let mut out = Vec::new();
         for call in &def.calls {
-            let name = call.name();
-            let candidates: Option<&Vec<NodeId>> = match call.kind {
-                CallKind::Macro => None,
-                CallKind::Path => {
-                    let q = call.qualifier().unwrap_or("");
-                    match self.qualified.get(&(q, name)) {
-                        Some(v) => Some(v),
-                        // Unknown qualifier: a module path (`rans::encode`)
-                        // or a std type. Free functions only.
-                        None => self.free_fns.get(name),
-                    }
-                }
-                CallKind::Method => self.methods.get(name),
-                CallKind::Bare => self.free_fns.get(name),
-            };
-            if let Some(candidates) = candidates {
-                for &id in candidates {
-                    if self.ws.can_reach(from, &self.ws.files[id.0].crate_name) {
-                        out.push(id);
-                    }
-                }
-            }
+            out.extend(self.resolve(from, call));
         }
         out
     }

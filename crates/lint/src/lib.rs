@@ -2,10 +2,11 @@
 //!
 //! The repo's load-bearing invariants are enforced *dynamically* by
 //! corruption barrages and bench gates; this crate turns them into
-//! CI-time compile gates. It is dependency-free (the build container is
-//! offline), shipping its own hand-rolled Rust [`lexer`], a shallow item
-//! [`scan`]ner, and a best-effort intra-workspace call graph. Five
-//! checks run over the whole workspace:
+//! CI-time compile gates. It has no external dependencies (the build
+//! container is offline), shipping its own hand-rolled Rust [`lexer`], a
+//! shallow item [`scan`]ner, and a best-effort intra-workspace call
+//! graph; the per-file scan fans out through the workspace's `slc-par`.
+//! Seven checks run over the whole workspace:
 //!
 //! 1. **`hot-path`** — functions rooted at the committed manifest
 //!    `tools/lint/hot_paths.txt` must not transitively reach `panic!`,
@@ -25,6 +26,17 @@
 //! 5. **`bench-rows`** — bench ids registered in `crates/bench` sources
 //!    must match `tools/bench_rows.txt` / `tools/eval_rows.txt` in both
 //!    directions, catching dropped rows at lint time.
+//! 6. **`wire-taint`** — dataflow: a value returned by a taint *source*
+//!    (the wire-read helpers registered in `tools/lint/untrusted.txt`)
+//!    must not reach a dangerous sink — slice indexing, allocation
+//!    sizes (`with_capacity`/`resize`/`reserve`), `copy_from_slice`/
+//!    `get_unchecked` arguments, `for`-loop range bounds, or shift
+//!    amounts — without first passing a registered *sanitizer* or a
+//!    visible range comparison. See [`taint`].
+//! 7. **`taint-arith`** — bare `+`/`-`/`*` (and their compound-assign
+//!    forms) on a still-unguarded tainted integer flags: arithmetic on
+//!    untrusted lengths must be `checked_*`/`saturating_*` or follow a
+//!    range guard, so silent wraparound cannot size a later access.
 //!
 //! # Waiver syntax
 //!
@@ -44,6 +56,23 @@
 //! the escape hatch for cold entry wrappers that share a name with hot
 //! code.
 //!
+//! The taint checks use a dedicated marker with the same placement
+//! rules (trailing or standalone-above; on an `fn` line it exempts the
+//! whole function from taint analysis):
+//!
+//! ```text
+//! // slc-lint: trusted(count is a u8 wire field, the sum cannot wrap)
+//! ```
+//!
+//! `trusted(…)` covers **both** `wire-taint` and `taint-arith` at its
+//! target line — a reviewed site is trusted as a whole, not per check —
+//! and the reason must be non-empty.
+//!
+//! Every `allow(…)`/`trusted(…)` waiver in the workspace is additionally
+//! pinned by `tools/lint/waivers.lock` (check **`waiver-debt`**, see
+//! [`debt`]): a new waiver fails CI until the lock is regenerated with
+//! `--update-waiver-lock`, so waiver debt cannot grow silently.
+//!
 //! # Hot-path manifest format (`tools/lint/hot_paths.txt`)
 //!
 //! One root per line, `#` comments allowed:
@@ -58,21 +87,58 @@
 //! audited). A root that no longer resolves is itself a finding — the
 //! manifest cannot silently rot.
 //!
-//! # Regenerating the wire-format lock
+//! # Taint manifest format (`tools/lint/untrusted.txt`)
+//!
+//! One entry per line, `#` comments allowed:
+//!
+//! ```text
+//! source    crates/engine/src/container.rs::le_u32
+//! sanitizer crates/engine/src/container.rs::parse
+//! ```
+//!
+//! A `source` is a function whose return value is wire-controlled; a
+//! `sanitizer` is a validation gate whose return value is clean no
+//! matter what went in. Entries resolve through the call graph (path
+//! and file must both match), and an entry that no longer resolves is
+//! itself a finding — the manifest cannot silently rot.
+//!
+//! # Regenerating the locks
 //!
 //! `cargo run --release -p slc-lint -- --update-wire-lock` re-extracts
 //! the wire constants from source and rewrites
 //! `tools/lint/wire_format.lock`. Do this **only** when a wire-format
-//! change is intentional, in the same commit that documents it; CI runs
-//! the lint read-only, so unreviewed drift fails the build.
+//! change is intentional, in the same commit that documents it;
+//! `-- --update-waiver-lock` does the same for `tools/lint/waivers.lock`
+//! when a new waiver has been reviewed. CI runs the lint read-only, so
+//! unreviewed drift fails the build.
+//!
+//! # CLI output and exit codes
+//!
+//! `cargo run --release -p slc-lint [-- --format json]` — the default
+//! output is human-readable findings plus the unsafe inventory; with
+//! `--format json` a single machine-readable object (findings, unsafe
+//! inventory, waiver inventory, scan stats) is printed to stdout — CI
+//! uploads it as an artifact. The exit-code taxonomy:
+//!
+//! * **0** — every check ran and produced no findings (or a
+//!   `--update-*-lock` rewrite succeeded).
+//! * **1** — at least one finding, **or** the tool could not do its job
+//!   (workspace root not found, unreadable source tree, missing or
+//!   unreadable manifest/lock files — each of which is also reported as
+//!   a finding so it shows up in the JSON artifact).
+//!
+//! There are deliberately no other codes: CI treats the gate as binary,
+//! and partial-failure taxonomies rot.
 
 #![forbid(unsafe_code)]
 
+pub mod debt;
 pub mod graph;
 pub mod hygiene;
 pub mod lexer;
 pub mod rows;
 pub mod scan;
+pub mod taint;
 pub mod wire;
 
 use scan::FileIndex;
@@ -110,7 +176,7 @@ impl Workspace {
     /// is neutralised by the dependency filter (they are dev-deps), and
     /// `crates/lint/tests/fixtures/` is data, not code.
     pub fn load(root: &Path) -> std::io::Result<Self> {
-        let mut files = Vec::new();
+        let mut sources = Vec::new();
         let crate_dirs = list_crate_dirs(root)?;
         let mut deps: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
         let mut names = Vec::new();
@@ -122,16 +188,22 @@ impl Workspace {
         transitive_close(&mut deps);
         for (dir, name) in &crate_dirs {
             for sub in ["src", "tests", "benches", "examples"] {
-                collect_rs(&root.join(dir).join(sub), root, name, &mut files)?;
+                collect_rs(&root.join(dir).join(sub), root, name, &mut sources)?;
             }
         }
         // The umbrella crate at the workspace root.
         for sub in ["src", "tests", "examples"] {
-            collect_rs(&root.join(sub), root, "slc", &mut files)?;
+            collect_rs(&root.join(sub), root, "slc", &mut sources)?;
         }
         let mut umbrella: BTreeSet<String> = names.iter().cloned().collect();
         umbrella.insert("slc".to_string());
         deps.insert("slc".to_string(), umbrella);
+        // IO above is serial; the lex + scan of independent files fans
+        // out (order-preserving, so the sort below is deterministic
+        // regardless of thread count).
+        let mut files = slc_par::par_map(sources, |(path, crate_name, src)| {
+            FileIndex::build(&path, &crate_name, &src)
+        });
         files.sort_by(|a, b| a.path.cmp(&b.path));
         Ok(Workspace { root: root.to_path_buf(), files, deps })
     }
@@ -139,7 +211,7 @@ impl Workspace {
     /// Builds a workspace directly from `(path, crate, source)` triples —
     /// how the fixture tests drive the checks without touching disk.
     pub fn from_sources(sources: &[(&str, &str, &str)]) -> Self {
-        let files = sources.iter().map(|(p, c, s)| FileIndex::build(p, c, s)).collect::<Vec<_>>();
+        let files = slc_par::par_map(sources.to_vec(), |(p, c, s)| FileIndex::build(p, c, s));
         let mut deps: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
         for f in &files {
             deps.entry(f.crate_name.clone()).or_default();
@@ -165,7 +237,13 @@ impl Workspace {
     }
 }
 
-/// A parsed waiver: `// slc-lint: allow(<check>): <reason>`.
+/// The pseudo-check name under which `trusted(…)` waivers are recorded:
+/// one `trusted` marker covers both taint checks at its target line.
+pub const TRUSTED: &str = "trusted";
+
+/// A parsed waiver: `// slc-lint: allow(<check>): <reason>`, or the
+/// taint form `// slc-lint: trusted(<reason>)` (recorded with `check ==`
+/// [`TRUSTED`]).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Waiver {
     pub check: String,
@@ -176,9 +254,19 @@ pub struct Waiver {
 }
 
 /// Extracts every waiver in `file`, resolving which line each applies to.
+///
+/// Only plain `//` / `/* … */` comments carry waivers. Doc comments
+/// (`///`, `//!`, `/** … */`, `/*! … */`) are prose: a waiver-grammar
+/// example in rustdoc must neither mint debt in the waiver lock nor —
+/// worse — silently exempt the item it documents.
 pub fn waivers(file: &FileIndex) -> Vec<Waiver> {
     let mut out = Vec::new();
     for c in &file.lexed.comments {
+        // The lexed text keeps everything past the `//` / `/*` opener,
+        // so a doc comment starts with a third `/`, a `!` or a `*`.
+        if matches!(c.text.as_bytes().first(), Some(b'/' | b'!' | b'*')) {
+            continue;
+        }
         let Some((check, reason)) = parse_waiver_text(&c.text) else {
             continue;
         };
@@ -201,16 +289,27 @@ pub fn waivers(file: &FileIndex) -> Vec<Waiver> {
 
 /// Parses the waiver marker out of one comment's text.
 fn parse_waiver_text(text: &str) -> Option<(String, String)> {
-    let at = text.find("slc-lint: allow(")?;
-    let rest = &text[at + "slc-lint: allow(".len()..];
-    let close = rest.find(')')?;
-    let check = rest[..close].trim().to_string();
-    let after = rest[close + 1..].trim_start();
-    let reason = after.strip_prefix(':')?.trim().to_string();
-    if check.is_empty() || reason.is_empty() {
+    if let Some(at) = text.find("slc-lint: allow(") {
+        let rest = &text[at + "slc-lint: allow(".len()..];
+        let close = rest.find(')')?;
+        let check = rest[..close].trim().to_string();
+        let after = rest[close + 1..].trim_start();
+        let reason = after.strip_prefix(':')?.trim().to_string();
+        if check.is_empty() || reason.is_empty() {
+            return None;
+        }
+        return Some((check, reason));
+    }
+    // Taint form: the reason lives inside the parens (and may itself
+    // contain parens, so match the *last* close on the comment line).
+    let at = text.find("slc-lint: trusted(")?;
+    let rest = &text[at + "slc-lint: trusted(".len()..];
+    let close = rest.rfind(')')?;
+    let reason = rest[..close].trim().to_string();
+    if reason.is_empty() {
         return None;
     }
-    Some((check, reason))
+    Some((TRUSTED.to_string(), reason))
 }
 
 /// True when a finding of `check` at `line` in `file` is waived.
@@ -221,6 +320,16 @@ pub fn is_waived(file: &FileIndex, check: &str, line: u32) -> bool {
 /// The exact syntax hint printed under failures, so a finding's fix is
 /// copy-pasteable from CI output.
 pub fn waiver_hint(check: &str) -> String {
+    if check == taint::WIRE_TAINT || check == taint::TAINT_ARITH {
+        return "to waive a reviewed site, annotate it with: \
+                // slc-lint: trusted(<non-empty reason>)"
+            .to_string();
+    }
+    if check == debt::WAIVER_DEBT {
+        return "review the waiver change, then regenerate the lock with \
+                `cargo run --release -p slc-lint -- --update-waiver-lock`"
+            .to_string();
+    }
     format!(
         "to waive a reviewed site, annotate it with: // slc-lint: allow({check}): <non-empty reason>"
     )
@@ -321,7 +430,7 @@ fn collect_rs(
     dir: &Path,
     root: &Path,
     crate_name: &str,
-    out: &mut Vec<FileIndex>,
+    out: &mut Vec<(String, String, String)>,
 ) -> std::io::Result<()> {
     if !dir.is_dir() {
         return Ok(());
@@ -340,7 +449,7 @@ fn collect_rs(
                 stack.push(path);
             } else if path.extension().is_some_and(|e| e == "rs") {
                 let src = std::fs::read_to_string(&path)?;
-                out.push(FileIndex::build(&rel_path, crate_name, &src));
+                out.push((rel_path, crate_name.to_string(), src));
             }
         }
     }
@@ -372,6 +481,17 @@ mod tests {
     }
 
     #[test]
+    fn trusted_waiver_parsing() {
+        assert_eq!(
+            parse_waiver_text(" slc-lint: trusted(n <= 256 (a u8 field) cannot wrap)"),
+            Some((TRUSTED.to_string(), "n <= 256 (a u8 field) cannot wrap".to_string())),
+            "reason may contain parens; the last close wins"
+        );
+        assert_eq!(parse_waiver_text(" slc-lint: trusted()"), None, "empty reason");
+        assert_eq!(parse_waiver_text(" slc-lint: trusted"), None, "no parens");
+    }
+
+    #[test]
     fn trailing_and_standalone_waiver_targets() {
         let file = FileIndex::build(
             "crates/x/src/lib.rs",
@@ -386,5 +506,21 @@ mod tests {
         assert!(is_waived(&file, "hot-path", 2));
         assert!(!is_waived(&file, "hot-path", 5));
         assert!(is_waived(&file, "assert", 5));
+    }
+
+    #[test]
+    fn doc_comments_never_carry_waivers() {
+        // A rustdoc example of the grammar sits right above a fn: it must
+        // not exempt that fn, and must not count as waiver debt.
+        let file = FileIndex::build(
+            "crates/x/src/lib.rs",
+            "x",
+            "/// Waive with `// slc-lint: allow(hot-path): <reason>`.\n\
+             //! Or taint: // slc-lint: trusted(reviewed)\n\
+             /** block doc: slc-lint: allow(assert): nope */\n\
+             fn f() {\n    work();\n}\n",
+        );
+        assert!(waivers(&file).is_empty(), "{:?}", waivers(&file));
+        assert!(!is_waived(&file, "hot-path", 4));
     }
 }

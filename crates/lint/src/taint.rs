@@ -1,0 +1,1213 @@
+//! Wire-taint dataflow analysis (checks 6 and 7).
+//!
+//! The dynamic hardening barrages (fault-injection, truncation/bit-flip
+//! sweeps) *sample* the property "no wire byte steers memory unvalidated";
+//! this pass states it statically. Taint **sources** are the functions
+//! registered in `tools/lint/untrusted.txt` that read raw container bytes
+//! (LE field helpers, block-tag reads, rANS table field reads).
+//! **Sanitizers** are the validation gates whose results are trusted by
+//! construction (`Frame::parse`, `parse_table`): a call to one contributes
+//! no taint, while its *body* is still analysed — that body is exactly
+//! where untrusted bytes must be checked.
+//!
+//! Propagation is intraprocedural over let-bindings, assignments and
+//! expressions, on top of the [`lexer`](crate::lexer) token stream and
+//! the [`scan`](crate::scan)ned function spans, plus interprocedural
+//! summaries (tainted-param → tainted-return, source-in-return-position)
+//! iterated to a fixpoint over the [`graph`](crate::graph) call graph.
+//!
+//! Two checks share the substrate:
+//!
+//! * [`WIRE_TAINT`] — a tainted, unguarded value reaches a dangerous
+//!   sink: a slice/array index, a size/length argument of
+//!   `with_capacity` / `reserve` / `resize` / `get_unchecked` /
+//!   `copy_from_slice` / `set_len`, a `for` range bound, or a shift
+//!   amount.
+//! * [`TAINT_ARITH`] — a tainted, unguarded value feeds bare `+`/`-`/`*`
+//!   (or `+=`/`-=`/`*=`): silent wrap on an untrusted length. Use
+//!   `checked_*` / `saturating_*`, or range-guard the value first.
+//!
+//! A value is **guarded** once it appears as an operand of a comparison
+//! (`==`, `!=`, `<`, `<=`, `>`, `>=`) — the idiom `if n > MAX { return
+//! Err(..) }` — or is passed through `.min(..)` / `.clamp(..)`.
+//! Reassignment from an untainted expression also clears taint.
+//!
+//! The analysis is deliberately best-effort and *under*-approximate
+//! where precision is impossible without types: struct fields are not
+//! tracked across functions (the container directory is validated
+//! inside the `Frame::parse` sanitizer, whose body is audited), match
+//! bindings do not inherit scrutinee taint, and guarding is
+//! flow-insensitive after the guard point. Reviewed sites are waived
+//! with `// slc-lint: trusted(<reason>)` (see crate docs).
+
+use crate::graph::{CallGraph, NodeId};
+use crate::lexer::{Token, TokenKind};
+use crate::scan::{CallKind, CallSite, FileIndex, FnDef};
+use crate::{Finding, Workspace, TRUSTED};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Check name for tainted-value-reaches-sink.
+pub const WIRE_TAINT: &str = "wire-taint";
+/// Check name for unchecked arithmetic on tainted values.
+pub const TAINT_ARITH: &str = "taint-arith";
+/// Workspace-relative path of the source/sanitizer registry.
+pub const MANIFEST: &str = "tools/lint/untrusted.txt";
+
+/// Std call names whose arguments are size/length sinks.
+const SINK_CALLS: &[&str] = &[
+    "with_capacity",
+    "reserve",
+    "resize",
+    "get_unchecked",
+    "get_unchecked_mut",
+    "copy_from_slice",
+    "set_len",
+];
+
+/// Methods whose result is bounded regardless of receiver taint.
+const BOUNDED_METHODS: &[&str] = &["min", "clamp"];
+
+/// What a manifest entry registers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EntryKind {
+    /// Function whose return value is untrusted wire data.
+    Source,
+    /// Validation gate: call results are trusted, body still audited.
+    Sanitizer,
+}
+
+/// One parsed registry line: `source path/to/file.rs::fn_name` or
+/// `sanitizer path/to/file.rs::fn_name`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Entry {
+    pub kind: EntryKind,
+    pub file: String,
+    pub func: String,
+}
+
+/// Parses `tools/lint/untrusted.txt` content. Unparseable non-comment
+/// lines are returned as `Err` findings fodder by [`check_taint`]; here
+/// they are simply skipped, so the caller must pass the same text.
+pub fn parse_manifest(text: &str) -> Vec<Entry> {
+    text.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .filter_map(|l| {
+            let (kind, rest) = l.split_once(char::is_whitespace)?;
+            let kind = match kind {
+                "source" => EntryKind::Source,
+                "sanitizer" => EntryKind::Sanitizer,
+                _ => return None,
+            };
+            let (file, func) = rest.trim().split_once("::")?;
+            Some(Entry { kind, file: file.trim().to_string(), func: func.trim().to_string() })
+        })
+        .collect()
+}
+
+/// Taint provenance: the value came from a wire source, or from the
+/// n-th parameter (summary computation only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Label {
+    Source,
+    Param(usize),
+}
+
+type Labels = BTreeSet<Label>;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Role {
+    Source,
+    Sanitizer,
+}
+
+/// Runs both taint checks over the workspace. `manifest` comes from
+/// [`parse_manifest`] on the registry file.
+pub fn check_taint(ws: &Workspace, manifest: &[Entry]) -> Vec<Finding> {
+    let graph = CallGraph::build(ws);
+    let mut findings = Vec::new();
+
+    // Resolve the registry to function nodes; a stale entry is itself a
+    // finding so the manifest cannot rot silently.
+    let mut roles: BTreeMap<NodeId, Role> = BTreeMap::new();
+    for entry in manifest {
+        let mut matched = false;
+        for (fi, file) in ws.files.iter().enumerate() {
+            if file.path != entry.file {
+                continue;
+            }
+            for (di, def) in file.fns.iter().enumerate() {
+                if def.name == entry.func && !def.is_test {
+                    matched = true;
+                    let role = match entry.kind {
+                        EntryKind::Source => Role::Source,
+                        EntryKind::Sanitizer => Role::Sanitizer,
+                    };
+                    roles.insert((fi, di), role);
+                }
+            }
+        }
+        if !matched {
+            let kind = match entry.kind {
+                EntryKind::Source => "source",
+                EntryKind::Sanitizer => "sanitizer",
+            };
+            findings.push(Finding {
+                check: WIRE_TAINT,
+                file: entry.file.clone(),
+                line: 0,
+                message: format!(
+                    "manifest entry `{kind} {}::{}` does not resolve to any function — \
+                     update {MANIFEST}",
+                    entry.file, entry.func
+                ),
+            });
+        }
+    }
+    if !roles.values().any(|r| *r == Role::Source) {
+        // No sources resolved: nothing can be tainted.
+        return findings;
+    }
+
+    // Interprocedural fixpoint: per-fn summary = set of labels reaching
+    // its return positions. Sources return `Source`, sanitizer results
+    // are clean by definition; everything else starts empty and grows
+    // monotonically as callee summaries land.
+    let mut summaries: BTreeMap<NodeId, Labels> = BTreeMap::new();
+    for id in graph.nodes() {
+        let init = match roles.get(&id) {
+            Some(Role::Source) => [Label::Source].into_iter().collect(),
+            _ => Labels::new(),
+        };
+        summaries.insert(id, init);
+    }
+    for _round in 0..10 {
+        let mut changed = false;
+        for id in graph.nodes() {
+            if roles.contains_key(&id) {
+                continue; // registry roles have fixed summaries
+            }
+            let def = graph.def(id);
+            if def.body.is_empty() {
+                continue;
+            }
+            let file = &ws.files[id.0];
+            let mut a = Analyzer::new(ws, &graph, &roles, &summaries, file, def, Mode::Summary);
+            a.run();
+            if summaries.get(&id) != Some(&a.ret) {
+                summaries.insert(id, a.ret);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Final pass: analyse every body (including sanitizers — that is
+    // where the validation lives) and report unwaived sink reaches.
+    for id in graph.nodes() {
+        let file = &ws.files[id.0];
+        let def = graph.def(id);
+        if def.body.is_empty() {
+            continue;
+        }
+        // A `trusted(..)` waiver on the fn line exempts the whole body.
+        if crate::is_waived(file, TRUSTED, def.line) {
+            continue;
+        }
+        let mut a = Analyzer::new(ws, &graph, &roles, &summaries, file, def, Mode::Findings);
+        a.run();
+        for f in a.findings {
+            if !crate::is_waived(file, TRUSTED, f.line) {
+                findings.push(f);
+            }
+        }
+    }
+    findings.sort_by(|a, b| {
+        (&a.file, a.line, a.check, &a.message).cmp(&(&b.file, b.line, b.check, &b.message))
+    });
+    findings.dedup_by(|a, b| a.file == b.file && a.line == b.line && a.message == b.message);
+    findings
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Emit findings; taint enters only through source calls.
+    Findings,
+    /// Compute the return-labels summary; parameters start tainted with
+    /// their index, no findings are emitted.
+    Summary,
+}
+
+/// One function's linear dataflow walk.
+struct Analyzer<'a> {
+    graph: &'a CallGraph<'a>,
+    roles: &'a BTreeMap<NodeId, Role>,
+    summaries: &'a BTreeMap<NodeId, Labels>,
+    file: &'a FileIndex,
+    def: &'a FnDef,
+    toks: &'a [Token],
+    mode: Mode,
+    /// Variable name → taint labels.
+    tainted: BTreeMap<String, Labels>,
+    /// Variables that appeared as a comparison operand (range-checked).
+    guarded: BTreeSet<String>,
+    findings: Vec<Finding>,
+    /// Labels reaching return positions (summary mode).
+    ret: Labels,
+}
+
+impl<'a> Analyzer<'a> {
+    fn new(
+        _ws: &'a Workspace,
+        graph: &'a CallGraph<'a>,
+        roles: &'a BTreeMap<NodeId, Role>,
+        summaries: &'a BTreeMap<NodeId, Labels>,
+        file: &'a FileIndex,
+        def: &'a FnDef,
+        mode: Mode,
+    ) -> Self {
+        let mut a = Analyzer {
+            graph,
+            roles,
+            summaries,
+            file,
+            def,
+            toks: &file.lexed.tokens,
+            mode,
+            tainted: BTreeMap::new(),
+            guarded: BTreeSet::new(),
+            findings: Vec::new(),
+            ret: Labels::new(),
+        };
+        if mode == Mode::Summary {
+            for (i, p) in def.params.iter().enumerate() {
+                a.tainted.insert(p.clone(), [Label::Param(i)].into_iter().collect());
+            }
+        }
+        a
+    }
+
+    fn run(&mut self) {
+        let body = self.def.body.clone();
+        let mut i = body.start;
+        while i < body.end {
+            i = self.step(i, body.end);
+        }
+        if self.mode == Mode::Summary {
+            // The trailing expression (tokens after the last top-level
+            // `;`, or the whole body when there is none) is a return
+            // position.
+            let mut depth = 0i32;
+            let mut last_semi = None;
+            for k in body.clone() {
+                match &self.toks[k].kind {
+                    TokenKind::Punct('(') | TokenKind::Punct('[') | TokenKind::Punct('{') => {
+                        depth += 1
+                    }
+                    TokenKind::Punct(')') | TokenKind::Punct(']') | TokenKind::Punct('}') => {
+                        depth -= 1
+                    }
+                    TokenKind::Punct(';') if depth == 0 => last_semi = Some(k),
+                    _ => {}
+                }
+            }
+            let start = last_semi.map(|k| k + 1).unwrap_or(body.start);
+            if start < body.end {
+                let (labels, _) = self.eval(start, body.end);
+                self.ret.extend(labels);
+            }
+        }
+    }
+
+    /// Processes the token at `i`; returns the next index.
+    fn step(&mut self, i: usize, end: usize) -> usize {
+        match &self.toks[i].kind {
+            TokenKind::Ident(w) => match w.as_str() {
+                "let" => self.handle_let(i, end),
+                "for" => self.handle_for(i, end),
+                "return" => {
+                    if self.mode == Mode::Summary {
+                        let stop = self.stmt_end(i + 1, end);
+                        let (labels, _) = self.eval(i + 1, stop);
+                        self.ret.extend(labels);
+                    }
+                    i + 1
+                }
+                _ => self.handle_ident(i, end),
+            },
+            TokenKind::Punct('=') => self.handle_eq(i, end),
+            TokenKind::Punct('!') => {
+                if self.peek_punct(i + 1, '=') {
+                    self.mark_cmp_operands(i, i + 2, end);
+                }
+                i + 1
+            }
+            TokenKind::Punct('<') | TokenKind::Punct('>') => self.handle_angle(i, end),
+            TokenKind::Punct('+') | TokenKind::Punct('-') | TokenKind::Punct('*') => {
+                self.handle_arith(i, end)
+            }
+            TokenKind::Punct('[') => self.handle_index(i, end),
+            _ => i + 1,
+        }
+    }
+
+    fn peek_punct(&self, i: usize, c: char) -> bool {
+        self.toks.get(i).is_some_and(|t| t.is_punct(c))
+    }
+
+    fn prev_punct(&self, i: usize, c: char) -> bool {
+        i > 0 && self.toks[i - 1].is_punct(c)
+    }
+
+    /// `let <pattern>(: <ty>)? = <expr>;` — binds pattern names to the
+    /// RHS labels (empty RHS labels clear any previous taint).
+    fn handle_let(&mut self, i: usize, end: usize) -> usize {
+        let mut names: Vec<String> = Vec::new();
+        let mut j = i + 1;
+        let mut depth = 0i32;
+        let mut in_type = false;
+        while j < end {
+            match &self.toks[j].kind {
+                TokenKind::Punct('(') | TokenKind::Punct('[') => depth += 1,
+                TokenKind::Punct(')') | TokenKind::Punct(']') => depth -= 1,
+                TokenKind::Punct(':') => {
+                    if self.peek_punct(j + 1, ':') {
+                        j += 1; // path separator in an enum pattern
+                    } else if depth == 0 {
+                        in_type = true;
+                    }
+                }
+                TokenKind::Punct('=') if depth == 0 => break,
+                TokenKind::Punct(';') => {
+                    // `let x;` — a fresh, unassigned binding.
+                    for n in &names {
+                        self.tainted.remove(n);
+                        self.guarded.remove(n);
+                    }
+                    return i + 1;
+                }
+                TokenKind::Punct('{') => break, // scanner confusion; bail
+                // Skip binding modes and constructor/type names
+                // (`Some`, `Ok` — uppercase by convention).
+                TokenKind::Ident(w)
+                    if !in_type
+                        && w != "mut"
+                        && w != "ref"
+                        && !w.chars().next().is_some_and(|c| c.is_ascii_uppercase()) =>
+                {
+                    names.push(w.clone());
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        if j >= end || !self.toks[j].is_punct('=') {
+            return i + 1;
+        }
+        let rhs_end = self.stmt_end(j + 1, end);
+        let (labels, _) = self.eval(j + 1, rhs_end);
+        for n in names {
+            self.guarded.remove(&n);
+            if labels.is_empty() {
+                self.tainted.remove(&n);
+            } else {
+                self.tainted.insert(n, labels.clone());
+            }
+        }
+        i + 1
+    }
+
+    /// `for <pat> in <expr> {` — a tainted *range* bound is a sink; the
+    /// pattern inherits the iterated expression's labels.
+    fn handle_for(&mut self, i: usize, end: usize) -> usize {
+        // Find `in` at pattern depth 0.
+        let mut j = i + 1;
+        let mut depth = 0i32;
+        let mut names: Vec<String> = Vec::new();
+        while j < end {
+            match &self.toks[j].kind {
+                TokenKind::Punct('(') | TokenKind::Punct('[') => depth += 1,
+                TokenKind::Punct(')') | TokenKind::Punct(']') => depth -= 1,
+                TokenKind::Ident(w) if w == "in" && depth == 0 => break,
+                TokenKind::Ident(w)
+                    if w != "mut"
+                        && w != "ref"
+                        && !w.chars().next().is_some_and(|c| c.is_ascii_uppercase()) =>
+                {
+                    names.push(w.clone());
+                }
+                TokenKind::Punct('{') => return i + 1, // not a for-in
+                _ => {}
+            }
+            j += 1;
+        }
+        if j >= end {
+            return i + 1;
+        }
+        // Iterated expression: from past `in` to the body `{` at depth 0.
+        let expr_start = j + 1;
+        let mut k = expr_start;
+        let mut depth = 0i32;
+        let mut is_range = false;
+        while k < end {
+            match &self.toks[k].kind {
+                TokenKind::Punct('(') | TokenKind::Punct('[') => depth += 1,
+                TokenKind::Punct(')') | TokenKind::Punct(']') => depth -= 1,
+                TokenKind::Punct('.') if depth == 0 && self.peek_punct(k + 1, '.') => {
+                    is_range = true;
+                    k += 1;
+                }
+                TokenKind::Punct('{') if depth == 0 => break,
+                _ => {}
+            }
+            k += 1;
+        }
+        let (labels, witness) = self.eval(expr_start, k);
+        if !labels.is_empty() {
+            if is_range {
+                self.push_finding(
+                    WIRE_TAINT,
+                    self.toks[i].line,
+                    format!(
+                        "tainted value `{}` bounds a `for` range",
+                        witness.as_deref().unwrap_or("?")
+                    ),
+                );
+            }
+            for n in names {
+                self.guarded.remove(&n);
+                self.tainted.insert(n, labels.clone());
+            }
+        }
+        i + 1
+    }
+
+    /// `=`: comparison (`==`), skip (compound tail / fat arrow), or
+    /// plain assignment / compound propagation.
+    fn handle_eq(&mut self, i: usize, end: usize) -> usize {
+        if self.peek_punct(i + 1, '=') {
+            self.mark_cmp_operands(i, i + 2, end);
+            return i + 2;
+        }
+        if self.prev_punct(i, '=') || self.peek_punct(i + 1, '>') {
+            return i + 1; // second `=` of `==`, or `=>`
+        }
+        if i > 0 {
+            match &self.toks[i - 1].kind {
+                // `<=` / `>=` operands are handled by handle_angle.
+                TokenKind::Punct('<') | TokenKind::Punct('>') | TokenKind::Punct('!') => {
+                    return i + 1
+                }
+                // Compound assignment `x op= rhs`: union RHS labels in.
+                TokenKind::Punct('+' | '-' | '*' | '/' | '%' | '&' | '|' | '^') => {
+                    if i >= 2 {
+                        if let TokenKind::Ident(name) = &self.toks[i - 2].kind {
+                            let rhs_end = self.stmt_end(i + 1, end);
+                            let (labels, _) = self.eval(i + 1, rhs_end);
+                            if !labels.is_empty() {
+                                let name = name.clone();
+                                self.guarded.remove(&name);
+                                self.tainted.entry(name).or_default().extend(labels);
+                            }
+                        }
+                    }
+                    return i + 1;
+                }
+                TokenKind::Ident(name) => {
+                    // Plain reassignment: replace the variable's labels.
+                    let name = name.clone();
+                    let rhs_end = self.stmt_end(i + 1, end);
+                    let (labels, _) = self.eval(i + 1, rhs_end);
+                    self.guarded.remove(&name);
+                    if labels.is_empty() {
+                        self.tainted.remove(&name);
+                    } else {
+                        self.tainted.insert(name, labels);
+                    }
+                    return i + 1;
+                }
+                _ => return i + 1, // `v[i] =`, `s.field =`: untracked
+            }
+        }
+        i + 1
+    }
+
+    /// `<` / `>`: comparison (guards operands) or shift (RHS is a sink).
+    fn handle_angle(&mut self, i: usize, end: usize) -> usize {
+        let c = match &self.toks[i].kind {
+            TokenKind::Punct(c) => *c,
+            _ => return i + 1,
+        };
+        // Second character of a shift, arrow, or fat arrow.
+        if self.prev_punct(i, c)
+            || (c == '>' && (self.prev_punct(i, '-') || self.prev_punct(i, '=')))
+        {
+            return i + 1;
+        }
+        if self.peek_punct(i + 1, c) {
+            // Shift `<<` / `>>` (possibly `<<=`): the amount is a sink.
+            let rhs = if self.peek_punct(i + 2, '=') { i + 3 } else { i + 2 };
+            if let Some(TokenKind::Ident(w)) = self.toks.get(rhs).map(|t| &t.kind) {
+                if self.is_hot(w) {
+                    let w = w.clone();
+                    self.push_finding(
+                        WIRE_TAINT,
+                        self.toks[i].line,
+                        format!("tainted value `{w}` used as a shift amount"),
+                    );
+                }
+            }
+            return i + 2;
+        }
+        // Turbofish / generic-argument `<` — not a comparison.
+        if c == '<' && self.prev_punct(i, ':') {
+            return i + 1;
+        }
+        let right = if self.peek_punct(i + 1, '=') { i + 2 } else { i + 1 };
+        self.mark_cmp_operands(i, right, end);
+        i + 1
+    }
+
+    /// Marks tainted identifiers on both sides of a comparison operator
+    /// as guarded. Scans stop at statement-ish boundaries and at the
+    /// enclosing group, so `f(a, n < m)` guards only `n` and `m`.
+    fn mark_cmp_operands(&mut self, op_at: usize, right_from: usize, end: usize) {
+        let body_start = self.def.body.start;
+        // Left of the operator.
+        let mut depth = 0i32;
+        let mut j = op_at;
+        while j > body_start {
+            j -= 1;
+            match &self.toks[j].kind {
+                TokenKind::Punct(')') | TokenKind::Punct(']') => depth += 1,
+                TokenKind::Punct('(') | TokenKind::Punct('[') => {
+                    depth -= 1;
+                    if depth < 0 {
+                        break;
+                    }
+                }
+                TokenKind::Punct(';')
+                | TokenKind::Punct('{')
+                | TokenKind::Punct('}')
+                | TokenKind::Punct(',')
+                | TokenKind::Punct('=')
+                | TokenKind::Punct('&')
+                | TokenKind::Punct('|')
+                    if depth == 0 =>
+                {
+                    break
+                }
+                TokenKind::Ident(w) if self.tainted.contains_key(w) => {
+                    self.guarded.insert(w.clone());
+                }
+                _ => {}
+            }
+        }
+        // Right of the operator.
+        let mut depth = 0i32;
+        let mut j = right_from;
+        while j < end {
+            match &self.toks[j].kind {
+                TokenKind::Punct('(') | TokenKind::Punct('[') => depth += 1,
+                TokenKind::Punct(')') | TokenKind::Punct(']') => {
+                    depth -= 1;
+                    if depth < 0 {
+                        break;
+                    }
+                }
+                TokenKind::Punct(';')
+                | TokenKind::Punct('{')
+                | TokenKind::Punct('}')
+                | TokenKind::Punct(',')
+                | TokenKind::Punct('=')
+                | TokenKind::Punct('&')
+                | TokenKind::Punct('|')
+                    if depth == 0 =>
+                {
+                    break
+                }
+                TokenKind::Ident(w) if self.tainted.contains_key(w) => {
+                    self.guarded.insert(w.clone());
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+    }
+
+    /// Bare `+` / `-` / `*` (or the compound form) with an immediately
+    /// adjacent tainted operand: silent-wrap hazard.
+    fn handle_arith(&mut self, i: usize, _end: usize) -> usize {
+        let op = match &self.toks[i].kind {
+            TokenKind::Punct(c) => *c,
+            _ => return i + 1,
+        };
+        if op == '-' && self.peek_punct(i + 1, '>') {
+            return i + 2; // `->`
+        }
+        let compound = self.peek_punct(i + 1, '=');
+        // Binary context: something value-like on the left. Otherwise
+        // this is unary minus, a deref, or `&*` — not arithmetic.
+        let binary = i > 0
+            && matches!(
+                &self.toks[i - 1].kind,
+                TokenKind::Ident(_)
+                    | TokenKind::Num(_)
+                    | TokenKind::Punct(')')
+                    | TokenKind::Punct(']')
+            );
+        if !binary {
+            return i + 1;
+        }
+        let mut offender: Option<String> = None;
+        if let TokenKind::Ident(w) = &self.toks[i - 1].kind {
+            if self.is_hot(w) {
+                offender = Some(w.clone());
+            }
+        }
+        if offender.is_none() {
+            let rhs = if compound { i + 2 } else { i + 1 };
+            if let Some(TokenKind::Ident(w)) = self.toks.get(rhs).map(|t| &t.kind) {
+                // `n.min(cap)` on the right is bounded, not an offender.
+                if self.is_hot(w) && !self.bounded_ahead(rhs) {
+                    offender = Some(w.clone());
+                }
+            }
+        }
+        if let Some(w) = offender {
+            let shown = if compound { format!("{op}=") } else { op.to_string() };
+            self.push_finding(
+                TAINT_ARITH,
+                self.toks[i].line,
+                format!(
+                    "unchecked `{shown}` on tainted value `{w}` — use \
+                     `checked_*`/`saturating_*` or range-guard it first"
+                ),
+            );
+        }
+        i + 1
+    }
+
+    /// `expr[...]`: tainted identifiers inside an index expression.
+    fn handle_index(&mut self, i: usize, _end: usize) -> usize {
+        let indexing = i > 0
+            && matches!(
+                &self.toks[i - 1].kind,
+                TokenKind::Ident(_) | TokenKind::Punct(')') | TokenKind::Punct(']')
+            )
+            && !self.toks[i - 1].ident().is_some_and(|w| w == "mut" || w == "dyn");
+        if !indexing {
+            return i + 1;
+        }
+        let close = self.matching_close(i);
+        let (labels, witness) = self.eval(i + 1, close);
+        if !labels.is_empty() {
+            self.push_finding(
+                WIRE_TAINT,
+                self.toks[i].line,
+                format!(
+                    "tainted value `{}` reaches a slice index — bound or validate it first",
+                    witness.as_deref().unwrap_or("?")
+                ),
+            );
+        }
+        i + 1
+    }
+
+    /// Identifier in statement position: sink calls and sanitizer-call
+    /// skipping. Taint *contribution* is eval()'s job.
+    fn handle_ident(&mut self, i: usize, _end: usize) -> usize {
+        let (path, j) = self.read_path(i);
+        if !self.peek_punct(j + 1, '(') {
+            return i + 1;
+        }
+        let name = path.last().cloned().unwrap_or_default();
+        if SINK_CALLS.contains(&name.as_str()) {
+            let close = self.matching_close(j + 1);
+            let (labels, witness) = self.eval(j + 2, close);
+            if !labels.is_empty() {
+                self.push_finding(
+                    WIRE_TAINT,
+                    self.toks[i].line,
+                    format!(
+                        "tainted value `{}` reaches `{name}` as a size/length argument",
+                        witness.as_deref().unwrap_or("?")
+                    ),
+                );
+            }
+            return i + 1;
+        }
+        // A sanitizer call's arguments are its own concern (the gate's
+        // body is audited separately): skip them in the statement walk.
+        if self.call_role(&path, i, j) == Some(Role::Sanitizer) {
+            return self.matching_close(j + 1) + 1;
+        }
+        i + 1
+    }
+
+    /// Resolves a call through the graph; `Some(role)` when any
+    /// candidate definition carries a registry role (sanitizer wins).
+    fn call_role(&self, path: &[String], name_at: usize, path_end: usize) -> Option<Role> {
+        let kind = if path.len() > 1 {
+            CallKind::Path
+        } else if self.prev_punct(name_at, '.') {
+            CallKind::Method
+        } else {
+            CallKind::Bare
+        };
+        let cs = CallSite { path: path.to_vec(), line: self.toks[name_at].line, kind };
+        let _ = path_end;
+        let nodes = self.graph.resolve(&self.file.crate_name, &cs);
+        let mut role = None;
+        for id in nodes {
+            match self.roles.get(&id) {
+                Some(Role::Sanitizer) => return Some(Role::Sanitizer),
+                Some(Role::Source) => role = Some(Role::Source),
+                None => {}
+            }
+        }
+        role
+    }
+
+    /// Summaries of all workspace definitions a call resolves to, or
+    /// `None` when it resolves to nothing (std / unknown).
+    fn call_summaries(&self, path: &[String], name_at: usize) -> Option<Labels> {
+        let kind = if path.len() > 1 {
+            CallKind::Path
+        } else if self.prev_punct(name_at, '.') {
+            CallKind::Method
+        } else {
+            CallKind::Bare
+        };
+        let cs = CallSite { path: path.to_vec(), line: self.toks[name_at].line, kind };
+        let nodes = self.graph.resolve(&self.file.crate_name, &cs);
+        if nodes.is_empty() {
+            return None;
+        }
+        let mut out = Labels::new();
+        for id in nodes {
+            if let Some(s) = self.summaries.get(&id) {
+                out.extend(s.iter().copied());
+            }
+        }
+        Some(out)
+    }
+
+    /// Evaluates an expression span's taint labels. `witness` is the
+    /// first contributing identifier (for diagnostics).
+    fn eval(&self, start: usize, end: usize) -> (Labels, Option<String>) {
+        let mut labels = Labels::new();
+        let mut witness: Option<String> = None;
+        let mut i = start;
+        while i < end {
+            let TokenKind::Ident(w) = &self.toks[i].kind else {
+                i += 1;
+                continue;
+            };
+            let (path, j) = self.read_path(i);
+            if self.peek_punct(j + 1, '!') {
+                // Macro: walk its arguments linearly.
+                i = j + 2;
+                continue;
+            }
+            if self.peek_punct(j + 1, '(') {
+                let close = self.matching_close(j + 1).min(end);
+                let name = path.last().cloned().unwrap_or_default();
+                match self.call_role(&path, i, j) {
+                    Some(Role::Sanitizer) => {
+                        i = close + 1;
+                        continue;
+                    }
+                    Some(Role::Source) => {
+                        labels.insert(Label::Source);
+                        if witness.is_none() {
+                            witness = Some(format!("{name}(..)"));
+                        }
+                        i = close + 1;
+                        continue;
+                    }
+                    None => {}
+                }
+                if let Some(summary) = self.call_summaries(&path, i) {
+                    // Workspace callee: substitute argument labels into
+                    // its tainted-param → tainted-return summary.
+                    let args = self.split_args(j + 1, close);
+                    let arg_results: Vec<(Labels, Option<String>)> =
+                        args.iter().map(|r| self.eval(r.start, r.end)).collect();
+                    for label in summary {
+                        match label {
+                            Label::Source => {
+                                labels.insert(Label::Source);
+                                if witness.is_none() {
+                                    witness = Some(format!("{name}(..)"));
+                                }
+                            }
+                            Label::Param(k) => {
+                                if let Some((l, wit)) = arg_results.get(k) {
+                                    if !l.is_empty() {
+                                        labels.extend(l.iter().copied());
+                                        if witness.is_none() {
+                                            witness = wit.clone();
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    i = close + 1;
+                    continue;
+                }
+                // Bounded std methods clean whatever flows through them.
+                if BOUNDED_METHODS.contains(&name.as_str()) && self.prev_punct(i, '.') {
+                    i = close + 1;
+                    continue;
+                }
+                // Unknown call: the name itself contributes nothing; the
+                // arguments contribute linearly (conservative pass-through).
+                i = j + 1;
+                continue;
+            }
+            // Plain variable use.
+            if path.len() == 1 && self.is_hot(w) {
+                if self.bounded_ahead(i) {
+                    // `x.min(..)` / `x.clamp(..)`: skip the bounded call.
+                    i = self.matching_close(i + 3).min(end) + 1;
+                    continue;
+                }
+                labels.extend(self.tainted[w].iter().copied());
+                if witness.is_none() {
+                    witness = Some(w.clone());
+                }
+            }
+            i = j + 1;
+        }
+        (labels, witness)
+    }
+
+    /// True when `w` is tainted and not guarded.
+    fn is_hot(&self, w: &str) -> bool {
+        self.tainted.contains_key(w) && !self.guarded.contains(w)
+    }
+
+    /// True when the identifier at `i` is the receiver of a bounding
+    /// method call (`x.min(..)`).
+    fn bounded_ahead(&self, i: usize) -> bool {
+        self.peek_punct(i + 1, '.')
+            && self
+                .toks
+                .get(i + 2)
+                .and_then(|t| t.ident())
+                .is_some_and(|m| BOUNDED_METHODS.contains(&m))
+            && self.peek_punct(i + 3, '(')
+    }
+
+    /// Reads a `::`-separated path starting at identifier `i`; returns
+    /// the segments and the index of the last path token (turbofish
+    /// generic arguments are skipped).
+    fn read_path(&self, i: usize) -> (Vec<String>, usize) {
+        let mut segments = vec![match &self.toks[i].kind {
+            TokenKind::Ident(w) => w.clone(),
+            _ => String::new(),
+        }];
+        let mut j = i;
+        loop {
+            if self.peek_punct(j + 1, ':') && self.peek_punct(j + 2, ':') {
+                match self.toks.get(j + 3).map(|t| &t.kind) {
+                    Some(TokenKind::Ident(w)) => {
+                        segments.push(w.clone());
+                        j += 3;
+                    }
+                    Some(TokenKind::Punct('<')) => {
+                        // Turbofish: skip the angle group, stay on path.
+                        j = self.skip_angles(j + 3);
+                    }
+                    _ => break,
+                }
+            } else {
+                break;
+            }
+        }
+        (segments, j)
+    }
+
+    /// Index of the closing `>` matching the `<` at `open`.
+    fn skip_angles(&self, open: usize) -> usize {
+        let mut depth = 0i32;
+        let mut j = open;
+        while j < self.toks.len() {
+            match &self.toks[j].kind {
+                TokenKind::Punct('<') => depth += 1,
+                TokenKind::Punct('>') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return j;
+                    }
+                }
+                TokenKind::Punct(';') | TokenKind::Punct('{') => return open,
+                _ => {}
+            }
+            j += 1;
+        }
+        open
+    }
+
+    /// Index of the delimiter closing the group opened at `open`
+    /// (clamped to the body end on malformed input).
+    fn matching_close(&self, open: usize) -> usize {
+        let mut depth = 0i32;
+        let mut j = open;
+        while j < self.def.body.end {
+            match &self.toks[j].kind {
+                TokenKind::Punct('(') | TokenKind::Punct('[') | TokenKind::Punct('{') => depth += 1,
+                TokenKind::Punct(')') | TokenKind::Punct(']') | TokenKind::Punct('}') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return j;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        self.def.body.end
+    }
+
+    /// End of the statement starting at `start`: the index of the first
+    /// `;` at group depth 0, or where the enclosing block closes.
+    fn stmt_end(&self, start: usize, end: usize) -> usize {
+        let mut depth = 0i32;
+        let mut j = start;
+        while j < end {
+            match &self.toks[j].kind {
+                TokenKind::Punct('(') | TokenKind::Punct('[') | TokenKind::Punct('{') => depth += 1,
+                TokenKind::Punct(')') | TokenKind::Punct(']') | TokenKind::Punct('}') => {
+                    depth -= 1;
+                    if depth < 0 {
+                        return j;
+                    }
+                }
+                TokenKind::Punct(';') if depth == 0 => return j,
+                _ => {}
+            }
+            j += 1;
+        }
+        end
+    }
+
+    /// Top-level comma-separated argument spans of a call whose `(` is
+    /// at `open` and `)` at `close`.
+    fn split_args(&self, open: usize, close: usize) -> Vec<std::ops::Range<usize>> {
+        let mut out = Vec::new();
+        let mut depth = 0i32;
+        let mut arg_start = open + 1;
+        let mut j = open + 1;
+        while j < close {
+            match &self.toks[j].kind {
+                TokenKind::Punct('(') | TokenKind::Punct('[') | TokenKind::Punct('{') => depth += 1,
+                TokenKind::Punct(')') | TokenKind::Punct(']') | TokenKind::Punct('}') => depth -= 1,
+                TokenKind::Punct(',') if depth == 0 => {
+                    out.push(arg_start..j);
+                    arg_start = j + 1;
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        if arg_start < close {
+            out.push(arg_start..close);
+        }
+        out
+    }
+
+    fn push_finding(&mut self, check: &'static str, line: u32, message: String) {
+        if self.mode != Mode::Findings {
+            return;
+        }
+        self.findings.push(Finding {
+            check,
+            file: self.file.path.clone(),
+            line,
+            message: format!("in `{}`: {message}", self.def.name),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// One-crate workspace with `wire()` registered as a source and
+    /// `gate()` as a sanitizer.
+    fn check(body_src: &str) -> Vec<Finding> {
+        let src = format!(
+            "fn wire(b: &[u8]) -> u32 {{ b[0] as u32 }}\n\
+             fn gate(b: &[u8]) -> u32 {{ let n = wire(b); if n > 4 {{ 0 }} else {{ n }} }}\n\
+             {body_src}\n"
+        );
+        let ws = Workspace::from_sources(&[("crates/a/src/lib.rs", "a", &src)]);
+        let manifest = parse_manifest(
+            "source crates/a/src/lib.rs::wire\nsanitizer crates/a/src/lib.rs::gate\n",
+        );
+        check_taint(&ws, &manifest)
+    }
+
+    #[test]
+    fn manifest_parses_kinds_and_comments() {
+        let m = parse_manifest(
+            "# registry\nsource crates/e/src/c.rs::le_u32\n\nsanitizer crates/e/src/c.rs::parse\n",
+        );
+        assert_eq!(m.len(), 2);
+        assert_eq!(m[0].kind, EntryKind::Source);
+        assert_eq!(m[0].func, "le_u32");
+        assert_eq!(m[1].kind, EntryKind::Sanitizer);
+    }
+
+    #[test]
+    fn stale_manifest_entry_is_a_finding() {
+        let ws = Workspace::from_sources(&[("crates/a/src/lib.rs", "a", "fn f() {}")]);
+        let f = check_taint(&ws, &parse_manifest("source crates/a/src/lib.rs::gone"));
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("does not resolve"));
+    }
+
+    #[test]
+    fn source_to_index_sink_flags() {
+        let f = check("fn use_it(b: &[u8], v: &[u8]) -> u8 { let n = wire(b) as usize; v[n] }");
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].check, WIRE_TAINT);
+        assert!(f[0].message.contains("slice index"), "{f:?}");
+    }
+
+    #[test]
+    fn comparison_guard_clears() {
+        let f = check(
+            "fn use_it(b: &[u8], v: &[u8]) -> u8 {\n    let n = wire(b) as usize;\n    \
+             if n >= v.len() { return 0; }\n    v[n]\n}",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn min_bound_clears() {
+        let f =
+            check("fn use_it(b: &[u8], v: &[u8]) -> u8 { let n = wire(b) as usize; v[n.min(7)] }");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn sanitizer_result_is_clean() {
+        let f = check("fn use_it(b: &[u8], v: &[u8]) -> u8 { let n = gate(b) as usize; v[n] }");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn interprocedural_param_to_return() {
+        let f = check(
+            "fn widen(x: u32) -> usize { x as usize }\n\
+             fn use_it(b: &[u8], v: &[u8]) -> u8 { let n = widen(wire(b)); v[n] }",
+        );
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("slice index"));
+    }
+
+    #[test]
+    fn interprocedural_source_in_return() {
+        let f = check(
+            "fn relay(b: &[u8]) -> u32 { wire(b) }\n\
+             fn use_it(b: &[u8], v: &[u8]) -> u8 { let n = relay(b) as usize; v[n] }",
+        );
+        assert_eq!(f.len(), 1, "{f:?}");
+    }
+
+    #[test]
+    fn alloc_sink_flags() {
+        let f = check(
+            "fn use_it(b: &[u8]) -> Vec<u8> { let n = wire(b) as usize; Vec::with_capacity(n) }",
+        );
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("with_capacity"), "{f:?}");
+    }
+
+    #[test]
+    fn shift_amount_flags() {
+        let f = check("fn use_it(b: &[u8]) -> u32 { let n = wire(b); 1u32 << n }");
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("shift"), "{f:?}");
+    }
+
+    #[test]
+    fn range_loop_bound_flags() {
+        let f = check(
+            "fn use_it(b: &[u8]) -> u32 {\n    let n = wire(b) as usize;\n    \
+             let mut s = 0;\n    for _i in 0..n { s += 1; }\n    s\n}",
+        );
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("range"), "{f:?}");
+    }
+
+    #[test]
+    fn slice_iteration_is_not_a_loop_bound() {
+        let f = check(
+            "fn use_it(b: &[u8]) -> u32 {\n    let n = wire(b) as usize;\n    \
+             if n > b.len() { return 0; }\n    let s = &b[..n];\n    \
+             let mut t = 0u32;\n    for &x in s { t |= x as u32; }\n    t\n}",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn tainted_arith_flags_and_checked_passes() {
+        let f = check(
+            "fn bad(b: &[u8]) -> u32 { let n = wire(b); n + 1 }\n\
+             fn good(b: &[u8]) -> Option<u32> { let n = wire(b); n.checked_add(1) }",
+        );
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].check, TAINT_ARITH);
+        assert!(f[0].message.contains("`+`"), "{f:?}");
+    }
+
+    #[test]
+    fn compound_arith_flags() {
+        let f = check("fn bad(b: &[u8]) -> u32 { let mut s = 0u32; let n = wire(b); s += n; s }");
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].check, TAINT_ARITH);
+        assert!(f[0].message.contains("`+=`"), "{f:?}");
+    }
+
+    #[test]
+    fn trusted_waiver_silences_site() {
+        let f = check(
+            "fn bad(b: &[u8]) -> u32 {\n    let n = wire(b);\n    \
+             n + 1 // slc-lint: trusted(n is a u8 read, sum fits u32)\n}",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn fn_level_trusted_waiver_exempts_body() {
+        let f = check(
+            "// slc-lint: trusted(reviewed: all reads bounded by construction)\n\
+             fn bad(b: &[u8], v: &[u8]) -> u8 { let n = wire(b) as usize; v[n + 1] }",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn reassignment_clears_taint() {
+        let f = check(
+            "fn use_it(b: &[u8], v: &[u8]) -> u8 {\n    let mut n = wire(b) as usize;\n    \
+             n = 0;\n    v[n]\n}",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn unknown_calls_propagate_taint() {
+        let f = check(
+            "fn use_it(b: &[u8], v: &[u8]) -> u8 { let n = usize::from(wire(b) as u16); v[n] }",
+        );
+        assert_eq!(f.len(), 1, "{f:?}");
+    }
+}

@@ -1,0 +1,34 @@
+//! Clean twin of `taint_arith_violating.rs`: the same arithmetic, but
+//! through `checked_*`/`saturating_*` forms or behind a range guard.
+//! Must be silent.
+
+/// Registered taint source: reads a little-endian u16 from wire bytes.
+fn wire_u16(b: &[u8]) -> usize {
+    usize::from(b[0]) | usize::from(b[1]) << 8
+}
+
+/// Registered sanitizer; unused — the checked forms carry the proof.
+fn validate(n: usize, limit: usize) -> usize {
+    if n < limit {
+        n
+    } else {
+        0
+    }
+}
+
+pub fn total(buf: &[u8]) -> usize {
+    let n = wire_u16(buf);
+    let padded = n.checked_add(7).unwrap_or(usize::MAX);
+    let scaled = n.saturating_mul(3);
+    let mut acc = 0usize;
+    acc = acc.saturating_add(n);
+    padded.max(scaled).max(acc)
+}
+
+pub fn total_guarded(buf: &[u8]) -> usize {
+    let n = wire_u16(buf);
+    if n > 4096 {
+        return 0;
+    }
+    n * 2 + 1
+}

@@ -1,0 +1,25 @@
+//! Seeded tainted-arithmetic violations: bare `+`/`*` and a compound
+//! `+=` on a still-unguarded wire value. Every operator line must flag
+//! `taint-arith` — silent wraparound here could size a later access.
+
+/// Registered taint source: reads a little-endian u16 from wire bytes.
+fn wire_u16(b: &[u8]) -> usize {
+    usize::from(b[0]) | usize::from(b[1]) << 8
+}
+
+/// Registered sanitizer; unused by the violating twin.
+fn validate(n: usize, limit: usize) -> usize {
+    if n < limit {
+        n
+    } else {
+        0
+    }
+}
+
+pub fn total(buf: &[u8]) -> usize {
+    let n = wire_u16(buf);
+    let padded = n + 7;
+    let mut acc = 0usize;
+    acc += n;
+    acc * padded
+}

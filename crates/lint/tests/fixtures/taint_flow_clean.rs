@@ -1,0 +1,41 @@
+//! Clean twin of `taint_flow_violating.rs`: the same sink shapes, but
+//! every wire value passes the registered sanitizer, a visible range
+//! comparison, or a `.min(…)` bound first. Must be silent.
+
+/// Registered taint source: reads a little-endian u16 from wire bytes.
+fn wire_u16(b: &[u8]) -> usize {
+    usize::from(b[0]) | usize::from(b[1]) << 8
+}
+
+/// Registered sanitizer: clamps a wire length into the buffer.
+fn validate(n: usize, limit: usize) -> usize {
+    if n < limit {
+        n
+    } else {
+        0
+    }
+}
+
+pub fn decode(buf: &[u8], out: &mut Vec<u8>) {
+    let n = validate(wire_u16(buf), buf.len());
+    let first = buf[n];
+    out.reserve(n);
+    for i in 0..n {
+        out.push(buf[i]);
+    }
+    out.push(first << n);
+}
+
+pub fn decode_guarded(buf: &[u8]) -> u8 {
+    let n = wire_u16(buf);
+    if n >= buf.len() {
+        return 0;
+    }
+    buf[n]
+}
+
+pub fn decode_bounded(buf: &[u8]) -> u8 {
+    let n = wire_u16(buf);
+    let n = n.min(buf.len() - 1);
+    buf[n]
+}

@@ -1,0 +1,29 @@
+//! Seeded wire-taint violations: the registered source's return value
+//! reaches an index, an allocation size, a loop bound and a shift
+//! amount with no guard in between. Every sink below must flag.
+
+/// Registered taint source (see the suite's manifest): reads a
+/// little-endian u16 from wire bytes.
+fn wire_u16(b: &[u8]) -> usize {
+    usize::from(b[0]) | usize::from(b[1]) << 8
+}
+
+/// Registered sanitizer; unused here on purpose — the violating twin
+/// takes the raw value straight to the sinks.
+fn validate(n: usize, limit: usize) -> usize {
+    if n < limit {
+        n
+    } else {
+        0
+    }
+}
+
+pub fn decode(buf: &[u8], out: &mut Vec<u8>) {
+    let n = wire_u16(buf);
+    let first = buf[n];
+    out.reserve(n);
+    for i in 0..n {
+        out.push(buf[i]);
+    }
+    out.push(first << n);
+}

@@ -1,0 +1,27 @@
+//! Clean twin of `taint_interproc_violating.rs`: the helper routes the
+//! wire value through the registered sanitizer, so its summary is clean
+//! and the caller's sink never sees taint. Must be silent.
+
+/// Registered taint source: reads a little-endian u16 from wire bytes.
+fn wire_u16(b: &[u8]) -> usize {
+    usize::from(b[0]) | usize::from(b[1]) << 8
+}
+
+/// Registered sanitizer: clamps a wire length into the buffer.
+fn validate(n: usize, limit: usize) -> usize {
+    if n < limit {
+        n
+    } else {
+        0
+    }
+}
+
+/// Not registered: returns an already-validated length.
+fn body_len(b: &[u8]) -> usize {
+    validate(wire_u16(b), b.len())
+}
+
+pub fn decode(buf: &[u8]) -> u8 {
+    let n = body_len(buf);
+    buf[n]
+}

@@ -1,0 +1,32 @@
+//! Seeded interprocedural violation: the wire value flows through two
+//! plain helpers' returns into the caller's sink. The fixpoint summary
+//! must carry the taint across both calls.
+
+/// Registered taint source: reads a little-endian u16 from wire bytes.
+fn wire_u16(b: &[u8]) -> usize {
+    usize::from(b[0]) | usize::from(b[1]) << 8
+}
+
+/// Registered sanitizer; unused by the violating twin.
+fn validate(n: usize, limit: usize) -> usize {
+    if n < limit {
+        n
+    } else {
+        0
+    }
+}
+
+/// Not registered as anything: taint must flow through on its own.
+fn body_len(b: &[u8]) -> usize {
+    wire_u16(b)
+}
+
+/// Tainted parameter to tainted return, one more hop.
+fn padded_len(n: usize) -> usize {
+    n
+}
+
+pub fn decode(buf: &[u8]) -> u8 {
+    let n = padded_len(body_len(buf));
+    buf[n]
+}

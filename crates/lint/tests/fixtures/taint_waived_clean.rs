@@ -1,0 +1,33 @@
+//! Seeded violations, every one carrying a reviewed `trusted(…)`
+//! waiver — site-level on the index, fn-level for the loop. Must be
+//! silent; the suite's waiver-lock fixture pins this file's debt.
+
+/// Registered taint source: reads a little-endian u16 from wire bytes.
+fn wire_u16(b: &[u8]) -> usize {
+    usize::from(b[0]) | usize::from(b[1]) << 8
+}
+
+/// Registered sanitizer; present so the shared manifest resolves.
+fn validate(n: usize, limit: usize) -> usize {
+    if n < limit {
+        n
+    } else {
+        0
+    }
+}
+
+pub fn decode(buf: &[u8]) -> u8 {
+    let n = wire_u16(buf);
+    // slc-lint: trusted(fixture: n indexes a caller-guaranteed 64 KiB arena)
+    buf[n]
+}
+
+// slc-lint: trusted(fixture: whole fn reviewed, bounds come from the caller contract)
+pub fn decode_sum(buf: &[u8]) -> usize {
+    let n = wire_u16(buf);
+    let mut sum = 0;
+    for i in 0..n {
+        sum += usize::from(buf[i]);
+    }
+    sum
+}

@@ -8,8 +8,12 @@
 //! and mounted at synthetic workspace paths via
 //! `Workspace::from_sources`.
 
+use slc_lint::debt;
 use slc_lint::graph::{check_hot_paths, parse_manifest, ASSERT, HOT_PATH};
 use slc_lint::hygiene::{check_unsafe, inventory};
+use slc_lint::taint::{
+    check_taint, parse_manifest as parse_taint_manifest, TAINT_ARITH, WIRE_TAINT,
+};
 use slc_lint::wire::{check_lock, parse_lock, render_lock, snapshot};
 use slc_lint::{Finding, Workspace};
 use std::path::{Path, PathBuf};
@@ -27,6 +31,13 @@ const UNSAFE_CLEAN: &str = include_str!("fixtures/unsafe_clean.rs");
 const WIRE_CODEC_V1: &str = include_str!("fixtures/wire_codec_v1.rs");
 const WIRE_CODEC_MUTATED: &str = include_str!("fixtures/wire_codec_mutated.rs");
 const WIRE_CONTAINER_V1: &str = include_str!("fixtures/wire_container_v1.rs");
+const TAINT_FLOW_VIOLATING: &str = include_str!("fixtures/taint_flow_violating.rs");
+const TAINT_FLOW_CLEAN: &str = include_str!("fixtures/taint_flow_clean.rs");
+const TAINT_INTERPROC_VIOLATING: &str = include_str!("fixtures/taint_interproc_violating.rs");
+const TAINT_INTERPROC_CLEAN: &str = include_str!("fixtures/taint_interproc_clean.rs");
+const TAINT_ARITH_VIOLATING: &str = include_str!("fixtures/taint_arith_violating.rs");
+const TAINT_ARITH_CLEAN: &str = include_str!("fixtures/taint_arith_clean.rs");
+const TAINT_WAIVED_CLEAN: &str = include_str!("fixtures/taint_waived_clean.rs");
 
 /// Mounts one fixture at a synthetic path and runs the hot-path audit
 /// with `root_fn` as the only manifest root.
@@ -132,6 +143,123 @@ fn lock_fixture_matches_fresh_extraction() {
     // And a committed lock that matches source yields no findings.
     let snap = snapshot(&wire_ws(WIRE_CODEC_V1));
     assert!(check_lock(&snap, &parse_lock(&committed)).is_empty());
+}
+
+/// Every taint fixture defines `wire_u16` (source) and `validate`
+/// (sanitizer) at the mounted path, so one manifest serves them all.
+const TAINT_MANIFEST: &str = "source    crates/fix/src/taint.rs::wire_u16\n\
+                              sanitizer crates/fix/src/taint.rs::validate\n";
+
+/// Mounts one taint fixture at a synthetic path and runs the wire-taint
+/// pass with the shared fixture manifest.
+fn taint(src: &str) -> Vec<Finding> {
+    let ws = Workspace::from_sources(&[("crates/fix/src/taint.rs", "fix", src)]);
+    check_taint(&ws, &parse_taint_manifest(TAINT_MANIFEST))
+}
+
+#[test]
+fn taint_flow_violating_finds_every_seeded_sink() {
+    let f = taint(TAINT_FLOW_VIOLATING);
+    let lines: Vec<(u32, &str)> = f.iter().map(|x| (x.line, x.check)).collect();
+    // Index, allocation size, loop bound, the index the tainted loop
+    // variable feeds, and the shift amount.
+    assert_eq!(
+        lines,
+        vec![
+            (23, WIRE_TAINT),
+            (24, WIRE_TAINT),
+            (25, WIRE_TAINT),
+            (26, WIRE_TAINT),
+            (28, WIRE_TAINT),
+        ],
+        "{f:?}"
+    );
+}
+
+#[test]
+fn taint_flow_clean_twin_is_silent() {
+    let f = taint(TAINT_FLOW_CLEAN);
+    assert!(f.is_empty(), "sanitized, guarded and bounded uses stay silent: {f:?}");
+}
+
+#[test]
+fn taint_crosses_helper_returns_interprocedurally() {
+    let f = taint(TAINT_INTERPROC_VIOLATING);
+    let lines: Vec<(u32, &str)> = f.iter().map(|x| (x.line, x.check)).collect();
+    // The only finding is the caller's index — two summary hops away
+    // from the source call.
+    assert_eq!(lines, vec![(31, WIRE_TAINT)], "{f:?}");
+}
+
+#[test]
+fn sanitizing_helper_clears_taint_interprocedurally() {
+    let f = taint(TAINT_INTERPROC_CLEAN);
+    assert!(f.is_empty(), "a helper that validates returns clean: {f:?}");
+}
+
+#[test]
+fn unchecked_tainted_arithmetic_flags_each_operator() {
+    let f = taint(TAINT_ARITH_VIOLATING);
+    let lines: Vec<(u32, &str)> = f.iter().map(|x| (x.line, x.check)).collect();
+    assert_eq!(lines, vec![(21, TAINT_ARITH), (23, TAINT_ARITH), (24, TAINT_ARITH)], "{f:?}");
+}
+
+#[test]
+fn checked_or_guarded_tainted_arithmetic_is_silent() {
+    let f = taint(TAINT_ARITH_CLEAN);
+    assert!(f.is_empty(), "{f:?}");
+}
+
+#[test]
+fn trusted_waivers_silence_taint_findings() {
+    let f = taint(TAINT_WAIVED_CLEAN);
+    assert!(f.is_empty(), "site- and fn-level trusted() must both hold: {f:?}");
+}
+
+fn waiver_lock_ws() -> Workspace {
+    Workspace::from_sources(&[
+        ("crates/fix/src/taint.rs", "fix", TAINT_WAIVED_CLEAN),
+        ("crates/fix/src/hot.rs", "fix", WAIVER_FN_LEVEL),
+    ])
+}
+
+fn waiver_lock_fixture_path() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/waiver_debt_v1.lock")
+}
+
+/// The committed waiver-debt lock fixture must stay byte-identical to
+/// what `--update-waiver-lock` would emit for the fixture sources.
+/// Regenerate with `SLC_LINT_BLESS=1 cargo test -p slc-lint`.
+#[test]
+fn waiver_lock_fixture_matches_fresh_snapshot() {
+    let rendered = debt::render_lock(&debt::snapshot(&waiver_lock_ws()));
+    if std::env::var_os("SLC_LINT_BLESS").is_some() {
+        std::fs::write(waiver_lock_fixture_path(), &rendered).unwrap();
+        return;
+    }
+    let committed = std::fs::read_to_string(waiver_lock_fixture_path()).unwrap();
+    assert_eq!(committed, rendered);
+    // And a lock that matches source yields no findings.
+    let snap = debt::snapshot(&waiver_lock_ws());
+    assert!(debt::check_lock(&snap, &debt::parse_lock(&committed)).is_empty());
+}
+
+#[test]
+fn new_waiver_fails_against_committed_waiver_lock() {
+    let committed = std::fs::read_to_string(waiver_lock_fixture_path()).unwrap();
+    let extra = "fn extra() -> u8 {\n    \
+        // slc-lint: trusted(fixture: one more reviewed exception)\n    \
+        [0u8; 4][9]\n}\n";
+    let grown = format!("{TAINT_WAIVED_CLEAN}\n{extra}");
+    let ws = Workspace::from_sources(&[
+        ("crates/fix/src/taint.rs", "fix", &grown),
+        ("crates/fix/src/hot.rs", "fix", WAIVER_FN_LEVEL),
+    ]);
+    let f = debt::check_lock(&debt::snapshot(&ws), &debt::parse_lock(&committed));
+    assert_eq!(f.len(), 1, "{f:?}");
+    assert_eq!(f[0].check, debt::WAIVER_DEBT);
+    assert_eq!(f[0].file, "crates/fix/src/taint.rs");
+    assert!(f[0].message.contains("waiver debt grew"), "{f:?}");
 }
 
 #[test]
